@@ -1,0 +1,46 @@
+# Enclosure reproduction — common targets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench tables security examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation (§6).
+tables:
+	$(GO) run ./cmd/enclosebench -all
+
+security:
+	$(GO) run ./cmd/enclosebench -security
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/imaging
+	$(GO) run ./examples/webserver
+	$(GO) run ./examples/wiki
+	$(GO) run ./examples/attacks
+	$(GO) run ./examples/python
+	$(GO) run ./examples/scheduler
+	$(GO) run ./examples/dynamic
+
+# Machine-readable full evaluation (CI regression tracking).
+results.json:
+	$(GO) run ./cmd/enclosebench -json results.json
+
+clean:
+	$(GO) clean ./...

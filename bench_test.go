@@ -1,0 +1,183 @@
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation (§6). The interesting output is the custom
+// metrics — virtual nanoseconds per operation, modelled slowdown,
+// requests per second — because the reproduction's timing lives on the
+// calibrated virtual clock, not the host's. wall-ns/op measures the
+// simulator itself.
+//
+//	go test -bench=. -benchmem ./...
+package enclosure_test
+
+import (
+	"testing"
+
+	"github.com/litterbox-project/enclosure/internal/bench"
+	"github.com/litterbox-project/enclosure/internal/core"
+	"github.com/litterbox-project/enclosure/internal/pyfront"
+)
+
+// --- Table 1: micro-benchmarks ---------------------------------------
+
+func benchMicro(b *testing.B, fn func(core.BackendKind, int) (bench.MicroResult, error), kind core.BackendKind) {
+	b.Helper()
+	r, err := fn(kind, b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(r.NsPerOp, "virtual-ns/op")
+}
+
+func BenchmarkTable1CallBaseline(b *testing.B) { benchMicro(b, bench.MicroCall, core.Baseline) }
+func BenchmarkTable1CallMPK(b *testing.B)      { benchMicro(b, bench.MicroCall, core.MPK) }
+func BenchmarkTable1CallVTX(b *testing.B)      { benchMicro(b, bench.MicroCall, core.VTX) }
+
+func BenchmarkTable1TransferBaseline(b *testing.B) { benchMicro(b, bench.MicroTransfer, core.Baseline) }
+func BenchmarkTable1TransferMPK(b *testing.B)      { benchMicro(b, bench.MicroTransfer, core.MPK) }
+func BenchmarkTable1TransferVTX(b *testing.B)      { benchMicro(b, bench.MicroTransfer, core.VTX) }
+
+func BenchmarkTable1SyscallBaseline(b *testing.B) { benchMicro(b, bench.MicroSyscall, core.Baseline) }
+func BenchmarkTable1SyscallMPK(b *testing.B)      { benchMicro(b, bench.MicroSyscall, core.MPK) }
+func BenchmarkTable1SyscallVTX(b *testing.B)      { benchMicro(b, bench.MicroSyscall, core.VTX) }
+
+// CHERI projection rows (not in the paper's Table 1 — §7/§8's sketch of
+// the ideal mechanism: MPK-like switches, in-process syscall monitor,
+// capability-update transfers).
+func BenchmarkTable1CallCHERI(b *testing.B)     { benchMicro(b, bench.MicroCall, core.CHERI) }
+func BenchmarkTable1TransferCHERI(b *testing.B) { benchMicro(b, bench.MicroTransfer, core.CHERI) }
+func BenchmarkTable1SyscallCHERI(b *testing.B)  { benchMicro(b, bench.MicroSyscall, core.CHERI) }
+
+// --- Table 2: macro-benchmarks ---------------------------------------
+
+func benchMacro(b *testing.B, fn func(core.BackendKind) (bench.MacroResult, error), kind core.BackendKind, baseline func(core.BackendKind) (bench.MacroResult, error)) {
+	b.Helper()
+	var last bench.MacroResult
+	for i := 0; i < b.N; i++ {
+		r, err := fn(kind)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if last.Unit == "ms" {
+		b.ReportMetric(last.Raw, "virtual-ms/run")
+	} else {
+		b.ReportMetric(last.Raw, "virtual-reqs/s")
+	}
+	if kind != core.Baseline && baseline != nil {
+		base, err := baseline(core.Baseline)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slow := last.Raw / base.Raw
+		if last.Unit != "ms" {
+			slow = base.Raw / last.Raw
+		}
+		b.ReportMetric(slow, "slowdown-x")
+	}
+}
+
+func BenchmarkTable2BildBaseline(b *testing.B) { benchMacro(b, bench.RunBild, core.Baseline, nil) }
+func BenchmarkTable2BildMPK(b *testing.B)      { benchMacro(b, bench.RunBild, core.MPK, bench.RunBild) }
+func BenchmarkTable2BildVTX(b *testing.B)      { benchMacro(b, bench.RunBild, core.VTX, bench.RunBild) }
+
+func BenchmarkTable2HTTPBaseline(b *testing.B) { benchMacro(b, bench.RunHTTP, core.Baseline, nil) }
+func BenchmarkTable2HTTPMPK(b *testing.B)      { benchMacro(b, bench.RunHTTP, core.MPK, bench.RunHTTP) }
+func BenchmarkTable2HTTPVTX(b *testing.B)      { benchMacro(b, bench.RunHTTP, core.VTX, bench.RunHTTP) }
+
+func BenchmarkTable2FastHTTPBaseline(b *testing.B) {
+	benchMacro(b, bench.RunFastHTTP, core.Baseline, nil)
+}
+func BenchmarkTable2FastHTTPMPK(b *testing.B) {
+	benchMacro(b, bench.RunFastHTTP, core.MPK, bench.RunFastHTTP)
+}
+func BenchmarkTable2FastHTTPVTX(b *testing.B) {
+	benchMacro(b, bench.RunFastHTTP, core.VTX, bench.RunFastHTTP)
+}
+
+// --- Figure 5: wiki web-app ------------------------------------------
+
+func BenchmarkFigure5WikiBaseline(b *testing.B) { benchMacro(b, bench.RunWiki, core.Baseline, nil) }
+func BenchmarkFigure5WikiMPK(b *testing.B)      { benchMacro(b, bench.RunWiki, core.MPK, bench.RunWiki) }
+func BenchmarkFigure5WikiVTX(b *testing.B)      { benchMacro(b, bench.RunWiki, core.VTX, bench.RunWiki) }
+
+// --- §6.4: Python frontend -------------------------------------------
+
+func benchPython(b *testing.B, mode pyfront.Mode) {
+	b.Helper()
+	var last pyfront.Result
+	for i := 0; i < b.N; i++ {
+		r, err := pyfront.RunExperiment(core.VTX, mode)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Slowdown, "slowdown-x")
+	b.ReportMetric(float64(last.Switches), "switches")
+}
+
+func BenchmarkPythonEnclosureConservative(b *testing.B) { benchPython(b, pyfront.Conservative) }
+func BenchmarkPythonEnclosureDecoupled(b *testing.B)    { benchPython(b, pyfront.Decoupled) }
+
+// --- Ablations ---------------------------------------------------------
+
+// BenchmarkAblationSpanChurn quantifies the design choice the paper's
+// bild analysis hinges on: pooling freed spans (and Transferring them
+// across arenas) versus the hypothetical of never reusing spans. The
+// metric is transfers per run under LB_MPK, each costing ~1µs.
+func BenchmarkAblationSpanChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunBild(core.MPK)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Counters.Transfers), "transfers/run")
+		b.ReportMetric(float64(r.Counters.PkeyMprotects), "pkey_mprotect/run")
+	}
+}
+
+// BenchmarkAblationClustering reports how many meta-packages (MPK keys)
+// the Figure 1 program needs after clustering — the paper's argument
+// that 16 keys suffice in practice.
+func BenchmarkAblationClustering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dump, err := bench.Figure4Dump()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = dump
+	}
+}
+
+// BenchmarkAblationVirtKeys measures the libmpk-style key
+// virtualisation slow path (§5.3's escape hatch for >16 meta-packages):
+// eviction remaps and the pkey_mprotect retags they cost.
+func BenchmarkAblationVirtKeys(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunVirtKeysAblation(20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Metrics["remaps"], "remaps/run")
+		b.ReportMetric(r.Metrics["pkey_mprotects"], "pkey_mprotect/run")
+	}
+}
+
+// BenchmarkAblationSchedulerMPK / VTX measure the Execute hook's
+// context-switch cost under user-level scheduling (§4.2): MPK pays a
+// WRPKRU (~20ns), VTX a guest system call (~440ns).
+func BenchmarkAblationSchedulerMPK(b *testing.B) { benchSchedAblation(b, core.MPK) }
+
+// BenchmarkAblationSchedulerVTX is the VT-x counterpart.
+func BenchmarkAblationSchedulerVTX(b *testing.B) { benchSchedAblation(b, core.VTX) }
+
+func benchSchedAblation(b *testing.B, kind core.BackendKind) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunSchedulerAblation(kind, 8, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Metrics["us-per-ctxs"]*1000, "virtual-ns/ctxswitch")
+	}
+}

@@ -1,0 +1,171 @@
+// Command enclose runs a small demonstration program under a chosen
+// LitterBox backend and prints what the enclosure construct enforces:
+//
+//	enclose -backend mpk  -demo invert      # legitimate use succeeds
+//	enclose -backend mpk  -demo tamper      # write to read-only secret
+//	enclose -backend vtx  -demo steal       # read foreign private key
+//	enclose -backend vtx  -demo exfiltrate  # syscall under sys:none
+//	enclose -layout                         # dump the linked image (Figure 4)
+//	enclose -keys                           # show meta-package key assignment
+//	enclose -spec scenarios/figure1.json    # run a declarative scenario
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/litterbox-project/enclosure"
+	"github.com/litterbox-project/enclosure/internal/bench"
+	"github.com/litterbox-project/enclosure/internal/core"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+	"github.com/litterbox-project/enclosure/internal/spec"
+)
+
+func main() {
+	backendName := flag.String("backend", "mpk", "baseline|mpk|vtx|cheri")
+	demo := flag.String("demo", "invert", "invert|tamper|steal|exfiltrate")
+	layout := flag.Bool("layout", false, "dump the linked executable image (Figure 4)")
+	keys := flag.Bool("keys", false, "show the MPK meta-package key assignment")
+	trace := flag.Bool("trace", false, "print the enforcement event trace")
+	specFile := flag.String("spec", "", "run a declarative scenario from a JSON file")
+	flag.Parse()
+
+	if *specFile != "" {
+		blob, err := os.ReadFile(*specFile)
+		if err != nil {
+			fatal(err)
+		}
+		doc, err := spec.Parse(blob)
+		if err != nil {
+			fatal(err)
+		}
+		outcomes, err := spec.Run(doc)
+		if err != nil {
+			fatal(err)
+		}
+		bad := 0
+		for _, o := range outcomes {
+			fmt.Println(" ", o)
+			if !o.Matched {
+				bad++
+			}
+		}
+		if bad > 0 {
+			fatal(fmt.Errorf("%d step(s) did not match their expectation", bad))
+		}
+		return
+	}
+
+	if *layout {
+		dump, err := bench.Figure4Dump()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(dump)
+		return
+	}
+
+	backend, ok := map[string]enclosure.Backend{
+		"baseline": enclosure.Baseline, "mpk": enclosure.MPK,
+		"vtx": enclosure.VTX, "cheri": enclosure.CHERI,
+	}[*backendName]
+	if !ok {
+		fatal(fmt.Errorf("unknown backend %q", *backendName))
+	}
+
+	prog, err := buildDemo(backend, *demo)
+	if err != nil {
+		fatal(err)
+	}
+	var tr *litterbox.Trace
+	if *trace {
+		tr = prog.LitterBox().EnableTrace(256)
+	}
+
+	if *keys {
+		if mpk, ok := prog.LitterBox().Backend().(*litterbox.MPKBackend); ok {
+			fmt.Print(mpk.DescribeKeys())
+			return
+		}
+		fatal(fmt.Errorf("-keys requires -backend mpk"))
+	}
+
+	err = prog.Run(func(t *enclosure.Task) error {
+		secret, err := prog.VarRef("secrets", "original")
+		if err != nil {
+			return err
+		}
+		t.WriteBytes(secret, []byte("0123456789abcdef"))
+		res, err := prog.MustEnclosure("demo").Call(t, secret)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("enclosure returned: % x\n", t.ReadBytes(res[0].(enclosure.Ref)))
+		return nil
+	})
+	if err != nil {
+		if f, okf := enclosure.AsFault(err); okf {
+			fmt.Printf("fault (as designed): %v\n", f)
+			printTrace(tr)
+			return
+		}
+		fatal(err)
+	}
+	fmt.Println("completed without faults")
+	printTrace(tr)
+}
+
+func printTrace(tr *litterbox.Trace) {
+	if tr == nil {
+		return
+	}
+	fmt.Println("\nenforcement trace (virtual time):")
+	fmt.Print(tr.String())
+}
+
+func buildDemo(backend enclosure.Backend, demo string) (*enclosure.Program, error) {
+	b := enclosure.New(backend)
+	b.Package(enclosure.PackageSpec{
+		Name:    "main",
+		Imports: []string{"secrets", "lib"},
+		Vars:    map[string]int{"private_key": 32},
+		Origin:  "app",
+	})
+	b.Package(enclosure.PackageSpec{Name: "secrets", Vars: map[string]int{"original": 16}, Origin: "app"})
+	b.Package(enclosure.PackageSpec{
+		Name: "lib", Origin: "public",
+		Funcs: map[string]enclosure.Func{
+			"Process": func(t *enclosure.Task, args ...enclosure.Value) ([]enclosure.Value, error) {
+				in := args[0].(enclosure.Ref)
+				data := t.ReadBytes(in)
+				switch demo {
+				case "tamper":
+					t.Store8(in.Addr, '!')
+				case "steal":
+					key, err := t.Prog().VarRef("main", "private_key")
+					if err != nil {
+						return nil, err
+					}
+					_ = t.ReadBytes(key)
+				case "exfiltrate":
+					t.Syscall(enclosure.SysSocket)
+				}
+				for i := range data {
+					data[i] = ^data[i]
+				}
+				return []enclosure.Value{t.NewBytes(data)}, nil
+			},
+		},
+	})
+	b.Enclosure("demo", "main", "secrets:R; sys:none",
+		func(t *core.Task, args ...core.Value) ([]core.Value, error) {
+			return t.Call("lib", "Process", args...)
+		}, "lib")
+	return b.Build()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "enclose:", err)
+	os.Exit(1)
+}

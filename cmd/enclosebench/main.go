@@ -1,0 +1,159 @@
+// Command enclosebench regenerates every table and figure of the
+// paper's evaluation (§6) from the simulated implementation:
+//
+//	enclosebench -table 1     # micro-benchmarks (call/transfer/syscall)
+//	enclosebench -table 2     # bild, HTTP, FastHTTP + TCB study
+//	enclosebench -figure 4    # linked executable image layout
+//	enclosebench -figure 5    # wiki web-app with two enclosures
+//	enclosebench -python      # §6.4 CPython frontend experiments
+//	enclosebench -security    # §6.5 recreated malicious packages
+//	enclosebench -ablations   # design-choice ablations
+//	enclosebench -all         # everything above
+//	enclosebench -table 2 -projections   # adds the LB_CHERI column
+//	enclosebench -json results.json      # machine-readable everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/litterbox-project/enclosure/internal/bench"
+	"github.com/litterbox-project/enclosure/internal/core"
+)
+
+// benchKind maps 1→MPK, 2→VTX for the ablation loop.
+func benchKind(i int) core.BackendKind { return core.BackendKind(i) }
+
+func main() {
+	table := flag.Int("table", 0, "regenerate Table N (1 or 2)")
+	figure := flag.Int("figure", 0, "regenerate Figure N (4 or 5)")
+	python := flag.Bool("python", false, "run the §6.4 Python experiments")
+	security := flag.Bool("security", false, "run the §6.5 attack scenarios")
+	ablations := flag.Bool("ablations", false, "run the design-choice ablations")
+	projections := flag.Bool("projections", false, "add the LB_CHERI projection column to Table 2")
+	jsonOut := flag.String("json", "", "run everything and write machine-readable results to the given file ('-' for stdout)")
+	all := flag.Bool("all", false, "run everything")
+	iters := flag.Int("iters", 100000, "micro-benchmark iterations")
+	flag.Parse()
+
+	ran := false
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "enclosebench:", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut != "" {
+		results, err := bench.CollectResults(*iters)
+		if err != nil {
+			fail(err)
+		}
+		blob, err := bench.MarshalResults(results)
+		if err != nil {
+			fail(err)
+		}
+		if *jsonOut == "-" {
+			_, _ = os.Stdout.Write(blob)
+		} else if err := os.WriteFile(*jsonOut, blob, 0o644); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if *all || *table == 1 {
+		ran = true
+		results, err := bench.Table1(*iters)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.RenderTable1(results))
+	}
+	if *all || *table == 2 {
+		ran = true
+		kinds := bench.PaperBackends
+		if *projections {
+			kinds = bench.ProjectionBackends
+		}
+		bild, err := bench.Sweep(bench.RunBild, kinds)
+		if err != nil {
+			fail(err)
+		}
+		http, err := bench.Sweep(bench.RunHTTP, kinds)
+		if err != nil {
+			fail(err)
+		}
+		fast, err := bench.Sweep(bench.RunFastHTTP, kinds)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.RenderTable2(
+			[][]bench.MacroResult{bild, http, fast},
+			[]bench.TCBRow{bench.BildTCB(), bench.HTTPTCB(), bench.FastHTTPTCB()},
+		))
+	}
+	if *all || *figure == 4 {
+		ran = true
+		dump, err := bench.Figure4Dump()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(dump)
+	}
+	if *all || *figure == 5 {
+		ran = true
+		results, err := bench.Figure5Wiki()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.RenderFigure5(results))
+	}
+	if *all || *python {
+		ran = true
+		results, err := bench.PythonExperiments()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.RenderPython(results))
+	}
+	if *all || *security {
+		ran = true
+		reports, err := bench.SecuritySuite()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("§6.5: recreated malicious packages.")
+		fmt.Println()
+		for _, r := range reports {
+			fmt.Println(" ", r)
+		}
+		fmt.Println()
+	}
+	if *all || *ablations {
+		ran = true
+		fmt.Println("Ablations:")
+		fmt.Println()
+		ca, err := bench.RunClusteringAblation()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("  %s (%s)\n    %v\n", ca.Name, ca.Detail, ca.Metrics)
+		va, err := bench.RunVirtKeysAblation(20)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("  %s (%s)\n    %v\n", va.Name, va.Detail, va.Metrics)
+		for _, kind := range []string{"mpk", "vtx"} {
+			k := map[string]int{"mpk": 1, "vtx": 2}[kind]
+			sa, err := bench.RunSchedulerAblation(benchKind(k), 8, 10)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("  %s (%s)\n    %v\n", sa.Name, sa.Detail, sa.Metrics)
+		}
+		fmt.Println()
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,163 @@
+// Package enclosure is the public API of the Enclosure/LitterBox
+// reproduction: a programming-language construct for library isolation
+// (ASPLOS 2021, Ghosn et al.) over a simulated hardware substrate.
+//
+// An enclosure binds a closure to a memory view — per-package access
+// rights — and a system-call filter, both dynamically scoped: they
+// apply to the closure's body and everything it invokes, however deep.
+// By default only the closure's natural dependencies are accessible and
+// no system calls are permitted. LitterBox enforces the policies with a
+// simulated hardware mechanism behind one API: Intel MPK (protection
+// keys, with libmpk-style key virtualisation), Intel VT-x
+// (per-environment page tables), or the paper's projected CHERI
+// capability machine; Baseline replaces enclosures with vanilla
+// closures for comparison.
+//
+// Quick start:
+//
+//	b := enclosure.New(enclosure.MPK)
+//	b.Package(enclosure.PackageSpec{Name: "main", Imports: []string{"libFx"},
+//	    Vars: map[string]int{"secret": 64}})
+//	b.Package(enclosure.PackageSpec{Name: "libFx", Funcs: map[string]enclosure.Func{
+//	    "Work": func(t *enclosure.Task, args ...enclosure.Value) ([]enclosure.Value, error) {
+//	        in := args[0].(enclosure.Ref)
+//	        data := t.ReadBytes(in) // read-only: writes would fault
+//	        return []enclosure.Value{len(data)}, nil
+//	    }}})
+//	b.Enclosure("work", "main", "main:R; sys:none",
+//	    func(t *enclosure.Task, args ...enclosure.Value) ([]enclosure.Value, error) {
+//	        return t.Call("libFx", "Work", args...)
+//	    }, "libFx")
+//	prog, err := b.Build()
+//	// prog.Run(...), prog.MustEnclosure("work").Call(task, ref)
+//
+// A protection violation — reading a package outside the view, writing
+// read-only data, invoking an unmapped package's functions, or issuing
+// a filtered system call — faults and aborts the simulated program;
+// the fault is returned from Program.Run.
+package enclosure
+
+import (
+	"errors"
+
+	"github.com/litterbox-project/enclosure/internal/core"
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+)
+
+// Core types, re-exported.
+type (
+	// Backend selects the LitterBox enforcement mechanism.
+	Backend = core.BackendKind
+	// Builder assembles a simulated program (the compiler/linker role).
+	Builder = core.Builder
+	// Program is a built, runnable simulated program.
+	Program = core.Program
+	// Task is one simulated goroutine's enforced execution context.
+	Task = core.Task
+	// Func is a package function or enclosure body.
+	Func = core.Func
+	// Value is a host-level value passed between package functions.
+	Value = core.Value
+	// Ref is a pointer (base + length) into simulated memory.
+	Ref = core.Ref
+	// PackageSpec declares one program package.
+	PackageSpec = core.PackageSpec
+	// Enclosure is a closure permanently bound to a policy.
+	Enclosure = core.Enclosure
+	// Handle joins a spawned simulated goroutine.
+	Handle = core.Handle
+	// Sched is a cooperative user-level scheduler multiplexing threads
+	// over one virtual CPU via LitterBox's Execute hook (§4.2).
+	Sched = core.Sched
+	// SchedThread is one user-level thread managed by a Sched.
+	SchedThread = core.SchedThread
+	// Fault is a protection violation that aborted the program.
+	Fault = litterbox.Fault
+	// Policy is the structured form of an enclosure policy literal.
+	Policy = litterbox.Policy
+	// Sysno is a simulated system-call number.
+	Sysno = kernel.Nr
+	// Errno is a simulated kernel error number.
+	Errno = kernel.Errno
+)
+
+// Backend kinds.
+const (
+	// Baseline replaces enclosures with vanilla closures (no isolation).
+	Baseline = core.Baseline
+	// MPK enforces with simulated Intel Memory Protection Keys.
+	MPK = core.MPK
+	// VTX enforces with a simulated Intel VT-x virtual machine.
+	VTX = core.VTX
+	// CHERI enforces with a simulated capability machine — the paper's
+	// projected future backend (§7/§8), byte-granular and switch-cheap.
+	// Its costs are projections, not paper measurements.
+	CHERI = core.CHERI
+)
+
+// Backends lists all backend kinds, baseline first.
+var Backends = core.Backends
+
+// Common system calls for package code (the full table lives in the
+// simulated kernel; categories follow the paper's SysFilter groups).
+const (
+	SysRead    = kernel.NrRead
+	SysWrite   = kernel.NrWrite
+	SysClose   = kernel.NrClose
+	SysOpen    = kernel.NrOpen
+	SysUnlink  = kernel.NrUnlink
+	SysSocket  = kernel.NrSocket
+	SysBind    = kernel.NrBind
+	SysListen  = kernel.NrListen
+	SysAccept  = kernel.NrAccept
+	SysConnect = kernel.NrConnect
+	SysSend    = kernel.NrSend
+	SysRecv    = kernel.NrRecv
+	SysGetuid  = kernel.NrGetuid
+	SysGetpid  = kernel.NrGetpid
+)
+
+// Errno values callers commonly branch on.
+const (
+	OK       = kernel.OK
+	ENOENT   = kernel.ENOENT
+	EBADF    = kernel.EBADF
+	EACCES   = kernel.EACCES
+	ESECCOMP = kernel.ESECCOMP
+)
+
+// Open flags for SysOpen.
+const (
+	ORdonly = kernel.ORdonly
+	OWronly = kernel.OWronly
+	OCreat  = kernel.OCreat
+	OTrunc  = kernel.OTrunc
+	OAppend = kernel.OAppend
+)
+
+// New returns a program builder targeting the given backend.
+func New(backend Backend) *Builder { return core.NewBuilder(backend) }
+
+// DefaultHostIP returns the simulated program's own network address
+// (10.0.0.1); external drivers dial simulated listeners with it.
+func DefaultHostIP() uint32 { return core.DefaultHostIP }
+
+// Program-wide policies (§3.2) are declared with Builder.EnclosePackage,
+// which wraps every non-enclosed call into a package in an
+// auto-generated enclosure — the automation the paper suggests a
+// compiler could perform. See Builder.EnclosePackage.
+
+// ParsePolicy parses a policy literal in the paper's syntax, e.g.
+// "secrets:R; sys:none" or "sys:net,io; connect:10.0.0.2".
+func ParsePolicy(s string) (Policy, error) { return core.ParsePolicy(s) }
+
+// AsFault extracts the protection fault from an error returned by
+// Program.Run or Handle.Join, if there is one.
+func AsFault(err error) (*Fault, bool) {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f, true
+	}
+	return nil, false
+}

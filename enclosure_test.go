@@ -1,0 +1,113 @@
+package enclosure_test
+
+import (
+	"testing"
+
+	"github.com/litterbox-project/enclosure"
+)
+
+// buildDoc builds the package-documentation example program.
+func buildDoc(t *testing.T, backend enclosure.Backend, work enclosure.Func) *enclosure.Program {
+	t.Helper()
+	b := enclosure.New(backend)
+	b.Package(enclosure.PackageSpec{
+		Name:    "main",
+		Imports: []string{"libFx"},
+		Vars:    map[string]int{"secret": 64},
+	})
+	b.Package(enclosure.PackageSpec{
+		Name:  "libFx",
+		Funcs: map[string]enclosure.Func{"Work": work},
+	})
+	b.Enclosure("work", "main", "main:R; sys:none",
+		func(t *enclosure.Task, args ...enclosure.Value) ([]enclosure.Value, error) {
+			return t.Call("libFx", "Work", args...)
+		}, "libFx")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestPublicAPIQuickStart(t *testing.T) {
+	for _, backend := range enclosure.Backends {
+		t.Run(backend.String(), func(t *testing.T) {
+			prog := buildDoc(t, backend, func(task *enclosure.Task, args ...enclosure.Value) ([]enclosure.Value, error) {
+				in := args[0].(enclosure.Ref)
+				data := task.ReadBytes(in)
+				return []enclosure.Value{len(data)}, nil
+			})
+			err := prog.Run(func(task *enclosure.Task) error {
+				secret, err := prog.VarRef("main", "secret")
+				if err != nil {
+					return err
+				}
+				res, err := prog.MustEnclosure("work").Call(task, secret)
+				if err != nil {
+					return err
+				}
+				if res[0].(int) != 64 {
+					t.Errorf("Work returned %v", res[0])
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestPublicAPIFaultSurface(t *testing.T) {
+	prog := buildDoc(t, enclosure.MPK, func(task *enclosure.Task, args ...enclosure.Value) ([]enclosure.Value, error) {
+		task.Store8(args[0].(enclosure.Ref).Addr, 0) // main is read-only
+		return nil, nil
+	})
+	err := prog.Run(func(task *enclosure.Task) error {
+		secret, _ := prog.VarRef("main", "secret")
+		_, err := prog.MustEnclosure("work").Call(task, secret)
+		return err
+	})
+	fault, ok := enclosure.AsFault(err)
+	if !ok {
+		t.Fatalf("AsFault(%v) = false", err)
+	}
+	if fault.Op != "write" {
+		t.Errorf("fault op %q", fault.Op)
+	}
+	if _, ok := enclosure.AsFault(nil); ok {
+		t.Error("AsFault(nil)")
+	}
+}
+
+func TestPublicAPIPolicyParsing(t *testing.T) {
+	p, err := enclosure.ParsePolicy("a:R; sys:net,io; connect:10.0.0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Mods) != 1 || len(p.ConnectAllow) != 1 {
+		t.Fatalf("parsed %+v", p)
+	}
+	if _, err := enclosure.ParsePolicy("sys:warp"); err == nil {
+		t.Fatal("bad policy parsed")
+	}
+}
+
+func TestPublicAPISyscallsFromTrusted(t *testing.T) {
+	prog := buildDoc(t, enclosure.VTX, func(task *enclosure.Task, args ...enclosure.Value) ([]enclosure.Value, error) {
+		return []enclosure.Value{0}, nil
+	})
+	err := prog.Run(func(task *enclosure.Task) error {
+		if uid, errno := task.Syscall(enclosure.SysGetuid); errno != enclosure.OK || uid != 1000 {
+			t.Errorf("getuid = %d, %v", uid, errno)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enclosure.DefaultHostIP() == 0 {
+		t.Error("DefaultHostIP zero")
+	}
+}

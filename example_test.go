@@ -1,0 +1,98 @@
+package enclosure_test
+
+import (
+	"fmt"
+
+	"github.com/litterbox-project/enclosure"
+)
+
+// Example reproduces the paper's Figure 1 in miniature: an enclosure
+// grants a public package read-only access to a secret and no system
+// calls; the legitimate computation succeeds and a tampering attempt
+// faults.
+func Example() {
+	b := enclosure.New(enclosure.MPK)
+	b.Package(enclosure.PackageSpec{
+		Name:    "main",
+		Imports: []string{"libFx"},
+		Vars:    map[string]int{"image": 8},
+	})
+	b.Package(enclosure.PackageSpec{
+		Name: "libFx",
+		Funcs: map[string]enclosure.Func{
+			"Invert": func(t *enclosure.Task, args ...enclosure.Value) ([]enclosure.Value, error) {
+				in := args[0].(enclosure.Ref)
+				data := t.ReadBytes(in)
+				for i := range data {
+					data[i] = ^data[i]
+				}
+				return []enclosure.Value{t.NewBytes(data)}, nil
+			},
+		},
+	})
+	b.Enclosure("rcl", "main", "main:R; sys:none",
+		func(t *enclosure.Task, args ...enclosure.Value) ([]enclosure.Value, error) {
+			return t.Call("libFx", "Invert", args...)
+		}, "libFx")
+	prog, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+
+	err = prog.Run(func(t *enclosure.Task) error {
+		img, err := prog.VarRef("main", "image")
+		if err != nil {
+			return err
+		}
+		t.WriteBytes(img, []byte{0x00, 0x0F, 0xF0, 0xFF, 1, 2, 3, 4})
+		out, err := prog.MustEnclosure("rcl").Call(t, img)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("inverted: %x\n", t.ReadBytes(out[0].(enclosure.Ref))[:4])
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output: inverted: fff00f00
+}
+
+// ExampleAsFault shows how a policy violation surfaces: the enclosure
+// writes the read-only secret, the program aborts, and Run returns the
+// fault.
+func ExampleAsFault() {
+	b := enclosure.New(enclosure.VTX)
+	b.Package(enclosure.PackageSpec{Name: "main", Imports: []string{"lib"},
+		Vars: map[string]int{"secret": 8}})
+	b.Package(enclosure.PackageSpec{Name: "lib", Funcs: map[string]enclosure.Func{
+		"Tamper": func(t *enclosure.Task, args ...enclosure.Value) ([]enclosure.Value, error) {
+			t.Store8(args[0].(enclosure.Ref).Addr, 0xFF)
+			return nil, nil
+		},
+	}})
+	b.Enclosure("e", "main", "main:R; sys:none",
+		func(t *enclosure.Task, args ...enclosure.Value) ([]enclosure.Value, error) {
+			return t.Call("lib", "Tamper", args...)
+		}, "lib")
+	prog, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	err = prog.Run(func(t *enclosure.Task) error {
+		secret, _ := prog.VarRef("main", "secret")
+		_, err := prog.MustEnclosure("e").Call(t, secret)
+		return err
+	})
+	if f, ok := enclosure.AsFault(err); ok {
+		fmt.Println("violation:", f.Op)
+	}
+	// Output: violation: write
+}
+
+// ExampleParsePolicy demonstrates the policy literal syntax.
+func ExampleParsePolicy() {
+	p, _ := enclosure.ParsePolicy("secrets:R; sys:net,io; connect:10.0.0.2")
+	fmt.Println(p.String())
+	// Output: secrets:R; sys:net,io; connect:0xa000002
+}

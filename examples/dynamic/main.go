@@ -1,0 +1,103 @@
+// Dynamic: run-time imports (§5.2).
+//
+// Dynamic languages import modules lazily, and "the execution of an
+// enclosure can trigger new imports, so LitterBox's default policy
+// makes these new packages available to the executing enclosure". Here
+// an enclosed report generator pulls in a formatting module on first
+// use; the import extends only *its* view — a second enclosure that
+// never imported the module cannot touch it, and the application's
+// secret stays protected throughout.
+//
+//	go run ./examples/dynamic [-backend mpk|vtx|cheri]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/litterbox-project/enclosure"
+)
+
+func main() {
+	backendName := flag.String("backend", "mpk", "baseline|mpk|vtx|cheri")
+	flag.Parse()
+	backend := map[string]enclosure.Backend{
+		"baseline": enclosure.Baseline, "mpk": enclosure.MPK,
+		"vtx": enclosure.VTX, "cheri": enclosure.CHERI,
+	}[*backendName]
+
+	b := enclosure.New(backend)
+	b.Package(enclosure.PackageSpec{
+		Name:    "main",
+		Imports: []string{"reportgen", "audit"},
+		Vars:    map[string]int{"api_key": 32},
+	})
+	b.Package(enclosure.PackageSpec{
+		Name: "reportgen",
+		Funcs: map[string]enclosure.Func{
+			"Generate": func(t *enclosure.Task, args ...enclosure.Value) ([]enclosure.Value, error) {
+				// First use: lazily import the formatter.
+				err := t.ImportDynamic(enclosure.PackageSpec{
+					Name: "fmtlib", Origin: "public", LOC: 12000,
+					Consts: map[string][]byte{"style": []byte("** %s **")},
+					Funcs: map[string]enclosure.Func{
+						"Bold": func(t *enclosure.Task, args ...enclosure.Value) ([]enclosure.Value, error) {
+							s := args[0].(string)
+							return []enclosure.Value{"** " + s + " **"}, nil
+						},
+					},
+				})
+				if err != nil {
+					return nil, err
+				}
+				return t.Call("fmtlib", "Bold", "Q2 report")
+			},
+		},
+	})
+	b.Package(enclosure.PackageSpec{
+		Name: "audit",
+		Funcs: map[string]enclosure.Func{
+			"Probe": func(t *enclosure.Task, args ...enclosure.Value) ([]enclosure.Value, error) {
+				style, err := t.Prog().ConstRef("fmtlib", "style")
+				if err != nil {
+					return nil, err
+				}
+				_ = t.ReadBytes(style) // not in this enclosure's view
+				return nil, nil
+			},
+		},
+	})
+	b.Enclosure("report", "main", "sys:none",
+		func(t *enclosure.Task, args ...enclosure.Value) ([]enclosure.Value, error) {
+			return t.Call("reportgen", "Generate")
+		}, "reportgen")
+	b.Enclosure("audit", "main", "sys:none",
+		func(t *enclosure.Task, args ...enclosure.Value) ([]enclosure.Value, error) {
+			return t.Call("audit", "Probe")
+		}, "audit")
+	prog, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	err = prog.Run(func(t *enclosure.Task) error {
+		res, err := prog.MustEnclosure("report").Call(t)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("[%s] report enclosure imported fmtlib lazily and produced: %q\n",
+			backend, res[0].(string))
+
+		_, err = prog.MustEnclosure("audit").Call(t)
+		return err
+	})
+	if f, ok := enclosure.AsFault(err); ok {
+		fmt.Printf("[%s] audit enclosure (which never imported fmtlib) faulted, as designed:\n  %v\n", backend, f)
+		return
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("unexpected: audit enclosure read the dynamic module")
+}

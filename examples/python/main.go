@@ -1,0 +1,42 @@
+// Python: the §6.4 dynamic-language frontend experiments.
+//
+// A Python program encloses matplotlib; a secret module's data is
+// shared read-only with the closure, which plots it and writes the
+// result to disk. Because CPython co-locates data and metadata
+// (refcounts, GC list pointers live in object headers), the
+// conservative prototype performs a controlled switch to the trusted
+// environment on every metadata access — nearly a million switches and
+// ~18× under LB_VTX. Simulating decoupled metadata drops it to ~1.4×,
+// dominated by the enclosure's one-time delayed initialisation.
+//
+//	go run ./examples/python
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/litterbox-project/enclosure"
+	"github.com/litterbox-project/enclosure/internal/pyfront"
+)
+
+func main() {
+	fmt.Println("§6.4 Python enclosures: plotting a secret with matplotlib under LB_VTX")
+	fmt.Println()
+	for _, mode := range []pyfront.Mode{pyfront.Conservative, pyfront.Decoupled, pyfront.Separated} {
+		r, err := pyfront.RunExperiment(enclosure.VTX, mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-13s  baseline %6.1fms  enclosed %6.1fms  slowdown %5.2fx\n",
+			r.Mode, float64(r.BaselineNs)/1e6, float64(r.TotalNs)/1e6, r.Slowdown)
+		fmt.Printf("               trusted-env switches: %d\n", r.Switches)
+		fmt.Printf("               delayed init: %.1f%% of overhead, syscalls: %.2f%%\n",
+			r.InitShare*100, r.SysShare*100)
+		fmt.Printf("               plot written to /tmp/plot.png (%d bytes)\n\n", r.PlotBytes)
+	}
+	fmt.Println("Conclusion (paper): decoupling CPython object data from metadata")
+	fmt.Println("is the key enabler for efficient Python enclosures. The 'separated'")
+	fmt.Println("run implements that future work: headers live in a metadata arena")
+	fmt.Println("the enclosure may write, while the secret itself stays read-only.")
+}

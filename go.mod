@@ -1,0 +1,3 @@
+module github.com/litterbox-project/enclosure
+
+go 1.22

@@ -1,0 +1,159 @@
+package bild_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/litterbox-project/enclosure/internal/apps/bild"
+	"github.com/litterbox-project/enclosure/internal/core"
+)
+
+func buildApp(t *testing.T, kind core.BackendKind) *core.Program {
+	t.Helper()
+	b := core.NewBuilder(kind)
+	b.Package(core.PackageSpec{
+		Name:    "main",
+		Imports: []string{bild.Pkg},
+		Vars:    map[string]int{"img": 64 * 64 * bild.BytesPerPixel},
+		Origin:  "app",
+	})
+	bild.Register(b)
+	b.Enclosure("process", "main", "main:R; sys:none",
+		func(t *core.Task, args ...core.Value) ([]core.Value, error) {
+			fn := args[0].(string)
+			return t.Call(bild.Pkg, fn, args[1:]...)
+		}, bild.Pkg)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func loadImage(t *testing.T, prog *core.Program, task *core.Task) (core.Ref, []byte) {
+	t.Helper()
+	img, err := prog.VarRef("main", "img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pixels := make([]byte, img.Size)
+	for i := range pixels {
+		pixels[i] = byte(i * 13)
+	}
+	task.WriteBytes(img, pixels)
+	return img, pixels
+}
+
+func TestInvertCorrect(t *testing.T) {
+	for _, kind := range core.Backends {
+		t.Run(kind.String(), func(t *testing.T) {
+			prog := buildApp(t, kind)
+			err := prog.Run(func(task *core.Task) error {
+				img, pixels := loadImage(t, prog, task)
+				res, err := prog.MustEnclosure("process").Call(task, "Invert", img, 64, 64)
+				if err != nil {
+					return err
+				}
+				got := task.ReadBytes(res[0].(core.Ref))
+				for i := range pixels {
+					pixels[i] = ^pixels[i]
+				}
+				if !bytes.Equal(got, pixels) {
+					t.Error("invert mismatch")
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	prog := buildApp(t, core.MPK)
+	err := prog.Run(func(task *core.Task) error {
+		img, _ := loadImage(t, prog, task)
+		seq, err := prog.MustEnclosure("process").Call(task, "Invert", img, 64, 64)
+		if err != nil {
+			return err
+		}
+		par, err := prog.MustEnclosure("process").Call(task, "InvertParallel", img, 64, 64)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(task.ReadBytes(seq[0].(core.Ref)), task.ReadBytes(par[0].(core.Ref))) {
+			t.Error("parallel and sequential inverts differ")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrayscale(t *testing.T) {
+	prog := buildApp(t, core.VTX)
+	err := prog.Run(func(task *core.Task) error {
+		img, pixels := loadImage(t, prog, task)
+		res, err := prog.MustEnclosure("process").Call(task, "Grayscale", img, 64, 64)
+		if err != nil {
+			return err
+		}
+		got := task.ReadBytes(res[0].(core.Ref))
+		// Every pixel's RGB channels must be equal (luma) and match the
+		// Rec. 601 formula.
+		for i := 0; i+3 < len(got); i += 4 {
+			if got[i] != got[i+1] || got[i] != got[i+2] {
+				t.Fatalf("pixel %d not gray: %v", i/4, got[i:i+4])
+			}
+			want := byte((299*int(pixels[i]) + 587*int(pixels[i+1]) + 114*int(pixels[i+2])) / 1000)
+			if got[i] != want {
+				t.Fatalf("pixel %d luma %d, want %d", i/4, got[i], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDimensionMismatchRejected(t *testing.T) {
+	prog := buildApp(t, core.Baseline)
+	err := prog.Run(func(task *core.Task) error {
+		img, _ := loadImage(t, prog, task)
+		_, err := prog.MustEnclosure("process").Call(task, "Invert", img, 99, 99)
+		if err == nil {
+			t.Error("wrong dimensions accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewImageAllocatesInBildArena(t *testing.T) {
+	prog := buildApp(t, core.MPK)
+	err := prog.Run(func(task *core.Task) error {
+		res, err := prog.MustEnclosure("process").Call(task, "New", 8, 8)
+		if err != nil {
+			return err
+		}
+		ref := res[0].(core.Ref)
+		if owner := prog.Heap().OwnerOf(ref.Addr); owner != bild.Pkg {
+			t.Errorf("image owned by %q", owner)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnclosedLOCMatchesTable2(t *testing.T) {
+	if got := bild.EnclosedLOC(); got < 160000 || got > 175000 {
+		t.Fatalf("EnclosedLOC = %d, paper reports 166K", got)
+	}
+}

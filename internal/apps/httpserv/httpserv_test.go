@@ -1,0 +1,53 @@
+package httpserv
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStaticPage(t *testing.T) {
+	p := StaticPage()
+	if len(p) != PageSize13KB {
+		t.Fatalf("page size %d, want %d", len(p), PageSize13KB)
+	}
+	if !strings.HasPrefix(string(p), "<html>") {
+		t.Fatalf("page prefix %q", p[:20])
+	}
+	// Deterministic across calls.
+	if string(p) != string(StaticPage()) {
+		t.Fatal("StaticPage not deterministic")
+	}
+}
+
+func TestParseRequest(t *testing.T) {
+	cases := []struct {
+		raw          string
+		method, path string
+	}{
+		{"GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n", "GET", "/index.html"},
+		{"POST /save HTTP/1.1\r\n\r\nbody", "POST", "/save"},
+		{"GET /quit HTTP/1.1\r\n\r\n", "GET", "/quit"},
+		{"garbage", "GET", "/"},
+		{"", "GET", "/"},
+	}
+	for _, c := range cases {
+		m, p := parseRequest(c.raw)
+		if m != c.method || p != c.path {
+			t.Errorf("parseRequest(%.20q) = %s %s, want %s %s", c.raw, m, p, c.method, c.path)
+		}
+	}
+}
+
+func TestDepsDeclared(t *testing.T) {
+	// The server's stdlib dependency closure must name net and bufio —
+	// the packages the handler enclosure must NOT see.
+	names := map[string]bool{}
+	for _, d := range Deps {
+		names[d.Name] = true
+	}
+	for _, want := range []string{"net", "bufio", "net/textproto", "crypto/tls"} {
+		if !names[want] {
+			t.Errorf("missing dependency %s", want)
+		}
+	}
+}

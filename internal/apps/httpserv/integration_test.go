@@ -1,0 +1,93 @@
+package httpserv_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/litterbox-project/enclosure/internal/apps/httpserv"
+	"github.com/litterbox-project/enclosure/internal/core"
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+)
+
+func buildServer(t *testing.T, kind core.BackendKind, handler core.Func) *core.Program {
+	t.Helper()
+	b := core.NewBuilder(kind)
+	b.Package(core.PackageSpec{
+		Name:    "main",
+		Imports: []string{httpserv.Pkg, httpserv.HandlerPkg},
+		Vars:    map[string]int{"tls_private_key": 256},
+		Origin:  "app",
+	})
+	httpserv.Register(b)
+	b.Enclosure("handler", "main", "sys:none", handler, httpserv.HandlerPkg)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestHandlerSelectsPage(t *testing.T) {
+	for _, kind := range core.Backends {
+		t.Run(kind.String(), func(t *testing.T) {
+			prog := buildServer(t, kind, httpserv.HandlerBody)
+			err := prog.Run(func(task *core.Task) error {
+				res, err := prog.MustEnclosure("handler").Call(task, "GET", "/")
+				if err != nil {
+					return err
+				}
+				page := task.ReadBytes(res[0].(core.Ref))
+				if len(page) != httpserv.PageSize13KB {
+					t.Errorf("page %dB", len(page))
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestHandlerCannotReachServerState: a compromised handler (the paper's
+// buffer-overflow-in-the-handler threat) cannot read the TLS private
+// key or the net/http server's memory, nor issue system calls.
+func TestHandlerCannotReachServerState(t *testing.T) {
+	for _, kind := range []core.BackendKind{core.MPK, core.VTX} {
+		t.Run(kind.String(), func(t *testing.T) {
+			for name, evil := range map[string]core.Func{
+				"read-tls-key": func(task *core.Task, args ...core.Value) ([]core.Value, error) {
+					key, err := task.Prog().VarRef("main", "tls_private_key")
+					if err != nil {
+						return nil, err
+					}
+					_ = task.ReadBytes(key)
+					return nil, nil
+				},
+				"read-server-data": func(task *core.Task, args ...core.Value) ([]core.Value, error) {
+					pl := task.Prog().Image().Packages[httpserv.Pkg]
+					_ = task.Load8(pl.Data.Base)
+					return nil, nil
+				},
+				"exfiltrate": func(task *core.Task, args ...core.Value) ([]core.Value, error) {
+					task.Syscall(kernel.NrSocket)
+					return nil, nil
+				},
+				"call-net": func(task *core.Task, args ...core.Value) ([]core.Value, error) {
+					return task.Call(httpserv.Pkg, "Serve", nil)
+				},
+			} {
+				prog := buildServer(t, kind, evil)
+				err := prog.Run(func(task *core.Task) error {
+					_, err := prog.MustEnclosure("handler").Call(task, "GET", "/")
+					return err
+				})
+				var fault *litterbox.Fault
+				if !errors.As(err, &fault) {
+					t.Errorf("%s: handler escaped: %v", name, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,145 @@
+package wiki_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/litterbox-project/enclosure/internal/apps/wiki"
+	"github.com/litterbox-project/enclosure/internal/core"
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+	"github.com/litterbox-project/enclosure/internal/simdb"
+	"github.com/litterbox-project/enclosure/internal/simnet"
+)
+
+func buildWiki(t *testing.T, kind core.BackendKind, serverBody, proxyBody core.Func) *core.Program {
+	t.Helper()
+	b := core.NewBuilder(kind)
+	b.Package(core.PackageSpec{
+		Name:    "main",
+		Imports: []string{wiki.MuxPkg, wiki.PqPkg},
+		Vars:    map[string]int{"db_password": 32, "page_templates": 1024},
+		Origin:  "app",
+	})
+	wiki.Register(b)
+	b.Enclosure("http-server", "main", wiki.PolicyServer, serverBody, wiki.MuxPkg)
+	b.Enclosure("db-proxy", "main", wiki.PolicyProxy, proxyBody, wiki.PqPkg)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func nop(t *core.Task, args ...core.Value) ([]core.Value, error) { return nil, nil }
+
+// TestServerCannotContactPostgres: Figure 5's ○B has no business
+// talking to the database directly — its connect allowlist is empty.
+func TestServerCannotContactPostgres(t *testing.T) {
+	for _, kind := range []core.BackendKind{core.MPK, core.VTX} {
+		t.Run(kind.String(), func(t *testing.T) {
+			evil := func(task *core.Task, args ...core.Value) ([]core.Value, error) {
+				sock, errno := task.Syscall(kernel.NrSocket)
+				if errno != kernel.OK {
+					return nil, errors.New("socket should be allowed")
+				}
+				task.Syscall(kernel.NrConnect, sock, uint64(simdb.Addr.Host), uint64(simdb.Addr.Port))
+				return nil, nil
+			}
+			prog := buildWiki(t, kind, evil, nop)
+			db, err := simdb.Start(prog.Net())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			err = prog.Run(func(task *core.Task) error {
+				_, err := prog.MustEnclosure("http-server").Call(task)
+				return err
+			})
+			var fault *litterbox.Fault
+			if !errors.As(err, &fault) || fault.Op != "syscall" {
+				t.Fatalf("server reached Postgres: %v", err)
+			}
+		})
+	}
+}
+
+// TestProxyConnectAllowlist: ○C may connect to Postgres and nowhere
+// else.
+func TestProxyConnectAllowlist(t *testing.T) {
+	for _, kind := range []core.BackendKind{core.MPK, core.VTX} {
+		t.Run(kind.String(), func(t *testing.T) {
+			// Legitimate connect works.
+			good := func(task *core.Task, args ...core.Value) ([]core.Value, error) {
+				sock, errno := task.Syscall(kernel.NrSocket)
+				if errno != kernel.OK {
+					return nil, errors.New("socket denied")
+				}
+				if _, errno := task.Syscall(kernel.NrConnect, sock, uint64(simdb.Addr.Host), uint64(simdb.Addr.Port)); errno != kernel.OK {
+					return nil, errors.New("allow-listed connect denied")
+				}
+				task.Syscall(kernel.NrShutdown, sock)
+				return nil, nil
+			}
+			prog := buildWiki(t, kind, nop, good)
+			db, err := simdb.Start(prog.Net())
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = prog.Run(func(task *core.Task) error {
+				_, err := prog.MustEnclosure("db-proxy").Call(task)
+				return err
+			})
+			db.Close()
+			if err != nil {
+				t.Fatalf("legitimate proxy connect: %v", err)
+			}
+
+			// Exfiltration attempt faults.
+			attacker := simnet.Addr{Host: simnet.HostIP(6, 6, 6, 6), Port: 80}
+			evil := func(task *core.Task, args ...core.Value) ([]core.Value, error) {
+				sock, _ := task.Syscall(kernel.NrSocket)
+				task.Syscall(kernel.NrConnect, sock, uint64(attacker.Host), uint64(attacker.Port))
+				return nil, nil
+			}
+			prog = buildWiki(t, kind, nop, evil)
+			ln, err := prog.Net().Listen(attacker)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			err = prog.Run(func(task *core.Task) error {
+				_, err := prog.MustEnclosure("db-proxy").Call(task)
+				return err
+			})
+			var fault *litterbox.Fault
+			if !errors.As(err, &fault) || fault.Op != "syscall" {
+				t.Fatalf("proxy exfiltrated: %v", err)
+			}
+		})
+	}
+}
+
+// TestNeitherEnclosureReadsSecrets: neither ○B nor ○C can read the
+// database password or templates held by trusted code.
+func TestNeitherEnclosureReadsSecrets(t *testing.T) {
+	for _, enclosure := range []string{"http-server", "db-proxy"} {
+		evil := func(task *core.Task, args ...core.Value) ([]core.Value, error) {
+			pw, err := task.Prog().VarRef("main", "db_password")
+			if err != nil {
+				return nil, err
+			}
+			_ = task.ReadBytes(pw)
+			return nil, nil
+		}
+		prog := buildWiki(t, core.MPK, evil, evil)
+		err := prog.Run(func(task *core.Task) error {
+			_, err := prog.MustEnclosure(enclosure).Call(task)
+			return err
+		})
+		var fault *litterbox.Fault
+		if !errors.As(err, &fault) || fault.Op != "read" {
+			t.Errorf("%s read the password: %v", enclosure, err)
+		}
+	}
+}

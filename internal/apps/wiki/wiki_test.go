@@ -1,0 +1,42 @@
+package wiki
+
+import (
+	"testing"
+)
+
+func TestRoute(t *testing.T) {
+	cases := []struct {
+		raw              string
+		kind, page, body string
+	}{
+		{"GET /view/welcome HTTP/1.1\r\n\r\n", "view", "welcome", ""},
+		{"POST /save/p1 HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello", "save", "p1", "hello"},
+		{"GET /quit HTTP/1.1\r\n\r\n", "quit", "", ""},
+		{"GET / HTTP/1.1\r\n\r\n", "view", "welcome", ""},
+		{"BREW /coffee HTCPCP/1.0\r\n\r\n", "view", "welcome", ""},
+		{"junk", "view", "welcome", ""},
+	}
+	for _, c := range cases {
+		kind, page, body := route(c.raw)
+		if kind != c.kind || page != c.page || body != c.body {
+			t.Errorf("route(%.30q) = (%s,%s,%q), want (%s,%s,%q)",
+				c.raw, kind, page, body, c.kind, c.page, c.body)
+		}
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	// The server may never connect anywhere; the proxy only to Postgres.
+	if PolicyServer != "sys:net,io; connect:none" {
+		t.Errorf("PolicyServer = %q", PolicyServer)
+	}
+	if PolicyProxy != "sys:net,io; connect:10.0.0.2" {
+		t.Errorf("PolicyProxy = %q", PolicyProxy)
+	}
+}
+
+func TestFortyFourPublicDeps(t *testing.T) {
+	if len(muxDeps)+len(pqDeps)+2 != PublicDeps {
+		t.Fatalf("public packages = %d, paper reports 44", len(muxDeps)+len(pqDeps)+2)
+	}
+}

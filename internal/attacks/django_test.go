@@ -1,0 +1,54 @@
+package attacks
+
+import (
+	"testing"
+
+	"github.com/litterbox-project/enclosure/internal/core"
+)
+
+func TestDjangoCloneBenignServes(t *testing.T) {
+	// A clean framework under the secured-callback enclosure serves
+	// pages normally — the policy does not break legitimate Django.
+	for _, kind := range []core.BackendKind{core.MPK, core.VTX} {
+		t.Run(kind.String(), func(t *testing.T) {
+			rep, err := RunDjangoClone(kind, true, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.LegitOK {
+				t.Errorf("benign enclosed django failed to serve: %+v", rep)
+			}
+			if rep.Blocked {
+				t.Errorf("benign django faulted: %+v", rep)
+			}
+		})
+	}
+}
+
+func TestDjangoCloneInfectedBlocked(t *testing.T) {
+	// The infected clone's memory scrape faults on the first request.
+	for _, kind := range []core.BackendKind{core.MPK, core.VTX} {
+		t.Run(kind.String(), func(t *testing.T) {
+			rep, err := RunDjangoClone(kind, true, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Blocked {
+				t.Errorf("infected django not blocked: %+v", rep)
+			}
+		})
+	}
+}
+
+func TestDjangoCloneInfectedUnprotectedSteals(t *testing.T) {
+	rep, err := RunDjangoClone(core.Baseline, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.LegitOK {
+		t.Errorf("unprotected django did not even serve: %+v", rep)
+	}
+	if rep.Blocked {
+		t.Errorf("baseline blocked something: %+v", rep)
+	}
+}

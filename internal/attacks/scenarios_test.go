@@ -1,0 +1,152 @@
+package attacks
+
+import (
+	"testing"
+
+	"github.com/litterbox-project/enclosure/internal/core"
+)
+
+func enforcing(t *testing.T, fn func(t *testing.T, kind core.BackendKind)) {
+	t.Helper()
+	for _, kind := range []core.BackendKind{core.MPK, core.VTX} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) { fn(t, kind) })
+	}
+}
+
+func TestSSHDecoratorUnprotectedLeaksCredentials(t *testing.T) {
+	rep, err := RunSSHDecorator(core.Baseline, NoMitigation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.LegitOK {
+		t.Errorf("legit SSH functionality failed: %+v", rep)
+	}
+	if rep.LootBytes == 0 {
+		t.Errorf("expected credential exfiltration without protection, got none")
+	}
+}
+
+func TestSSHDecoratorPreallocatedSocketBlocks(t *testing.T) {
+	enforcing(t, func(t *testing.T, kind core.BackendKind) {
+		rep, err := RunSSHDecorator(kind, PreallocatedSocket)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Blocked {
+			t.Errorf("attack not blocked: %+v", rep)
+		}
+		if !rep.LegitOK {
+			t.Errorf("legit SSH over the pre-allocated socket failed: %+v", rep)
+		}
+		if rep.LootBytes != 0 {
+			t.Errorf("attacker received %d bytes", rep.LootBytes)
+		}
+	})
+}
+
+func TestSSHDecoratorConnectAllowlistBlocks(t *testing.T) {
+	enforcing(t, func(t *testing.T, kind core.BackendKind) {
+		rep, err := RunSSHDecorator(kind, ConnectAllowlist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Blocked {
+			t.Errorf("attack not blocked: %+v", rep)
+		}
+		if !rep.LegitOK {
+			t.Errorf("legit SSH via allow-listed connect failed: %+v", rep)
+		}
+		if rep.LootBytes != 0 {
+			t.Errorf("attacker received %d bytes", rep.LootBytes)
+		}
+	})
+}
+
+func TestKeyStealerDefaultPolicyBlocks(t *testing.T) {
+	enforcing(t, func(t *testing.T, kind core.BackendKind) {
+		rep, err := RunKeyStealer(kind, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Blocked {
+			t.Errorf("key theft not blocked: %+v", rep)
+		}
+		if rep.LootBytes != 0 {
+			t.Errorf("attacker received %d bytes", rep.LootBytes)
+		}
+	})
+}
+
+func TestKeyStealerUnprotectedSucceeds(t *testing.T) {
+	rep, err := RunKeyStealer(core.Baseline, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.LegitOK {
+		t.Errorf("legit phonetic encoding failed: %+v", rep)
+	}
+	if rep.LootBytes == 0 {
+		t.Errorf("expected SSH key exfiltration without protection")
+	}
+}
+
+func TestBackdoorInitEnclosureBlocks(t *testing.T) {
+	enforcing(t, func(t *testing.T, kind core.BackendKind) {
+		rep, err := RunBackdoor(kind, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Blocked {
+			t.Errorf("backdoor bind not blocked: %+v", rep)
+		}
+		if rep.BackdoorUp {
+			t.Errorf("backdoor reachable despite enclosure")
+		}
+	})
+}
+
+func TestBackdoorUnprotectedOpens(t *testing.T) {
+	rep, err := RunBackdoor(core.Baseline, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.LegitOK {
+		t.Errorf("legit Map functionality failed: %+v", rep)
+	}
+	if !rep.BackdoorUp {
+		t.Errorf("expected reachable backdoor without protection")
+	}
+}
+
+func TestMemoryThiefDefaultViewBlocks(t *testing.T) {
+	enforcing(t, func(t *testing.T, kind core.BackendKind) {
+		rep, err := RunMemoryThief(kind, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Blocked {
+			t.Errorf("memory read not blocked: %+v", rep)
+		}
+		if rep.LootBytes != 0 {
+			t.Errorf("secret leaked: %d bytes", rep.LootBytes)
+		}
+	})
+}
+
+func TestMemoryThiefWithGrantReads(t *testing.T) {
+	// Granting main:R lets the SDK read the token — enclosures enforce
+	// the policy the developer wrote, not more.
+	enforcing(t, func(t *testing.T, kind core.BackendKind) {
+		rep, err := RunMemoryThief(kind, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Blocked {
+			t.Errorf("read faulted despite main:R: %+v", rep)
+		}
+		if rep.LootBytes == 0 {
+			t.Errorf("expected the granted read to succeed")
+		}
+	})
+}

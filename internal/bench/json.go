@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/litterbox-project/enclosure/internal/attacks"
+)
+
+// Results is the machine-readable form of a full evaluation run,
+// written by `enclosebench -json` for CI-style regression tracking.
+type Results struct {
+	Table1   []MicroEntry      `json:"table1"`
+	Table2   []MacroEntry      `json:"table2"`
+	TCB      []TCBRow          `json:"tcb"`
+	Figure5  []MacroEntry      `json:"figure5"`
+	Python   []PythonEntry     `json:"python"`
+	Security []SecurityEntry   `json:"security"`
+	Paper    map[string]string `json:"paper_reference"`
+}
+
+// MicroEntry is one Table 1 cell.
+type MicroEntry struct {
+	Backend string  `json:"backend"`
+	Op      string  `json:"op"`
+	Ns      float64 `json:"virtual_ns_per_op"`
+}
+
+// MacroEntry is one Table 2 / Figure 5 cell.
+type MacroEntry struct {
+	Benchmark string  `json:"benchmark"`
+	Backend   string  `json:"backend"`
+	Raw       float64 `json:"raw"`
+	Unit      string  `json:"unit"`
+	Slowdown  float64 `json:"slowdown"`
+	Switches  int64   `json:"switches"`
+	Syscalls  int64   `json:"syscalls"`
+	Transfers int64   `json:"transfers"`
+}
+
+// PythonEntry is one §6.4 experiment row.
+type PythonEntry struct {
+	Mode      string  `json:"mode"`
+	Backend   string  `json:"backend"`
+	Slowdown  float64 `json:"slowdown"`
+	Switches  int64   `json:"switches"`
+	InitShare float64 `json:"init_share"`
+	SysShare  float64 `json:"syscall_share"`
+}
+
+// SecurityEntry is one §6.5 scenario row.
+type SecurityEntry struct {
+	Scenario  string `json:"scenario"`
+	Backend   string `json:"backend"`
+	Protected bool   `json:"protected"`
+	LegitOK   bool   `json:"legit_ok"`
+	Blocked   bool   `json:"blocked"`
+	LootBytes int    `json:"loot_bytes"`
+}
+
+// CollectResults runs the full evaluation and assembles the JSON form.
+func CollectResults(microIters int) (*Results, error) {
+	out := &Results{Paper: map[string]string{
+		"title": "Enclosure: Language-Based Restriction of Untrusted Libraries",
+		"venue": "ASPLOS 2021",
+	}}
+
+	micro, err := Table1(microIters)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range micro {
+		out.Table1 = append(out.Table1, MicroEntry{Backend: r.Backend.String(), Op: r.Op, Ns: r.NsPerOp})
+	}
+
+	addMacro := func(dst *[]MacroEntry, rs []MacroResult) {
+		for _, r := range rs {
+			*dst = append(*dst, MacroEntry{
+				Benchmark: r.Benchmark, Backend: r.Backend.String(),
+				Raw: r.Raw, Unit: r.Unit, Slowdown: r.Slowdown,
+				Switches: r.Counters.Switches, Syscalls: r.Counters.Syscalls,
+				Transfers: r.Counters.Transfers,
+			})
+		}
+	}
+	for _, fn := range []func() ([]MacroResult, error){Table2Bild, Table2HTTP, Table2FastHTTP} {
+		rs, err := fn()
+		if err != nil {
+			return nil, err
+		}
+		addMacro(&out.Table2, rs)
+	}
+	out.TCB = []TCBRow{BildTCB(), HTTPTCB(), FastHTTPTCB()}
+
+	wiki, err := Figure5Wiki()
+	if err != nil {
+		return nil, err
+	}
+	addMacro(&out.Figure5, wiki)
+
+	py, err := PythonExperiments()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range py {
+		out.Python = append(out.Python, PythonEntry{
+			Mode: r.Mode.String(), Backend: r.Backend.String(),
+			Slowdown: r.Slowdown, Switches: r.Switches,
+			InitShare: r.InitShare, SysShare: r.SysShare,
+		})
+	}
+
+	sec, err := SecuritySuite()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range sec {
+		out.Security = append(out.Security, SecurityEntry{
+			Scenario: r.Scenario, Backend: r.Backend.String(),
+			Protected: r.Protected, LegitOK: r.LegitOK,
+			Blocked: r.Blocked, LootBytes: r.LootBytes,
+		})
+	}
+	_ = attacks.Report{} // keep the attacks dependency explicit
+	return out, nil
+}
+
+// MarshalResults renders the results as indented JSON.
+func MarshalResults(r *Results) ([]byte, error) {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("bench: marshalling results: %w", err)
+	}
+	return append(blob, '\n'), nil
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestCollectResultsRoundTrip(t *testing.T) {
+	r, err := CollectResults(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Table1) != 9 {
+		t.Errorf("table1 cells %d", len(r.Table1))
+	}
+	if len(r.Table2) != 9 {
+		t.Errorf("table2 cells %d", len(r.Table2))
+	}
+	if len(r.Figure5) != 3 || len(r.TCB) != 3 {
+		t.Errorf("figure5 %d tcb %d", len(r.Figure5), len(r.TCB))
+	}
+	if len(r.Python) != 4 {
+		t.Errorf("python rows %d", len(r.Python))
+	}
+	if len(r.Security) == 0 {
+		t.Error("no security rows")
+	}
+	blob, err := MarshalResults(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Results
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if back.Paper["venue"] != "ASPLOS 2021" {
+		t.Errorf("paper reference %v", back.Paper)
+	}
+	// Sanity on the headline cells.
+	for _, e := range back.Table1 {
+		if e.Backend == "vtx" && e.Op == "syscall" && e.Ns != 4126 {
+			t.Errorf("vtx syscall %v", e.Ns)
+		}
+	}
+	for _, e := range back.Security {
+		if e.Protected && e.LootBytes != 0 {
+			t.Errorf("protected scenario %s leaked %d bytes", e.Scenario, e.LootBytes)
+		}
+	}
+}

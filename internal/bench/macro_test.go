@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/litterbox-project/enclosure/internal/core"
+)
+
+// Paper Table 2 slowdowns with acceptance windows. The substrate is a
+// simulator, so the assertion is on the *shape*: who wins, by roughly
+// what factor. EXPERIMENTS.md records exact paper-vs-measured values.
+type window struct{ lo, hi float64 }
+
+var table2Paper = map[string]map[core.BackendKind]window{
+	"bild":     {core.MPK: {1.08, 1.16}, core.VTX: {1.0, 1.06}}, // paper: 1.12x, 1.05x
+	"HTTP":     {core.MPK: {1.0, 1.06}, core.VTX: {1.6, 1.95}},  // paper: 1.02x, 1.77x
+	"FastHTTP": {core.MPK: {1.0, 1.08}, core.VTX: {1.8, 2.2}},   // paper: 1.04x, 2.01x
+}
+
+func checkSweep(t *testing.T, results []MacroResult) {
+	t.Helper()
+	for _, r := range results {
+		if r.Backend == core.Baseline {
+			continue
+		}
+		w := table2Paper[r.Benchmark][r.Backend]
+		if r.Slowdown < w.lo || r.Slowdown > w.hi {
+			t.Errorf("%s/%v slowdown %.3fx outside paper window [%.2f, %.2f]",
+				r.Benchmark, r.Backend, r.Slowdown, w.lo, w.hi)
+		} else {
+			t.Logf("%s/%-9v %10.1f %s  slowdown %.3fx", r.Benchmark, r.Backend, r.Raw, r.Unit, r.Slowdown)
+		}
+	}
+}
+
+func TestTable2BildMatchesPaper(t *testing.T) {
+	rs, err := Table2Bild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSweep(t, rs)
+	// Baseline absolute time ≈ the paper's 13.25ms.
+	for _, r := range rs {
+		if r.Backend == core.Baseline && (r.Raw < 12.5 || r.Raw > 14.0) {
+			t.Errorf("bild baseline %.2fms, paper 13.25ms", r.Raw)
+		}
+		// MPK pays pkey_mprotect per transfer; VTX must not.
+		if r.Backend == core.MPK && r.Counters.PkeyMprotects != r.Counters.Transfers {
+			t.Errorf("MPK pkey_mprotect %d != transfers %d", r.Counters.PkeyMprotects, r.Counters.Transfers)
+		}
+		if r.Backend == core.VTX && r.Counters.PkeyMprotects != 0 {
+			t.Errorf("VTX used pkey_mprotect")
+		}
+		// Mechanism-count lock: the row churn is deterministic —
+		// 2 transfers per 2KB row + 1 per even row's staging + setup.
+		if r.Counters.Transfers != 1537 {
+			t.Errorf("%v: %d transfers, want 1537", r.Backend, r.Counters.Transfers)
+		}
+	}
+}
+
+func TestTable2HTTPMatchesPaper(t *testing.T) {
+	rs, err := Table2HTTP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSweep(t, rs)
+	for _, r := range rs {
+		if r.Backend == core.Baseline && (r.Raw < 16000 || r.Raw > 18000) {
+			t.Errorf("HTTP baseline %.0f req/s, paper 16991", r.Raw)
+		}
+		if r.Backend == core.VTX && r.Counters.VMExits == 0 {
+			t.Error("VTX HTTP run recorded no VM exits")
+		}
+		// Mechanism-count lock: the Go-shaped trace is ~12 syscalls and
+		// exactly 2 switches (handler Prolog+Epilog) per request.
+		reqs := float64(HTTPRequests + 2) // + warmup + quit
+		perReq := float64(r.Counters.Syscalls) / reqs
+		if perReq < 11.5 || perReq > 12.5 {
+			t.Errorf("%v: %.2f syscalls/request, want ~12", r.Backend, perReq)
+		}
+		swPerReq := float64(r.Counters.Switches) / reqs
+		if swPerReq < 1.9 || swPerReq > 2.2 {
+			t.Errorf("%v: %.2f switches/request, want ~2", r.Backend, swPerReq)
+		}
+	}
+}
+
+func TestTable2FastHTTPMatchesPaper(t *testing.T) {
+	rs, err := Table2FastHTTP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSweep(t, rs)
+	for _, r := range rs {
+		if r.Backend == core.Baseline && (r.Raw < 21500 || r.Raw > 24500) {
+			t.Errorf("FastHTTP baseline %.0f req/s, paper 22867", r.Raw)
+		}
+	}
+	// The paper's cross-benchmark observation: FastHTTP's VTX slowdown
+	// exceeds HTTP's because its service time is smaller while the
+	// syscall overhead stays the same.
+	http, err := Table2HTTP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var httpVTX, fastVTX float64
+	for _, r := range http {
+		if r.Backend == core.VTX {
+			httpVTX = r.Slowdown
+		}
+	}
+	for _, r := range rs {
+		if r.Backend == core.VTX {
+			fastVTX = r.Slowdown
+		}
+	}
+	if fastVTX <= httpVTX {
+		t.Errorf("FastHTTP VTX slowdown %.2fx not larger than HTTP's %.2fx", fastVTX, httpVTX)
+	}
+}
+
+func TestFigure5WikiSimilarToFastHTTP(t *testing.T) {
+	rs, err := Figure5Wiki()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		t.Logf("wiki/%-9v %10.1f %s  slowdown %.3fx", r.Backend, r.Raw, r.Unit, r.Slowdown)
+		switch r.Backend {
+		case core.MPK:
+			if r.Slowdown < 1.0 || r.Slowdown > 1.10 {
+				t.Errorf("wiki MPK slowdown %.3fx (paper: similar to FastHTTP's 1.04x)", r.Slowdown)
+			}
+		case core.VTX:
+			if r.Slowdown < 1.5 || r.Slowdown > 2.3 {
+				t.Errorf("wiki VTX slowdown %.3fx (paper: similar to FastHTTP's 2.01x)", r.Slowdown)
+			}
+		}
+	}
+}
+
+func TestTCBRows(t *testing.T) {
+	bild := BildTCB()
+	if bild.AppLOC != 32 || bild.EnclosedLOC < 160000 || bild.PublicDeps != 1 {
+		t.Errorf("bild TCB row %+v", bild)
+	}
+	http := HTTPTCB()
+	if http.AppLOC != 31 || http.EnclosedLOC != 0 {
+		t.Errorf("HTTP TCB row %+v", http)
+	}
+	fast := FastHTTPTCB()
+	if fast.AppLOC != 76 || fast.EnclosedLOC < 350000 || fast.PublicDeps != 3 {
+		t.Errorf("FastHTTP TCB row %+v", fast)
+	}
+}
+
+func TestFigure4DumpContents(t *testing.T) {
+	dump, err := Figure4Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		".pkgs", ".rstrct", ".verif",
+		"libFx.text", "secrets.data", "main.rodata",
+		"closure.rcl.text", "meta-package",
+		`policy "secrets:R; sys:none"`,
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("Figure 4 dump missing %q", want)
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	micro, err := Table1(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := RenderTable1(micro); !strings.Contains(out, "LB_MPK") || !strings.Contains(out, "syscall") {
+		t.Error("Table 1 rendering incomplete")
+	}
+	rs, err := Table2Bild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTable2([][]MacroResult{rs}, []TCBRow{BildTCB(), HTTPTCB()})
+	if !strings.Contains(out, "bild") || !strings.Contains(out, "TCB") {
+		t.Error("Table 2 rendering incomplete")
+	}
+	wiki, err := Figure5Wiki()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := RenderFigure5(wiki); !strings.Contains(out, "reqs/s") {
+		t.Error("Figure 5 rendering incomplete")
+	}
+	py, err := PythonExperiments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pyOut := RenderPython(py)
+	for _, want := range []string{"conservative", "decoupled", "separated", "cheri-colocated"} {
+		if !strings.Contains(pyOut, want) {
+			t.Errorf("Python rendering missing %q", want)
+		}
+	}
+	// Projection sweeps render a fourth column pair.
+	proj, err := Sweep(RunBild, ProjectionBackends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := RenderTable2([][]MacroResult{proj}, nil); !strings.Contains(out, "LB_CHERI") {
+		t.Error("projection rendering missing the CHERI column")
+	}
+}

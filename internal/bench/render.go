@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/litterbox-project/enclosure/internal/core"
+	"github.com/litterbox-project/enclosure/internal/pyfront"
+)
+
+// RenderTable1 formats micro-benchmark results like the paper's Table 1.
+func RenderTable1(results []MicroResult) string {
+	cell := make(map[string]map[core.BackendKind]float64)
+	for _, r := range results {
+		if cell[r.Op] == nil {
+			cell[r.Op] = make(map[core.BackendKind]float64)
+		}
+		cell[r.Op][r.Backend] = r.NsPerOp
+	}
+	var sb strings.Builder
+	sb.WriteString("Table 1: Microbenchmarks results in nanoseconds.\n\n")
+	fmt.Fprintf(&sb, "%-10s %10s %10s %10s\n", "", "Baseline", "LB_MPK", "LB_VTX")
+	for _, op := range []string{"call", "transfer", "syscall"} {
+		fmt.Fprintf(&sb, "%-10s %10.0f %10.0f %10.0f\n",
+			op, cell[op][core.Baseline], cell[op][core.MPK], cell[op][core.VTX])
+	}
+	return sb.String()
+}
+
+// RenderTable2 formats macro-benchmark sweeps like the paper's Table 2.
+// Columns follow the backends present in the results, so projection
+// sweeps including LB_CHERI render an extra pair.
+func RenderTable2(groups [][]MacroResult, tcb []TCBRow) string {
+	present := map[core.BackendKind]bool{}
+	for _, rs := range groups {
+		for _, r := range rs {
+			present[r.Backend] = true
+		}
+	}
+	order := []core.BackendKind{core.MPK, core.VTX, core.CHERI}
+	label := map[core.BackendKind]string{
+		core.MPK: "LB_MPK raw", core.VTX: "LB_VTX raw", core.CHERI: "LB_CHERI raw",
+	}
+
+	var sb strings.Builder
+	sb.WriteString("Table 2: Macrobenchmarks results.\n\n")
+	fmt.Fprintf(&sb, "%-10s %16s", "", "Baseline")
+	for _, k := range order {
+		if present[k] {
+			fmt.Fprintf(&sb, " %16s %9s", label[k], "slowdown")
+		}
+	}
+	sb.WriteByte('\n')
+	for _, rs := range groups {
+		byKind := make(map[core.BackendKind]MacroResult)
+		var name, unit string
+		for _, r := range rs {
+			byKind[r.Backend] = r
+			name, unit = r.Benchmark, r.Unit
+		}
+		format := func(v float64) string {
+			if unit == "ms" {
+				return fmt.Sprintf("%.2fms", v)
+			}
+			return fmt.Sprintf("%.0freqs/s", v)
+		}
+		fmt.Fprintf(&sb, "%-10s %16s", name, format(byKind[core.Baseline].Raw))
+		for _, k := range order {
+			if present[k] {
+				fmt.Fprintf(&sb, " %16s %8.2fx", format(byKind[k].Raw), byKind[k].Slowdown)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if len(tcb) > 0 {
+		sb.WriteString("\nBenchmark information (TCB study):\n")
+		fmt.Fprintf(&sb, "%-10s %12s %14s %8s %14s %12s\n",
+			"App", "TCB #LOC", "Enclosed #LOC", "#Stars", "#Contributors", "#Public deps")
+		for _, row := range tcb {
+			enclosed := "-"
+			stars := "-"
+			contrib := "-"
+			deps := "-"
+			if row.EnclosedLOC > 0 {
+				enclosed = fmt.Sprintf("%dK", row.EnclosedLOC/1000)
+				stars = fmt.Sprintf("%.1fK", float64(row.Stars)/1000)
+				contrib = fmt.Sprintf("%d", row.Contributors)
+				deps = fmt.Sprintf("%d", row.PublicDeps)
+			}
+			fmt.Fprintf(&sb, "%-10s %12d %14s %8s %14s %12s\n",
+				row.App, row.AppLOC, enclosed, stars, contrib, deps)
+		}
+	}
+	return sb.String()
+}
+
+// RenderFigure5 formats the wiki sweep.
+func RenderFigure5(results []MacroResult) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 5: wiki web-app (mux enclosure ○B + pq proxy enclosure ○C).\n\n")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "  %-9s %9.0f reqs/s  slowdown %.2fx  (switches=%d syscalls=%d transfers=%d)\n",
+			r.Backend, r.Raw, r.Slowdown, r.Counters.Switches, r.Counters.Syscalls, r.Counters.Transfers)
+	}
+	return sb.String()
+}
+
+// RenderPython formats the §6.4 experiments.
+func RenderPython(results []pyfront.Result) string {
+	var sb strings.Builder
+	sb.WriteString("§6.4: Python enclosures (matplotlib plot of secret data, LB_VTX).\n\n")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "  %-13s slowdown %5.2fx  switches %7d  init %4.1f%% of overhead  syscalls %4.2f%%\n",
+			r.Mode, r.Slowdown, r.Switches, r.InitShare*100, r.SysShare*100)
+	}
+	sb.WriteString("\n  (paper: conservative ~18x with ~1M switches; decoupled-metadata ~1.4x\n")
+	sb.WriteString("   dominated by delayed initialisation; syscall overhead <1%)\n")
+	return sb.String()
+}

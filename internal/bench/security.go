@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/litterbox-project/enclosure/internal/attacks"
+	"github.com/litterbox-project/enclosure/internal/core"
+)
+
+// SecuritySuite runs every §6.5 attack scenario: first unprotected
+// (demonstrating the compromise), then under each enforcing backend
+// with the paper's mitigations.
+func SecuritySuite() ([]attacks.Report, error) {
+	var out []attacks.Report
+
+	add := func(r attacks.Report, err error) error {
+		if err != nil {
+			return err
+		}
+		out = append(out, r)
+		return nil
+	}
+
+	// Unprotected baselines: the attacks succeed.
+	if err := add(attacks.RunSSHDecorator(core.Baseline, attacks.NoMitigation)); err != nil {
+		return nil, err
+	}
+	if err := add(attacks.RunKeyStealer(core.Baseline, false)); err != nil {
+		return nil, err
+	}
+	if err := add(attacks.RunBackdoor(core.Baseline, false)); err != nil {
+		return nil, err
+	}
+	if err := add(attacks.RunMemoryThief(core.Baseline, false)); err != nil {
+		return nil, err
+	}
+	if err := add(attacks.RunDjangoClone(core.Baseline, false, true)); err != nil {
+		return nil, err
+	}
+
+	for _, kind := range []core.BackendKind{core.MPK, core.VTX} {
+		if err := add(attacks.RunSSHDecorator(kind, attacks.PreallocatedSocket)); err != nil {
+			return nil, fmt.Errorf("%v: %w", kind, err)
+		}
+		if err := add(attacks.RunSSHDecorator(kind, attacks.ConnectAllowlist)); err != nil {
+			return nil, fmt.Errorf("%v: %w", kind, err)
+		}
+		if err := add(attacks.RunKeyStealer(kind, true)); err != nil {
+			return nil, fmt.Errorf("%v: %w", kind, err)
+		}
+		if err := add(attacks.RunBackdoor(kind, true)); err != nil {
+			return nil, fmt.Errorf("%v: %w", kind, err)
+		}
+		if err := add(attacks.RunMemoryThief(kind, true)); err != nil {
+			return nil, fmt.Errorf("%v: %w", kind, err)
+		}
+		if err := add(attacks.RunDjangoClone(kind, true, true)); err != nil {
+			return nil, fmt.Errorf("%v: %w", kind, err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+)
+
+// TestFigure1OnCHERI: the full Figure 1 behaviour holds on the
+// capability backend — the legitimate invert succeeds, and tampering,
+// foreign reads, and filtered syscalls each fault.
+func TestFigure1OnCHERI(t *testing.T) {
+	prog := buildFigure1(t, CHERI, func(task *Task, args ...Value) ([]Value, error) {
+		return task.Call("libFx", "Invert", args[0])
+	})
+	err := prog.Run(func(task *Task) error {
+		orig, _ := prog.VarRef("secrets", "original")
+		task.WriteBytes(orig, make([]byte, orig.Size))
+		_, err := prog.MustEnclosure("rcl").Call(task, orig)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("legitimate invert on CHERI: %v", err)
+	}
+
+	for name, body := range map[string]Func{
+		"tamper": func(task *Task, args ...Value) ([]Value, error) {
+			task.Store8(args[0].(Ref).Addr, 1)
+			return nil, nil
+		},
+		"steal": func(task *Task, args ...Value) ([]Value, error) {
+			key, _ := task.Prog().VarRef("main", "private_key")
+			_ = task.ReadBytes(key)
+			return nil, nil
+		},
+		"syscall": func(task *Task, args ...Value) ([]Value, error) {
+			task.Syscall(kernel.NrGetuid)
+			return nil, nil
+		},
+	} {
+		prog := buildFigure1(t, CHERI, body)
+		err := prog.Run(func(task *Task) error {
+			orig, _ := prog.VarRef("secrets", "original")
+			_, err := prog.MustEnclosure("rcl").Call(task, orig)
+			return err
+		})
+		var fault *litterbox.Fault
+		if !errors.As(err, &fault) {
+			t.Errorf("%s on CHERI did not fault: %v", name, err)
+		}
+	}
+}
+
+// TestCHERIByteGranularGrant: the capability the page-based backends
+// cannot express — a 16-byte writable window inside a read-only
+// package — works end to end.
+func TestCHERIByteGranularGrant(t *testing.T) {
+	b := NewBuilder(CHERI)
+	b.Package(PackageSpec{Name: "main", Imports: []string{"lib", "secrets"}})
+	b.Package(PackageSpec{Name: "secrets", Vars: map[string]int{"blob": 256}})
+	b.Package(PackageSpec{Name: "lib", Funcs: map[string]Func{
+		"Bump": func(t *Task, args ...Value) ([]Value, error) {
+			hdr := args[0].(Ref)
+			t.Store64(hdr.Addr, t.Load64(hdr.Addr)+1) // inside the window
+			return nil, nil
+		},
+		"Tamper": func(t *Task, args ...Value) ([]Value, error) {
+			hdr := args[0].(Ref)
+			t.Store8(hdr.Addr+16, 0xFF) // one byte past the window
+			return nil, nil
+		},
+	}})
+	b.Enclosure("e", "main", "secrets:R; sys:none",
+		func(t *Task, args ...Value) ([]Value, error) {
+			fn := args[0].(string)
+			return t.Call("lib", fn, args[1:]...)
+		}, "lib")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := prog.VarRef("secrets", "blob")
+	header := blob.Slice(64, 16)
+	if err := prog.GrantCapability("e", header, true); err != nil {
+		t.Fatal(err)
+	}
+
+	err = prog.Run(func(task *Task) error {
+		task.Store64(header.Addr, 41)
+		if _, err := prog.MustEnclosure("e").Call(task, "Bump", header); err != nil {
+			return err
+		}
+		if got := task.Load64(header.Addr); got != 42 {
+			t.Errorf("header = %d, want 42", got)
+		}
+		_, err := prog.MustEnclosure("e").Call(task, "Tamper", header)
+		return err
+	})
+	var fault *litterbox.Fault
+	if !errors.As(err, &fault) || fault.Op != "write" {
+		t.Fatalf("write past the granted window did not fault: %v", err)
+	}
+}
+
+func TestGrantCapabilityRequiresCHERI(t *testing.T) {
+	prog := buildFigure1(t, MPK, func(task *Task, args ...Value) ([]Value, error) { return nil, nil })
+	orig, _ := prog.VarRef("secrets", "original")
+	if err := prog.GrantCapability("rcl", orig.Slice(0, 16), true); err == nil {
+		t.Fatal("GrantCapability accepted a non-CHERI backend")
+	}
+}
+
+// TestCHERIConnectAllowlist: the in-process monitor enforces the §6.5
+// argument-level filter too.
+func TestCHERIConnectAllowlist(t *testing.T) {
+	b := NewBuilder(CHERI)
+	b.Package(PackageSpec{Name: "main", Imports: []string{"net-lib"}})
+	b.Package(PackageSpec{Name: "net-lib", Funcs: map[string]Func{
+		"Dial": func(t *Task, args ...Value) ([]Value, error) {
+			sock, _ := t.Syscall(kernel.NrSocket)
+			_, errno := t.Syscall(kernel.NrConnect, sock, args[0].(uint64), 80)
+			return []Value{errno}, nil
+		},
+	}})
+	b.Enclosure("e", "main", "sys:net; connect:10.0.0.7",
+		func(t *Task, args ...Value) ([]Value, error) {
+			return t.Call("net-lib", "Dial", args...)
+		}, "net-lib")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The blocked destination faults before any Dial happens.
+	err = prog.Run(func(task *Task) error {
+		_, err := prog.MustEnclosure("e").Call(task, uint64(0x06060606))
+		return err
+	})
+	var fault *litterbox.Fault
+	if !errors.As(err, &fault) || fault.Op != "syscall" {
+		t.Fatalf("CHERI monitor let a disallowed connect through: %v", err)
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+)
+
+// dynSpec is the lazily imported module used by these tests.
+func dynSpec(name string) PackageSpec {
+	return PackageSpec{
+		Name:   name,
+		Origin: "public", LOC: 4000,
+		Vars: map[string]int{"state": 32},
+		Funcs: map[string]Func{
+			"Render": func(t *Task, args ...Value) ([]Value, error) {
+				ref, err := t.prog.VarRef(name, "state")
+				if err != nil {
+					return nil, err
+				}
+				t.Store64(ref.Addr, 0xF00D)
+				return []Value{t.Load64(ref.Addr)}, nil
+			},
+		},
+	}
+}
+
+// buildDynamicProgram: two enclosures; only "plot" triggers the import.
+func buildDynamicProgram(t *testing.T, kind BackendKind) *Program {
+	t.Helper()
+	b := NewBuilder(kind)
+	b.Package(PackageSpec{Name: "main", Imports: []string{"matplotlib", "other"},
+		Vars: map[string]int{"secret": 16}})
+	b.Package(PackageSpec{Name: "matplotlib", Funcs: map[string]Func{
+		"Plot": func(t *Task, args ...Value) ([]Value, error) {
+			// Lazy import on first use, as CPython would.
+			if err := t.ImportDynamic(dynSpec("fontlib")); err != nil {
+				return nil, err
+			}
+			return t.Call("fontlib", "Render")
+		},
+	}})
+	b.Package(PackageSpec{Name: "other", Funcs: map[string]Func{
+		"Peek": func(t *Task, args ...Value) ([]Value, error) {
+			ref, err := t.prog.VarRef("fontlib", "state")
+			if err != nil {
+				return nil, err
+			}
+			_ = t.ReadBytes(ref)
+			return nil, nil
+		},
+	}})
+	b.Enclosure("plot", "main", "sys:none",
+		func(t *Task, args ...Value) ([]Value, error) {
+			return t.Call("matplotlib", "Plot")
+		}, "matplotlib")
+	b.Enclosure("bystander", "main", "sys:none",
+		func(t *Task, args ...Value) ([]Value, error) {
+			return t.Call("other", "Peek")
+		}, "other")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestDynamicImportVisibleToImporter(t *testing.T) {
+	for _, kind := range []BackendKind{Baseline, MPK, VTX, CHERI} {
+		t.Run(kind.String(), func(t *testing.T) {
+			prog := buildDynamicProgram(t, kind)
+			err := prog.Run(func(task *Task) error {
+				res, err := prog.MustEnclosure("plot").Call(task)
+				if err != nil {
+					return err
+				}
+				if res[0].(uint64) != 0xF00D {
+					t.Errorf("Render returned %#x", res[0])
+				}
+				// Trusted code also sees the module afterwards.
+				ref, err := prog.VarRef("fontlib", "state")
+				if err != nil {
+					return err
+				}
+				if task.Load64(ref.Addr) != 0xF00D {
+					t.Error("trusted read of dynamic module failed")
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDynamicImportInvisibleToOtherEnclosures(t *testing.T) {
+	forEachEnforcing(t, func(t *testing.T, kind BackendKind) {
+		prog := buildDynamicProgram(t, kind)
+		err := prog.Run(func(task *Task) error {
+			if _, err := prog.MustEnclosure("plot").Call(task); err != nil {
+				return err
+			}
+			// The bystander enclosure never imported fontlib: its view
+			// was fixed at declaration and must not include it.
+			_, err := prog.MustEnclosure("bystander").Call(task)
+			return err
+		})
+		var fault *litterbox.Fault
+		if !errors.As(err, &fault) || fault.Op != "read" {
+			t.Fatalf("bystander read the dynamic module: %v", err)
+		}
+	})
+}
+
+func TestDynamicImportKeepsSecretProtected(t *testing.T) {
+	// After the import dance (which bounces through trusted), the
+	// enclosure's restrictions still hold.
+	forEachEnforcing(t, func(t *testing.T, kind BackendKind) {
+		b := NewBuilder(kind)
+		b.Package(PackageSpec{Name: "main", Imports: []string{"lib"}, Vars: map[string]int{"secret": 16}})
+		b.Package(PackageSpec{Name: "lib", Funcs: map[string]Func{
+			"Go": func(t *Task, args ...Value) ([]Value, error) {
+				if err := t.ImportDynamic(dynSpec("helper")); err != nil {
+					return nil, err
+				}
+				if _, err := t.Call("helper", "Render"); err != nil {
+					return nil, err
+				}
+				secret, _ := t.prog.VarRef("main", "secret")
+				_ = t.ReadBytes(secret) // must still fault
+				return nil, nil
+			},
+		}})
+		b.Enclosure("e", "main", "sys:none",
+			func(t *Task, args ...Value) ([]Value, error) {
+				return t.Call("lib", "Go")
+			}, "lib")
+		prog, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = prog.Run(func(task *Task) error {
+			_, err := prog.MustEnclosure("e").Call(task)
+			return err
+		})
+		var fault *litterbox.Fault
+		if !errors.As(err, &fault) || fault.Op != "read" {
+			t.Fatalf("secret readable after dynamic import: %v", err)
+		}
+	})
+}
+
+func TestDynamicImportErrors(t *testing.T) {
+	prog := buildDynamicProgram(t, MPK)
+	err := prog.Run(func(task *Task) error {
+		if err := task.ImportDynamic(dynSpec("fresh")); err != nil {
+			return err
+		}
+		// Duplicate import.
+		if err := task.ImportDynamic(dynSpec("fresh")); err == nil {
+			t.Error("duplicate dynamic import accepted")
+		}
+		// Import with a missing dependency.
+		bad := dynSpec("broken")
+		bad.Imports = []string{"no-such-module"}
+		if err := task.ImportDynamic(bad); err == nil {
+			t.Error("import with missing dependency accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicImportInitRunsWithImporterRights(t *testing.T) {
+	// A module whose top-level code violates the importing enclosure's
+	// policy faults during the import.
+	prog := func() *Program {
+		b := NewBuilder(MPK)
+		b.Package(PackageSpec{Name: "main", Imports: []string{"lib"}, Vars: map[string]int{"secret": 16}})
+		b.Package(PackageSpec{Name: "lib", Funcs: map[string]Func{
+			"Go": func(t *Task, args ...Value) ([]Value, error) {
+				spec := dynSpec("evilmod")
+				spec.Init = func(t *Task, args ...Value) ([]Value, error) {
+					secret, _ := t.prog.VarRef("main", "secret")
+					_ = t.ReadBytes(secret)
+					return nil, nil
+				}
+				return nil, t.ImportDynamic(spec)
+			},
+		}})
+		b.Enclosure("e", "main", "sys:none",
+			func(t *Task, args ...Value) ([]Value, error) {
+				return t.Call("lib", "Go")
+			}, "lib")
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}()
+	err := prog.Run(func(task *Task) error {
+		_, err := prog.MustEnclosure("e").Call(task)
+		return err
+	})
+	var fault *litterbox.Fault
+	if !errors.As(err, &fault) {
+		t.Fatalf("malicious dynamic init did not fault: %v", err)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"github.com/litterbox-project/enclosure/internal/hw"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+)
+
+// Enclosure is the runtime form of a `with [Policies] func(...)`
+// expression: a closure permanently associated with a memory view and a
+// system-call filter (§2.2). It can be bound to a variable and reused;
+// the restrictions are enforced on every execution.
+type Enclosure struct {
+	prog    *Program
+	id      int
+	name    string
+	pkg     string // the closure's hidden package (its arena/home)
+	declPkg string // the package whose source declares the enclosure
+	token   uint64
+	body    Func
+	env     *litterbox.Env
+}
+
+// Name returns the enclosure's declared name.
+func (e *Enclosure) Name() string { return e.name }
+
+// Pkg returns the closure's own package identity (its arena).
+func (e *Enclosure) Pkg() string { return e.pkg }
+
+// DeclPkg returns the package that declared the enclosure (and owns its
+// closure's text section).
+func (e *Enclosure) DeclPkg() string { return e.declPkg }
+
+// Env returns the enclosure's (pre-intersection) execution environment.
+func (e *Enclosure) Env() *litterbox.Env { return e.env }
+
+// Call executes the closure inside its restricted environment: the
+// compiler-inserted Prolog switches in (entering at most the
+// intersection of the current and the enclosure's environment — nesting
+// can only restrict), the body runs with its declaring package as the
+// current package, and Epilog restores the caller's environment on
+// return. Every execution is subject to the same policy.
+func (e *Enclosure) Call(t *Task, args ...Value) ([]Value, error) {
+	t.checkAlive()
+	t.cpu.Clock.Advance(hw.CostClosureCall)
+
+	from := t.env
+	cur, err := t.prog.lb.Prolog(t.cpu, from, e.id, e.token)
+	if err != nil {
+		t.fail(err)
+	}
+	t.env = cur
+	t.pushPkg(e.pkg)
+	t.pushFrame() // split stack: caller frames stay out of the view
+	defer func() {
+		t.popFrame()
+		t.popPkg()
+		t.env = from
+		// If the body faulted the program is dead and the switch back
+		// is moot; unwinding continues to the program boundary.
+		if _, dead := t.prog.lb.Aborted(); dead {
+			return
+		}
+		if eerr := t.prog.lb.Epilog(t.cpu, cur, from, e.id, e.token); eerr != nil {
+			t.fail(eerr)
+		}
+	}()
+	return e.body(t, args...)
+}

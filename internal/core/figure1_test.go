@@ -1,0 +1,232 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+)
+
+// buildFigure1 constructs the paper's Figure 1 program: main holds a
+// private key, secrets holds a sensitive image, and the rcl enclosure
+// calls the public package libFx's Invert with read-only access to
+// secrets and no system calls.
+func buildFigure1(t *testing.T, kind BackendKind, body Func) *Program {
+	t.Helper()
+	b := NewBuilder(kind)
+	b.Package(PackageSpec{
+		Name:    "main",
+		Imports: []string{"secrets", "img", "libFx", "os"},
+		Vars:    map[string]int{"private_key": 64},
+		Origin:  "app", LOC: 30,
+	})
+	b.Package(PackageSpec{
+		Name:   "secrets",
+		Vars:   map[string]int{"original": 256},
+		Origin: "app", LOC: 10,
+	})
+	b.Package(PackageSpec{Name: "os", Origin: "stdlib", LOC: 5000})
+	b.Package(PackageSpec{Name: "img", Origin: "public", LOC: 2000})
+	b.Package(PackageSpec{
+		Name:    "libFx",
+		Imports: []string{"img"},
+		Origin:  "public", LOC: 160000,
+		Funcs: map[string]Func{
+			// Invert reads the input Ref and returns a freshly allocated
+			// inverted copy from libFx's arena.
+			"Invert": func(t *Task, args ...Value) ([]Value, error) {
+				in := args[0].(Ref)
+				data := t.ReadBytes(in)
+				for i := range data {
+					data[i] = ^data[i]
+				}
+				out := t.NewBytes(data)
+				return []Value{out}, nil
+			},
+		},
+	})
+	// rcl's closure directly uses libFx (and, transitively, img); its
+	// default view therefore excludes main, os, and secrets — the policy
+	// re-admits secrets read-only.
+	b.Enclosure("rcl", "main", "secrets:R; sys:none", body, "libFx")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build(%v): %v", kind, err)
+	}
+	return prog
+}
+
+func forEachBackend(t *testing.T, fn func(t *testing.T, kind BackendKind)) {
+	for _, kind := range Backends {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) { fn(t, kind) })
+	}
+}
+
+func forEachEnforcing(t *testing.T, fn func(t *testing.T, kind BackendKind)) {
+	for _, kind := range []BackendKind{MPK, VTX} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) { fn(t, kind) })
+	}
+}
+
+func TestFigure1InvertSucceeds(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, kind BackendKind) {
+		prog := buildFigure1(t, kind, func(task *Task, args ...Value) ([]Value, error) {
+			return task.Call("libFx", "Invert", args[0])
+		})
+		err := prog.Run(func(task *Task) error {
+			orig, err := prog.VarRef("secrets", "original")
+			if err != nil {
+				return err
+			}
+			// Initialise the sensitive image from trusted code.
+			pattern := make([]byte, orig.Size)
+			for i := range pattern {
+				pattern[i] = byte(i)
+			}
+			task.WriteBytes(orig, pattern)
+
+			rcl := prog.MustEnclosure("rcl")
+			out, err := rcl.Call(task, orig)
+			if err != nil {
+				return err
+			}
+			got := task.ReadBytes(out[0].(Ref))
+			want := make([]byte, len(pattern))
+			for i := range want {
+				want[i] = ^pattern[i]
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("inverted image mismatch: got %x want %x", got[:8], want[:8])
+			}
+			// The original must be untouched.
+			if again := task.ReadBytes(orig); !bytes.Equal(again, pattern) {
+				t.Errorf("original image modified")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	})
+}
+
+func TestFigure1WriteToSecretsFaults(t *testing.T) {
+	forEachEnforcing(t, func(t *testing.T, kind BackendKind) {
+		prog := buildFigure1(t, kind, func(task *Task, args ...Value) ([]Value, error) {
+			in := args[0].(Ref)
+			task.Store8(in.Addr, 0xFF) // violates secrets:R
+			return nil, nil
+		})
+		err := prog.Run(func(task *Task) error {
+			orig, _ := prog.VarRef("secrets", "original")
+			_, err := prog.MustEnclosure("rcl").Call(task, orig)
+			return err
+		})
+		var fault *litterbox.Fault
+		if !errors.As(err, &fault) {
+			t.Fatalf("want fault on write to read-only secrets, got %v", err)
+		}
+		if fault.Op != "write" {
+			t.Errorf("fault op = %q, want write", fault.Op)
+		}
+		if _, aborted := prog.Fault(); !aborted {
+			t.Errorf("program not marked aborted after fault")
+		}
+	})
+}
+
+func TestFigure1ReadPrivateKeyFaults(t *testing.T) {
+	forEachEnforcing(t, func(t *testing.T, kind BackendKind) {
+		prog := buildFigure1(t, kind, func(task *Task, args ...Value) ([]Value, error) {
+			key := args[0].(Ref)
+			_ = task.ReadBytes(key) // main is not in rcl's view
+			return nil, nil
+		})
+		err := prog.Run(func(task *Task) error {
+			key, _ := prog.VarRef("main", "private_key")
+			_, err := prog.MustEnclosure("rcl").Call(task, key)
+			return err
+		})
+		var fault *litterbox.Fault
+		if !errors.As(err, &fault) {
+			t.Fatalf("want fault on read of main.private_key, got %v", err)
+		}
+		if fault.Op != "read" {
+			t.Errorf("fault op = %q, want read", fault.Op)
+		}
+	})
+}
+
+func TestFigure1SyscallFaults(t *testing.T) {
+	forEachEnforcing(t, func(t *testing.T, kind BackendKind) {
+		prog := buildFigure1(t, kind, func(task *Task, args ...Value) ([]Value, error) {
+			task.Syscall(kernel.NrGetuid) // sys:none forbids everything
+			return nil, nil
+		})
+		err := prog.Run(func(task *Task) error {
+			_, err := prog.MustEnclosure("rcl").Call(task)
+			return err
+		})
+		var fault *litterbox.Fault
+		if !errors.As(err, &fault) {
+			t.Fatalf("want fault on getuid under sys:none, got %v", err)
+		}
+		if fault.Op != "syscall" {
+			t.Errorf("fault op = %q, want syscall", fault.Op)
+		}
+	})
+}
+
+func TestFigure1BaselineDoesNotEnforce(t *testing.T) {
+	// The baseline replaces enclosures with vanilla closures: the same
+	// violating body runs to completion (this is the paper's point).
+	prog := buildFigure1(t, Baseline, func(task *Task, args ...Value) ([]Value, error) {
+		in := args[0].(Ref)
+		task.Store8(in.Addr, 0xFF)
+		task.Syscall(kernel.NrGetuid)
+		return nil, nil
+	})
+	err := prog.Run(func(task *Task) error {
+		orig, _ := prog.VarRef("secrets", "original")
+		_, err := prog.MustEnclosure("rcl").Call(task, orig)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("baseline should not enforce, got %v", err)
+	}
+}
+
+func TestCallOutsideViewFaults(t *testing.T) {
+	// rcl's view has no os package: invoking its functions must fault.
+	forEachEnforcing(t, func(t *testing.T, kind BackendKind) {
+		b := NewBuilder(kind)
+		b.Package(PackageSpec{Name: "main", Imports: []string{"os", "lib"}})
+		b.Package(PackageSpec{Name: "os", Funcs: map[string]Func{
+			"Getenv": func(t *Task, args ...Value) ([]Value, error) { return nil, nil },
+		}})
+		b.Package(PackageSpec{Name: "lib"})
+		b.Enclosure("e", "lib", "sys:none", func(task *Task, args ...Value) ([]Value, error) {
+			_, err := task.Call("os", "Getenv")
+			return nil, err
+		})
+		prog, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = prog.Run(func(task *Task) error {
+			_, err := prog.MustEnclosure("e").Call(task)
+			return err
+		})
+		var fault *litterbox.Fault
+		if !errors.As(err, &fault) {
+			t.Fatalf("want exec fault, got %v", err)
+		}
+		if fault.Op != "exec" {
+			t.Errorf("fault op = %q, want exec", fault.Op)
+		}
+	})
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParsePolicy: the policy parser must never panic, and anything it
+// accepts must render to a literal it accepts again.
+func FuzzParsePolicy(f *testing.F) {
+	for _, seed := range []string{
+		"secrets:R; sys:none",
+		"a:RWX; b:RW; c:U; sys:net,io",
+		"sys:all",
+		"sys:net; connect:10.0.0.2,0x06060606",
+		"connect:none; sys:net",
+		"; ; ;",
+		"pkg:",
+		":R",
+		"sys:",
+		"connect:999.1.1.1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePolicy(s)
+		if err != nil {
+			if !errors.Is(err, ErrBadPolicy) {
+				t.Fatalf("ParsePolicy(%q) returned a foreign error: %v", s, err)
+			}
+			return
+		}
+		q, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Fatalf("canonical form %q rejected: %v", p.String(), err)
+		}
+		if q.Cats != p.Cats || len(q.Mods) != len(p.Mods) {
+			t.Fatalf("round trip changed policy: %v vs %v", p, q)
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+)
+
+// ParsePolicy parses the paper's policy literal syntax (§2.2):
+//
+//	Policies     ::= Segment (";" Segment)*
+//	Segment      ::= MemModifier | SysFilter | ConnectAllow
+//	MemModifier  ::= pkg ":" ( "U" | "R" | "RW" | "RWX" )
+//	SysFilter    ::= "sys" ":" ( "none" | "all" | cat ("," cat)* )
+//	ConnectAllow ::= "connect" ":" host ("," host)*
+//
+// Examples: "secrets:R; sys:none", "sys:net,io",
+// "sys:net,file; connect:10.0.0.7". Omitting the sys segment yields the
+// default: no system calls. Whitespace is insignificant. Policies are
+// parsed as literals so the compiler (the Builder) can validate their
+// satisfiability — unknown packages or categories — at build time.
+func ParsePolicy(s string) (litterbox.Policy, error) {
+	p := litterbox.Policy{Mods: make(map[string]litterbox.AccessMod)}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return p, nil
+	}
+	for _, seg := range strings.Split(s, ";") {
+		seg = strings.TrimSpace(seg)
+		if seg == "" {
+			continue
+		}
+		key, rest, ok := strings.Cut(seg, ":")
+		if !ok {
+			return p, fmt.Errorf("%w: segment %q lacks ':'", ErrBadPolicy, seg)
+		}
+		key = strings.TrimSpace(key)
+		rest = strings.TrimSpace(rest)
+		switch key {
+		case "sys":
+			cats, err := parseSysFilter(rest)
+			if err != nil {
+				return p, err
+			}
+			p.Cats = cats
+		case "connect":
+			hosts, err := parseHosts(rest)
+			if err != nil {
+				return p, err
+			}
+			p.ConnectAllow = hosts
+		default:
+			mod, err := litterbox.ParseAccessMod(rest)
+			if err != nil {
+				return p, fmt.Errorf("%w: %q: %v", ErrBadPolicy, seg, err)
+			}
+			if _, dup := p.Mods[key]; dup {
+				return p, fmt.Errorf("%w: duplicate modifier for %q", ErrBadPolicy, key)
+			}
+			p.Mods[key] = mod
+		}
+	}
+	return p, nil
+}
+
+func parseSysFilter(s string) (kernel.Category, error) {
+	switch strings.ToLower(s) {
+	case "none", "":
+		return kernel.CatNone, nil
+	case "all":
+		return kernel.CatAll, nil
+	}
+	var cats kernel.Category
+	for _, name := range strings.Split(s, ",") {
+		name = strings.ToLower(strings.TrimSpace(name))
+		bit, ok := kernel.CategoryNames[name]
+		if !ok {
+			return 0, fmt.Errorf("%w: unknown syscall category %q", ErrBadPolicy, name)
+		}
+		cats |= bit
+	}
+	return cats, nil
+}
+
+// parseHosts accepts dotted quads ("10.0.0.7"), 0x-prefixed words, or
+// "none" — an allowlist containing only the unroutable host 0, which
+// keeps socket operations available while blocking every real connect.
+func parseHosts(s string) ([]uint32, error) {
+	if strings.TrimSpace(strings.ToLower(s)) == "none" {
+		return []uint32{0}, nil
+	}
+	var out []uint32
+	for _, h := range strings.Split(s, ",") {
+		h = strings.TrimSpace(h)
+		if h == "" {
+			continue
+		}
+		if strings.HasPrefix(h, "0x") {
+			v, err := strconv.ParseUint(h[2:], 16, 32)
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad host %q", ErrBadPolicy, h)
+			}
+			out = append(out, uint32(v))
+			continue
+		}
+		parts := strings.Split(h, ".")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("%w: bad host %q", ErrBadPolicy, h)
+		}
+		var v uint32
+		for _, part := range parts {
+			o, err := strconv.ParseUint(part, 10, 8)
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad host %q", ErrBadPolicy, h)
+			}
+			v = v<<8 | uint32(o)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: empty connect allowlist", ErrBadPolicy)
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+)
+
+func TestParsePolicyMemModifiers(t *testing.T) {
+	p, err := ParsePolicy("secrets:R; img:RWX; tmp:U; sys:none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]litterbox.AccessMod{
+		"secrets": litterbox.ModR,
+		"img":     litterbox.ModRWX,
+		"tmp":     litterbox.ModU,
+	}
+	if len(p.Mods) != len(want) {
+		t.Fatalf("mods %v", p.Mods)
+	}
+	for k, v := range want {
+		if p.Mods[k] != v {
+			t.Errorf("mod %s = %v, want %v", k, p.Mods[k], v)
+		}
+	}
+	if p.Cats != kernel.CatNone {
+		t.Errorf("cats = %v", p.Cats)
+	}
+}
+
+func TestParsePolicySysFilter(t *testing.T) {
+	cases := map[string]kernel.Category{
+		"":                 kernel.CatNone,
+		"sys:none":         kernel.CatNone,
+		"sys:all":          kernel.CatAll,
+		"sys:net":          kernel.CatNet,
+		"sys:net,io":       kernel.CatNet | kernel.CatIO,
+		"sys:file, mem":    kernel.CatFile | kernel.CatMem,
+		"sys:proc,time":    kernel.CatProc | kernel.CatTime,
+		"sys:sig,ipc":      kernel.CatSig | kernel.CatIPC,
+		" sys : net , io ": kernel.CatNet | kernel.CatIO,
+	}
+	for in, want := range cases {
+		p, err := ParsePolicy(in)
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", in, err)
+			continue
+		}
+		if p.Cats != want {
+			t.Errorf("ParsePolicy(%q).Cats = %v, want %v", in, p.Cats, want)
+		}
+	}
+}
+
+func TestParsePolicyConnect(t *testing.T) {
+	p, err := ParsePolicy("sys:net; connect:10.0.0.2, 0x06060606")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.ConnectAllow) != 2 || p.ConnectAllow[0] != 0x0A000002 || p.ConnectAllow[1] != 0x06060606 {
+		t.Fatalf("connect %v", p.ConnectAllow)
+	}
+	p, err = ParsePolicy("sys:net; connect:none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.ConnectAllow) != 1 || p.ConnectAllow[0] != 0 {
+		t.Fatalf("connect none -> %v", p.ConnectAllow)
+	}
+}
+
+func TestParsePolicyErrors(t *testing.T) {
+	for _, in := range []string{
+		"secrets",            // no colon
+		"secrets:RWZ",        // bad modifier
+		"sys:turbo",          // unknown category
+		"a:R; a:RW",          // duplicate modifier
+		"connect:10.0.0",     // bad quad
+		"connect:10.0.0.999", // octet out of range
+		"connect:0xZZ",       // bad hex
+		"connect:",           // empty list
+	} {
+		if _, err := ParsePolicy(in); !errors.Is(err, ErrBadPolicy) {
+			t.Errorf("ParsePolicy(%q) = %v, want ErrBadPolicy", in, err)
+		}
+	}
+}
+
+// TestParsePolicyNeverPanics: arbitrary byte soup either parses or
+// returns ErrBadPolicy — the parser must never panic on untrusted
+// policy literals.
+func TestParsePolicyNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		defer func() {
+			if recover() != nil {
+				t.Errorf("ParsePolicy(%q) panicked", s)
+			}
+		}()
+		p, err := ParsePolicy(s)
+		if err != nil {
+			return errors.Is(err, ErrBadPolicy)
+		}
+		// A successful parse must render and re-parse.
+		_, err = ParsePolicy(p.String())
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParsePolicyRoundTripProperty: rendering a parsed policy and
+// re-parsing it yields the same structure.
+func TestParsePolicyRoundTripProperty(t *testing.T) {
+	mods := []string{"U", "R", "RW", "RWX"}
+	f := func(m1, m2 uint8, cats uint8) bool {
+		in := "alpha:" + mods[m1%4] + "; beta:" + mods[m2%4]
+		switch cats % 4 {
+		case 1:
+			in += "; sys:net"
+		case 2:
+			in += "; sys:net,file"
+		case 3:
+			in += "; sys:all"
+		}
+		p1, err := ParsePolicy(in)
+		if err != nil {
+			return false
+		}
+		p2, err := ParsePolicy(p1.String())
+		if err != nil {
+			return false
+		}
+		if p1.Cats != p2.Cats || len(p1.Mods) != len(p2.Mods) {
+			return false
+		}
+		for k, v := range p1.Mods {
+			if p2.Mods[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

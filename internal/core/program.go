@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/litterbox-project/enclosure/internal/alloc"
+	"github.com/litterbox-project/enclosure/internal/hw"
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/linker"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+	"github.com/litterbox-project/enclosure/internal/mem"
+	"github.com/litterbox-project/enclosure/internal/pkggraph"
+	"github.com/litterbox-project/enclosure/internal/simfs"
+	"github.com/litterbox-project/enclosure/internal/simnet"
+)
+
+// Program is a built, runnable simulated program.
+type Program struct {
+	kind     BackendKind
+	graph    *pkggraph.Graph
+	image    *linker.Image
+	space    *mem.AddressSpace
+	clock    *hw.Clock
+	counters *hw.Counters
+	kernel   *kernel.Kernel
+	proc     *kernel.Proc
+	lb       *litterbox.LitterBox
+	heap     *alloc.Heap
+	funcs    map[string]map[string]Func
+	encls    map[string]*Enclosure
+	pw       map[string]string // program-wide policies: package -> wrapper enclosure
+
+	runtimeCPU *hw.CPU
+
+	mu     sync.RWMutex // guards nextID and funcs (dynamic imports add entries)
+	nextID int
+	wg     sync.WaitGroup
+}
+
+// lookupFunc resolves pkg.fn under the funcs lock (imports may add
+// packages concurrently).
+func (p *Program) lookupFunc(pkg, fn string) (Func, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	fns, ok := p.funcs[pkg]
+	if !ok {
+		return nil, false
+	}
+	f, ok := fns[fn]
+	return f, ok
+}
+
+// hasPackageFuncs reports whether the package has registered code.
+func (p *Program) hasPackageFuncs(pkg string) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	_, ok := p.funcs[pkg]
+	return ok
+}
+
+// newCPU returns a fresh virtual CPU sharing the program clock and
+// counters, starting in the trusted hardware state (all-allowing PKRU,
+// page table 0).
+func (p *Program) newCPU() *hw.CPU {
+	cpu := hw.NewCPU(p.clock)
+	cpu.Counters = p.counters
+	return cpu
+}
+
+// runtimeMmap is the allocator's span source: a trusted mmap syscall.
+func (p *Program) runtimeMmap(size uint64) (*mem.Section, error) {
+	base, errno := p.kernel.InvokeUnfiltered(p.proc, p.runtimeCPU, kernel.NrMmap, [6]uint64{size})
+	if errno != kernel.OK {
+		return nil, fmt.Errorf("core: mmap: %v", errno)
+	}
+	sec := p.kernel.SpanSection(mem.Addr(base))
+	if sec == nil {
+		return nil, fmt.Errorf("core: mmap returned unknown span at %#x", base)
+	}
+	return sec, nil
+}
+
+// runtimeTransfer is the allocator's arena-reassignment hook: it calls
+// LitterBox's Transfer from the trusted runtime.
+func (p *Program) runtimeTransfer(sec *mem.Section, toPkg string) error {
+	return p.lb.Transfer(p.runtimeCPU, sec, toPkg)
+}
+
+// Backend returns which enforcement backend the program was built with.
+func (p *Program) Backend() BackendKind { return p.kind }
+
+// Clock returns the program's virtual clock.
+func (p *Program) Clock() *hw.Clock { return p.clock }
+
+// Counters returns the program-wide hardware event counters.
+func (p *Program) Counters() *hw.Counters { return p.counters }
+
+// Kernel returns the simulated kernel.
+func (p *Program) Kernel() *kernel.Kernel { return p.kernel }
+
+// Proc returns the simulated process.
+func (p *Program) Proc() *kernel.Proc { return p.proc }
+
+// FS returns the simulated filesystem namespace.
+func (p *Program) FS() *simfs.FS { return p.kernel.FS }
+
+// Net returns the simulated network namespace.
+func (p *Program) Net() *simnet.Net { return p.kernel.Net }
+
+// Heap returns the runtime allocator.
+func (p *Program) Heap() *alloc.Heap { return p.heap }
+
+// LitterBox exposes the enforcement framework (for tests and tools).
+func (p *Program) LitterBox() *litterbox.LitterBox { return p.lb }
+
+// Graph returns the package-dependence graph.
+func (p *Program) Graph() *pkggraph.Graph { return p.graph }
+
+// Image returns the linked image.
+func (p *Program) Image() *linker.Image { return p.image }
+
+// Enclosure returns the named enclosure handle.
+func (p *Program) Enclosure(name string) (*Enclosure, error) {
+	e, ok := p.encls[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchEncl, name)
+	}
+	return e, nil
+}
+
+// MustEnclosure is Enclosure for program text where absence is a bug.
+func (p *Program) MustEnclosure(name string) *Enclosure {
+	e, err := p.Enclosure(name)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// VarRef returns a Ref to a package's static variable.
+func (p *Program) VarRef(pkg, name string) (Ref, error) {
+	pl := p.image.Layout(pkg)
+	if pl == nil {
+		return Ref{}, fmt.Errorf("core: unknown package %q", pkg)
+	}
+	sym, ok := pl.Vars[name]
+	if !ok {
+		return Ref{}, fmt.Errorf("core: package %s has no variable %q", pkg, name)
+	}
+	return Ref{Addr: sym.Addr, Size: sym.Size}, nil
+}
+
+// ConstRef returns a Ref to a package constant.
+func (p *Program) ConstRef(pkg, name string) (Ref, error) {
+	pl := p.image.Layout(pkg)
+	if pl == nil {
+		return Ref{}, fmt.Errorf("core: unknown package %q", pkg)
+	}
+	sym, ok := pl.Consts[name]
+	if !ok {
+		return Ref{}, fmt.Errorf("core: package %s has no constant %q", pkg, name)
+	}
+	return Ref{Addr: sym.Addr, Size: sym.Size}, nil
+}
+
+// GrantCapability refines an enclosure's memory view with a
+// byte-granular capability over the referenced range — the page-free
+// sharing only the CHERI backend can express (e.g. making a co-located
+// object header writable inside an otherwise read-only module).
+func (p *Program) GrantCapability(enclName string, r Ref, write bool) error {
+	e, err := p.Enclosure(enclName)
+	if err != nil {
+		return err
+	}
+	cb, ok := p.lb.Backend().(*litterbox.CHERIBackend)
+	if !ok {
+		return fmt.Errorf("core: GrantCapability requires the CHERI backend (have %s)", p.lb.Backend().Name())
+	}
+	perm := mem.PermR
+	if write {
+		perm |= mem.PermW
+	}
+	return cb.GrantCapability(e.env, r.Addr, r.Size, perm)
+}
+
+// Fault returns the protection fault that aborted the program, if any.
+func (p *Program) Fault() (*litterbox.Fault, bool) {
+	return p.lb.Aborted()
+}
+
+// Run executes body as (part of) the program's main goroutine in the
+// trusted environment. A protection fault anywhere under body aborts
+// the program and is returned as the error, mirroring the paper's
+// fault-stops-the-program semantics while keeping the host test harness
+// alive.
+func (p *Program) Run(body func(t *Task) error) (err error) {
+	t := p.newTask("main", p.lb.Trusted(), "main")
+	defer func() {
+		if r := recover(); r != nil {
+			if f, ok := r.(*litterbox.Fault); ok {
+				err = f
+				return
+			}
+			panic(r)
+		}
+	}()
+	return body(t)
+}
+
+// Wait blocks until every goroutine spawned with Task.Go has finished.
+func (p *Program) Wait() { p.wg.Wait() }
+
+// NewSpan maps a fresh heap span of the given size via the trusted
+// runtime path (owned by the heap pool until transferred). Benchmarks
+// and the runtime use it; package code allocates through Task.Alloc.
+func (p *Program) NewSpan(size uint64) (*mem.Section, error) {
+	return p.runtimeMmap(size)
+}
+
+// TransferSpan reassigns a heap span to a package's arena via
+// LitterBox's Transfer from the trusted runtime (the Table 1 transfer
+// micro-benchmark exercises exactly this path).
+func (p *Program) TransferSpan(sec *mem.Section, toPkg string) error {
+	return p.runtimeTransfer(sec, toPkg)
+}
+
+func (p *Program) newTask(name string, env *litterbox.Env, pkg string) *Task {
+	p.mu.Lock()
+	p.nextID++
+	id := p.nextID
+	p.mu.Unlock()
+	t := &Task{
+		prog: p,
+		cpu:  p.newCPU(),
+		env:  env,
+		id:   id,
+		name: name,
+	}
+	t.pkgs = append(t.pkgs, pkg)
+	// Scheduler hook: place the fresh hardware thread into its
+	// environment (fresh CPUs boot with indeterminate PKRU/CR3).
+	if err := p.lb.InstallEnv(t.cpu, env); err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+)
+
+// buildPW: package Foo must never access package Bar (§3.2's example);
+// a program-wide policy unmapping Bar encloses every call into Foo.
+func buildPW(t *testing.T, kind BackendKind) *Program {
+	t.Helper()
+	b := NewBuilder(kind)
+	b.Package(PackageSpec{Name: "main", Imports: []string{"foo", "bar"}})
+	b.Package(PackageSpec{Name: "bar", Vars: map[string]int{"state": 16}})
+	b.Package(PackageSpec{
+		Name:    "foo",
+		Imports: []string{"bar"}, // bar is a *natural* dependency of foo...
+		Funcs: map[string]Func{
+			"Benign": func(t *Task, args ...Value) ([]Value, error) {
+				return []Value{args[0].(int) + 1}, nil
+			},
+			"TouchBar": func(t *Task, args ...Value) ([]Value, error) {
+				ref, err := t.prog.VarRef("bar", "state")
+				if err != nil {
+					return nil, err
+				}
+				t.Store8(ref.Addr, 1)
+				return nil, nil
+			},
+			"OpenFile": func(t *Task, args ...Value) ([]Value, error) {
+				p := t.NewString("/x")
+				t.Syscall(kernel.NrOpen, uint64(p.Addr), p.Size, uint64(kernel.ORdonly))
+				return nil, nil
+			},
+		},
+	})
+	// ...but the program-wide policy revokes it on every call into foo.
+	b.EnclosePackage("foo", "bar:U; sys:none")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestProgramWidePolicyAllowsBenignUse(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, kind BackendKind) {
+		prog := buildPW(t, kind)
+		err := prog.Run(func(task *Task) error {
+			res, err := task.Call("foo", "Benign", 41)
+			if err != nil {
+				return err
+			}
+			if res[0].(int) != 42 {
+				t.Errorf("Benign = %v", res[0])
+			}
+			// Reusable: a second call re-enters the same wrapper.
+			_, err = task.Call("foo", "Benign", 1)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestProgramWidePolicyBlocksBar(t *testing.T) {
+	forEachEnforcing(t, func(t *testing.T, kind BackendKind) {
+		prog := buildPW(t, kind)
+		err := prog.Run(func(task *Task) error {
+			_, err := task.Call("foo", "TouchBar")
+			return err
+		})
+		var fault *litterbox.Fault
+		if !errors.As(err, &fault) || fault.Op != "write" {
+			t.Fatalf("foo touched bar: %v", err)
+		}
+	})
+}
+
+func TestProgramWidePolicyBlocksSyscalls(t *testing.T) {
+	forEachEnforcing(t, func(t *testing.T, kind BackendKind) {
+		prog := buildPW(t, kind)
+		err := prog.Run(func(task *Task) error {
+			_, err := task.Call("foo", "OpenFile")
+			return err
+		})
+		var fault *litterbox.Fault
+		if !errors.As(err, &fault) || fault.Op != "syscall" {
+			t.Fatalf("foo opened a file: %v", err)
+		}
+	})
+}
+
+func TestProgramWideDoesNotDoubleWrapEnclosedCalls(t *testing.T) {
+	// A call into foo from inside another enclosure keeps that
+	// enclosure's environment (no wrapper indirection): the paper's
+	// wrappers target non-enclosed call sites.
+	b := NewBuilder(MPK)
+	b.Package(PackageSpec{Name: "main", Imports: []string{"foo"}})
+	b.Package(PackageSpec{Name: "foo", Funcs: map[string]Func{
+		"Benign": func(t *Task, args ...Value) ([]Value, error) {
+			return []Value{t.Env().Name}, nil
+		},
+	}})
+	b.EnclosePackage("foo", "sys:none")
+	b.Enclosure("outer", "main", "sys:none",
+		func(t *Task, args ...Value) ([]Value, error) {
+			return t.Call("foo", "Benign")
+		}, "foo")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = prog.Run(func(task *Task) error {
+		res, err := prog.MustEnclosure("outer").Call(task)
+		if err != nil {
+			return err
+		}
+		if res[0].(string) != "outer" {
+			t.Errorf("ran in env %q, want outer", res[0])
+		}
+		// From trusted code the wrapper's environment applies.
+		res, err = task.Call("foo", "Benign")
+		if err != nil {
+			return err
+		}
+		if res[0].(string) != "pw:foo" {
+			t.Errorf("ran in env %q, want pw:foo", res[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateProgramWidePolicyRejected(t *testing.T) {
+	b := NewBuilder(Baseline)
+	b.Package(PackageSpec{Name: "foo"})
+	b.EnclosePackage("foo", "sys:none")
+	b.EnclosePackage("foo", "sys:all")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate program-wide policy built")
+	}
+}

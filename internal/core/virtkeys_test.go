@@ -1,0 +1,193 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+)
+
+// buildManyEnclosures declares n packages each behind its own enclosure
+// with a distinct foreign grant, forcing n+ distinct access-signature
+// groups — more meta-packages than MPK's 16 keys, so the backend must
+// virtualise them libmpk-style.
+func buildManyEnclosures(t *testing.T, n int) *Program {
+	t.Helper()
+	b := NewBuilder(MPK)
+	var imports []string
+	for i := 0; i < n; i++ {
+		imports = append(imports, pkgN(i))
+	}
+	b.Package(PackageSpec{Name: "main", Imports: imports})
+	for i := 0; i < n; i++ {
+		i := i
+		b.Package(PackageSpec{
+			Name: pkgN(i),
+			Vars: map[string]int{"state": 16},
+			Funcs: map[string]Func{
+				"Get": func(t *Task, args ...Value) ([]Value, error) {
+					ref, err := t.prog.VarRef(pkgN(i), "state")
+					if err != nil {
+						return nil, err
+					}
+					t.Store8(ref.Addr, byte(i))
+					return []Value{int(t.Load8(ref.Addr))}, nil
+				},
+			},
+		})
+		// Each enclosure reads a *different* neighbour read-only,
+		// giving every package a unique signature vector.
+		policy := "sys:none"
+		if i > 0 {
+			policy = fmt.Sprintf("%s:R; sys:none", pkgN(i-1))
+		}
+		b.Enclosure(enclN(i), "main", policy,
+			func(t *Task, args ...Value) ([]Value, error) {
+				return t.Call(pkgN(i), "Get")
+			}, pkgN(i))
+	}
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func pkgN(i int) string  { return fmt.Sprintf("pkg%02d", i) }
+func enclN(i int) string { return fmt.Sprintf("e%02d", i) }
+
+func TestKeyVirtualizationActivates(t *testing.T) {
+	prog := buildManyEnclosures(t, 20)
+	mpk, ok := prog.LitterBox().Backend().(*litterbox.MPKBackend)
+	if !ok {
+		t.Fatal("not the MPK backend")
+	}
+	if !mpk.Virtualized() {
+		t.Fatalf("%d meta-packages did not trigger virtualisation",
+			len(prog.LitterBox().MetaPackages()))
+	}
+	if len(prog.LitterBox().MetaPackages()) <= 16 {
+		t.Fatalf("test did not produce >16 meta-packages: %d",
+			len(prog.LitterBox().MetaPackages()))
+	}
+}
+
+func TestKeyVirtualizationEnforces(t *testing.T) {
+	// Every enclosure still works — including ones whose meta-packages
+	// start cold and must be paged in on the switch — and enforcement
+	// still faults out-of-view access.
+	prog := buildManyEnclosures(t, 20)
+	err := prog.Run(func(task *Task) error {
+		for i := 0; i < 20; i++ {
+			res, err := prog.MustEnclosure(enclN(i)).Call(task)
+			if err != nil {
+				return fmt.Errorf("enclosure %d: %w", i, err)
+			}
+			if res[0].(int) != i {
+				return fmt.Errorf("enclosure %d returned %v", i, res[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpk := prog.LitterBox().Backend().(*litterbox.MPKBackend)
+	if mpk.Remaps() == 0 {
+		t.Error("20 enclosures over 13 cache slots took no eviction slow paths")
+	}
+}
+
+func TestKeyVirtualizationFaultsOutOfView(t *testing.T) {
+	b := NewBuilder(MPK)
+	var imports []string
+	for i := 0; i < 18; i++ {
+		imports = append(imports, pkgN(i))
+	}
+	b.Package(PackageSpec{Name: "main", Imports: imports})
+	for i := 0; i < 18; i++ {
+		b.Package(PackageSpec{Name: pkgN(i), Vars: map[string]int{"state": 16}})
+	}
+	for i := 0; i < 17; i++ {
+		policy := fmt.Sprintf("%s:R; sys:none", pkgN(i))
+		b.Enclosure(enclN(i), "main", policy, func(t *Task, args ...Value) ([]Value, error) {
+			return nil, nil
+		}, pkgN(i))
+	}
+	// The probe enclosure sees pkg00 only, then reads pkg17 (foreign).
+	b.Enclosure("probe", "main", "sys:none",
+		func(t *Task, args ...Value) ([]Value, error) {
+			ref, err := t.prog.VarRef(pkgN(17), "state")
+			if err != nil {
+				return nil, err
+			}
+			_ = t.ReadBytes(ref)
+			return nil, nil
+		}, pkgN(0))
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = prog.Run(func(task *Task) error {
+		_, err := prog.MustEnclosure("probe").Call(task)
+		return err
+	})
+	var fault *litterbox.Fault
+	if !errors.As(err, &fault) || fault.Op != "read" {
+		t.Fatalf("out-of-view read under virtualised keys: %v", err)
+	}
+}
+
+func TestKeyVirtualizationSyscallFilterTracksRemaps(t *testing.T) {
+	// Syscall filtering keyed by PKRU must survive key remapping: an
+	// enclosure with sys:proc keeps its allowance across evictions.
+	b := NewBuilder(MPK)
+	var imports []string
+	for i := 0; i < 18; i++ {
+		imports = append(imports, pkgN(i))
+	}
+	b.Package(PackageSpec{Name: "main", Imports: imports})
+	for i := 0; i < 18; i++ {
+		b.Package(PackageSpec{Name: pkgN(i), Vars: map[string]int{"state": 16}})
+	}
+	for i := 0; i < 17; i++ {
+		policy := fmt.Sprintf("%s:R; sys:none", pkgN(i))
+		b.Enclosure(enclN(i), "main", policy, func(t *Task, args ...Value) ([]Value, error) {
+			return nil, nil
+		}, pkgN(i))
+	}
+	b.Enclosure("sysuser", "main", "sys:proc",
+		func(t *Task, args ...Value) ([]Value, error) {
+			uid, errno := t.Syscall(kernel.NrGetuid)
+			if errno != kernel.OK {
+				return nil, fmt.Errorf("getuid: %v", errno)
+			}
+			return []Value{uid}, nil
+		}, pkgN(17))
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = prog.Run(func(task *Task) error {
+		// Churn the key cache through many enclosures…
+		for i := 0; i < 17; i++ {
+			if _, err := prog.MustEnclosure(enclN(i)).Call(task); err != nil {
+				return err
+			}
+		}
+		// …then the syscall-using enclosure must still be authorised.
+		res, err := prog.MustEnclosure("sysuser").Call(task)
+		if err != nil {
+			return err
+		}
+		if res[0].(uint64) != 1000 {
+			return fmt.Errorf("uid %v", res[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

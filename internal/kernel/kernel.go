@@ -1,0 +1,640 @@
+package kernel
+
+import (
+	"errors"
+	"sync"
+
+	"github.com/litterbox-project/enclosure/internal/hw"
+	"github.com/litterbox-project/enclosure/internal/mem"
+	"github.com/litterbox-project/enclosure/internal/seccomp"
+	"github.com/litterbox-project/enclosure/internal/simfs"
+	"github.com/litterbox-project/enclosure/internal/simnet"
+)
+
+// PkeyOps is implemented by the simulated MPK unit; the kernel routes the
+// pkey_* system calls to it. When absent (no MPK hardware configured)
+// those calls fail with ENOSYS, as on a pre-Skylake kernel.
+type PkeyOps interface {
+	PkeyAlloc() (int, Errno)
+	PkeyFree(key int) Errno
+	PkeyMprotect(base mem.Addr, size uint64, perm mem.Perm, key int) Errno
+}
+
+// Kernel is the trusted simulated operating system. One instance serves
+// one simulated program. It owns the filesystem and network namespaces
+// and, when LB_MPK installs one, evaluates a seccomp BPF filter —
+// extended with the PKRU value — before dispatching each system call.
+type Kernel struct {
+	FS  *simfs.FS
+	Net *simnet.Net
+
+	clock *hw.Clock
+	space *mem.AddressSpace
+
+	mu     sync.Mutex
+	filter *seccomp.Program
+	pkeys  PkeyOps
+	rng    uint64
+	spans  map[mem.Addr]*mem.Section
+	nspan  int
+}
+
+// New returns a kernel over the given address space and clock with fresh
+// filesystem and network namespaces.
+func New(space *mem.AddressSpace, clock *hw.Clock) *Kernel {
+	return &Kernel{
+		FS:    simfs.New(),
+		Net:   simnet.New(),
+		clock: clock,
+		space: space,
+		rng:   0x9E3779B97F4A7C15,
+		spans: make(map[mem.Addr]*mem.Section),
+	}
+}
+
+// SetSeccompFilter installs (or clears) the BPF system-call filter.
+func (k *Kernel) SetSeccompFilter(p *seccomp.Program) {
+	k.mu.Lock()
+	k.filter = p
+	k.mu.Unlock()
+}
+
+// SetPkeyOps wires in the MPK unit's key management.
+func (k *Kernel) SetPkeyOps(ops PkeyOps) {
+	k.mu.Lock()
+	k.pkeys = ops
+	k.mu.Unlock()
+}
+
+// HeapOwner is the pseudo-package owning freshly mmap-ed spans until the
+// runtime Transfers them into a real package's arena.
+const HeapOwner = "runtime/heap"
+
+// Proc is the single simulated process of a program: identity plus a
+// file-descriptor table shared by all its simulated goroutines.
+type Proc struct {
+	k      *Kernel
+	UID    uint32
+	PID    uint32
+	HostIP uint32
+
+	mu     sync.Mutex
+	fds    map[int]*fdEntry
+	nextFD int
+	exited bool
+	code   int
+}
+
+type fdEntry struct {
+	file *simfs.File
+	conn *simnet.Conn
+	ln   *simnet.Listener
+	sock *sockState
+}
+
+type sockState struct {
+	bound simnet.Addr
+	has   bool
+}
+
+// NewProc creates the program's process with the given identity.
+func (k *Kernel) NewProc(uid, pid, hostIP uint32) *Proc {
+	return &Proc{k: k, UID: uid, PID: pid, HostIP: hostIP, fds: make(map[int]*fdEntry), nextFD: 3}
+}
+
+// Exited reports whether exit(2) was called, and its status code.
+func (p *Proc) Exited() (bool, int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.exited, p.code
+}
+
+func (p *Proc) allocFD(e *fdEntry) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fd := p.nextFD
+	p.nextFD++
+	p.fds[fd] = e
+	return fd
+}
+
+func (p *Proc) lookupFD(fd int) (*fdEntry, Errno) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.fds[fd]
+	if !ok {
+		return nil, EBADF
+	}
+	return e, OK
+}
+
+func (p *Proc) closeFD(fd int) Errno {
+	p.mu.Lock()
+	e, ok := p.fds[fd]
+	if ok {
+		delete(p.fds, fd)
+	}
+	p.mu.Unlock()
+	if !ok {
+		return EBADF
+	}
+	switch {
+	case e.file != nil:
+		_ = e.file.Close()
+	case e.conn != nil:
+		_ = e.conn.Close()
+	case e.ln != nil:
+		_ = e.ln.Close()
+	}
+	return OK
+}
+
+// InjectConn registers an already-established connection in the fd table
+// (the §6.5 mitigation of passing a pre-allocated socket into an
+// enclosure that may not create its own).
+func (p *Proc) InjectConn(c *simnet.Conn) int {
+	return p.allocFD(&fdEntry{conn: c})
+}
+
+// InjectListener registers a pre-bound listener in the fd table.
+func (p *Proc) InjectListener(l *simnet.Listener) int {
+	return p.allocFD(&fdEntry{ln: l})
+}
+
+// maxIO bounds single-call I/O, as real kernels bound with RLIMIT-ish caps.
+const maxIO = 1 << 20
+
+// Invoke executes one system call on behalf of proc. The cpu supplies the
+// PKRU value the installed seccomp filter indexes and is charged the
+// baseline syscall cost. A filtered call returns ESECCOMP without
+// executing.
+func (k *Kernel) Invoke(p *Proc, cpu *hw.CPU, nr Nr, args [6]uint64) (uint64, Errno) {
+	k.clock.Advance(hw.CostSyscall)
+	cpu.Counters.Syscalls.Add(1)
+
+	k.mu.Lock()
+	filter := k.filter
+	k.mu.Unlock()
+	if filter != nil {
+		k.clock.Advance(hw.CostBPFFilter)
+		cpu.Counters.BPFRuns.Add(1)
+		d := &seccomp.Data{
+			Nr:   uint32(nr),
+			Arch: seccomp.AuditArchSim,
+			Args: args,
+			PKRU: uint32(cpu.PeekPKRU()),
+		}
+		verdict, err := filter.Run(d)
+		if err != nil {
+			return 0, EINVAL
+		}
+		if seccomp.ActionOf(verdict) != seccomp.RetAllow {
+			return 0, ESECCOMP
+		}
+	}
+	return k.dispatch(p, nr, args)
+}
+
+// InvokeUnfiltered executes a system call bypassing the BPF filter — the
+// LB_VTX host side, which filters in the guest kernel before the
+// hypercall (§5.3), and trusted runtime paths use this entry point.
+func (k *Kernel) InvokeUnfiltered(p *Proc, cpu *hw.CPU, nr Nr, args [6]uint64) (uint64, Errno) {
+	k.clock.Advance(hw.CostSyscall)
+	cpu.Counters.Syscalls.Add(1)
+	return k.dispatch(p, nr, args)
+}
+
+func (k *Kernel) dispatch(p *Proc, nr Nr, args [6]uint64) (uint64, Errno) {
+	switch nr {
+	case NrRead:
+		return k.sysRead(p, int(args[0]), mem.Addr(args[1]), args[2])
+	case NrWrite:
+		return k.sysWrite(p, int(args[0]), mem.Addr(args[1]), args[2])
+	case NrClose:
+		return 0, p.closeFD(int(args[0]))
+	case NrOpen:
+		return k.sysOpen(p, mem.Addr(args[0]), args[1], int(args[2]))
+	case NrUnlink:
+		return k.sysUnlink(p, mem.Addr(args[0]), args[1])
+	case NrMkdir:
+		return k.sysMkdir(p, mem.Addr(args[0]), args[1])
+	case NrReadDir:
+		return k.sysReadDir(p, mem.Addr(args[0]), args[1], mem.Addr(args[2]), args[3])
+	case NrStat:
+		return k.sysStat(p, mem.Addr(args[0]), args[1])
+	case NrSocket:
+		return uint64(p.allocFD(&fdEntry{sock: &sockState{}})), OK
+	case NrBind:
+		return k.sysBind(p, int(args[0]), uint32(args[1]), uint16(args[2]))
+	case NrListen:
+		return k.sysListen(p, int(args[0]))
+	case NrAccept:
+		return k.sysAccept(p, int(args[0]))
+	case NrConnect:
+		return k.sysConnect(p, int(args[0]), uint32(args[1]), uint16(args[2]))
+	case NrShutdown:
+		return 0, p.closeFD(int(args[0]))
+	case NrSend:
+		return k.sysWrite(p, int(args[0]), mem.Addr(args[1]), args[2])
+	case NrRecv:
+		return k.sysRead(p, int(args[0]), mem.Addr(args[1]), args[2])
+	case NrMmap:
+		return k.sysMmap(args[0])
+	case NrMunmap:
+		return k.sysMunmap(mem.Addr(args[0]))
+	case NrMprotect:
+		return 0, OK // section default perms are fixed in this model
+	case NrPkeyAlloc:
+		if k.pkeys == nil {
+			return 0, ENOSYS
+		}
+		key, errno := k.pkeys.PkeyAlloc()
+		return uint64(key), errno
+	case NrPkeyFree:
+		if k.pkeys == nil {
+			return 0, ENOSYS
+		}
+		return 0, k.pkeys.PkeyFree(int(args[0]))
+	case NrPkeyMprotect:
+		if k.pkeys == nil {
+			return 0, ENOSYS
+		}
+		return 0, k.pkeys.PkeyMprotect(mem.Addr(args[0]), args[1], mem.Perm(args[2]), int(args[3]))
+	case NrGetuid:
+		return uint64(p.UID), OK
+	case NrGetpid:
+		return uint64(p.PID), OK
+	case NrExit:
+		p.mu.Lock()
+		p.exited, p.code = true, int(args[0])
+		p.mu.Unlock()
+		return 0, OK
+	case NrKill:
+		return 0, EPERM // single-process world: nothing to signal
+	case NrGetrandom:
+		return k.sysGetrandom(mem.Addr(args[0]), args[1])
+	case NrClockGettime:
+		if err := k.space.Store64(mem.Addr(args[0]), uint64(k.clock.Now())); err != nil {
+			return 0, EFAULT
+		}
+		return 0, OK
+	case NrNanosleep:
+		k.clock.Advance(int64(args[0]))
+		return 0, OK
+	case NrFutex:
+		return 0, OK // cooperative simulation: wakeups are immediate
+	case NrSeccomp:
+		return 0, ENOSYS // filters are installed via SetSeccompFilter
+	case NrLseek:
+		return k.sysLseek(p, int(args[0]), int64(args[1]), int(args[2]))
+	case NrDup:
+		return k.sysDup(p, int(args[0]))
+	case NrPipe:
+		// Returns the two descriptors packed as read<<32 | write.
+		r, w := simnet.Pair()
+		rfd := p.allocFD(&fdEntry{conn: r})
+		wfd := p.allocFD(&fdEntry{conn: w})
+		return uint64(rfd)<<32 | uint64(wfd), OK
+	default:
+		return 0, ENOSYS
+	}
+}
+
+func (k *Kernel) readPath(addr mem.Addr, n uint64) (string, Errno) {
+	if n == 0 || n > 4096 {
+		return "", EINVAL
+	}
+	buf := make([]byte, n)
+	if err := k.space.ReadAt(addr, buf); err != nil {
+		return "", EFAULT
+	}
+	return string(buf), OK
+}
+
+func (k *Kernel) sysRead(p *Proc, fd int, buf mem.Addr, n uint64) (uint64, Errno) {
+	if n > maxIO {
+		n = maxIO
+	}
+	e, errno := p.lookupFD(fd)
+	if errno != OK {
+		return 0, errno
+	}
+	tmp := make([]byte, n)
+	var got int
+	var err error
+	switch {
+	case e.file != nil:
+		got, err = e.file.Read(tmp)
+		if err != nil && simfs.IsEOF(err) {
+			return 0, OK // POSIX: read at EOF returns 0
+		}
+	case e.conn != nil:
+		got, err = e.conn.Read(tmp)
+		if err != nil && got == 0 {
+			return 0, OK // closed stream reads as EOF
+		}
+	default:
+		return 0, EBADF
+	}
+	if err != nil && got == 0 {
+		return 0, EBADF
+	}
+	if got > 0 {
+		if werr := k.space.WriteAt(buf, tmp[:got]); werr != nil {
+			return 0, EFAULT
+		}
+	}
+	return uint64(got), OK
+}
+
+func (k *Kernel) sysWrite(p *Proc, fd int, buf mem.Addr, n uint64) (uint64, Errno) {
+	if n > maxIO {
+		n = maxIO
+	}
+	e, errno := p.lookupFD(fd)
+	if errno != OK {
+		return 0, errno
+	}
+	tmp := make([]byte, n)
+	if err := k.space.ReadAt(buf, tmp); err != nil {
+		return 0, EFAULT
+	}
+	var wrote int
+	var err error
+	switch {
+	case e.file != nil:
+		wrote, err = e.file.Write(tmp)
+	case e.conn != nil:
+		wrote, err = e.conn.Write(tmp)
+	default:
+		return 0, EBADF
+	}
+	if err != nil {
+		return uint64(wrote), EBADF
+	}
+	return uint64(wrote), OK
+}
+
+func (k *Kernel) sysOpen(p *Proc, pathAddr mem.Addr, pathLen uint64, flags int) (uint64, Errno) {
+	path, errno := k.readPath(pathAddr, pathLen)
+	if errno != OK {
+		return 0, errno
+	}
+	f, err := k.FS.Open(path, flags)
+	if err != nil {
+		return 0, fsErrno(err)
+	}
+	return uint64(p.allocFD(&fdEntry{file: f})), OK
+}
+
+func (k *Kernel) sysUnlink(p *Proc, pathAddr mem.Addr, pathLen uint64) (uint64, Errno) {
+	path, errno := k.readPath(pathAddr, pathLen)
+	if errno != OK {
+		return 0, errno
+	}
+	if err := k.FS.Remove(path); err != nil {
+		return 0, fsErrno(err)
+	}
+	return 0, OK
+}
+
+func (k *Kernel) sysMkdir(p *Proc, pathAddr mem.Addr, pathLen uint64) (uint64, Errno) {
+	path, errno := k.readPath(pathAddr, pathLen)
+	if errno != OK {
+		return 0, errno
+	}
+	if err := k.FS.MkdirAll(path); err != nil {
+		return 0, fsErrno(err)
+	}
+	return 0, OK
+}
+
+func (k *Kernel) sysReadDir(p *Proc, pathAddr mem.Addr, pathLen uint64, buf mem.Addr, bufLen uint64) (uint64, Errno) {
+	path, errno := k.readPath(pathAddr, pathLen)
+	if errno != OK {
+		return 0, errno
+	}
+	names, err := k.FS.ReadDir(path)
+	if err != nil {
+		return 0, fsErrno(err)
+	}
+	out := []byte{}
+	for i, n := range names {
+		if i > 0 {
+			out = append(out, '\n')
+		}
+		out = append(out, n...)
+	}
+	if uint64(len(out)) > bufLen {
+		out = out[:bufLen]
+	}
+	if len(out) > 0 {
+		if werr := k.space.WriteAt(buf, out); werr != nil {
+			return 0, EFAULT
+		}
+	}
+	return uint64(len(out)), OK
+}
+
+func (k *Kernel) sysStat(p *Proc, pathAddr mem.Addr, pathLen uint64) (uint64, Errno) {
+	path, errno := k.readPath(pathAddr, pathLen)
+	if errno != OK {
+		return 0, errno
+	}
+	data, err := k.FS.ReadFile(path)
+	if err != nil {
+		return 0, fsErrno(err)
+	}
+	return uint64(len(data)), OK
+}
+
+func (k *Kernel) sysBind(p *Proc, fd int, host uint32, port uint16) (uint64, Errno) {
+	e, errno := p.lookupFD(fd)
+	if errno != OK {
+		return 0, errno
+	}
+	if e.sock == nil {
+		return 0, ENOTSOCK
+	}
+	e.sock.bound = simnet.Addr{Host: host, Port: port}
+	e.sock.has = true
+	return 0, OK
+}
+
+func (k *Kernel) sysListen(p *Proc, fd int) (uint64, Errno) {
+	e, errno := p.lookupFD(fd)
+	if errno != OK {
+		return 0, errno
+	}
+	if e.sock == nil || !e.sock.has {
+		return 0, ENOTSOCK
+	}
+	l, err := k.Net.Listen(e.sock.bound)
+	if err != nil {
+		return 0, EADDRINUSE
+	}
+	e.ln = l
+	return 0, OK
+}
+
+func (k *Kernel) sysAccept(p *Proc, fd int) (uint64, Errno) {
+	e, errno := p.lookupFD(fd)
+	if errno != OK {
+		return 0, errno
+	}
+	if e.ln == nil {
+		return 0, ENOTSOCK
+	}
+	c, err := e.ln.Accept()
+	if err != nil {
+		return 0, EBADF
+	}
+	return uint64(p.allocFD(&fdEntry{conn: c})), OK
+}
+
+func (k *Kernel) sysConnect(p *Proc, fd int, host uint32, port uint16) (uint64, Errno) {
+	e, errno := p.lookupFD(fd)
+	if errno != OK {
+		return 0, errno
+	}
+	if e.sock == nil {
+		return 0, ENOTSOCK
+	}
+	c, err := k.Net.Dial(p.HostIP, simnet.Addr{Host: host, Port: port})
+	if err != nil {
+		return 0, ECONNREFUSED
+	}
+	e.conn = c
+	e.sock = nil
+	return 0, OK
+}
+
+func (k *Kernel) sysMmap(size uint64) (uint64, Errno) {
+	if size == 0 {
+		return 0, EINVAL
+	}
+	k.mu.Lock()
+	k.nspan++
+	name := spanName(k.nspan)
+	k.mu.Unlock()
+	s, err := k.space.Map(name, HeapOwner, mem.KindHeap, size, mem.PermR|mem.PermW)
+	if err != nil {
+		return 0, EFAULT
+	}
+	k.mu.Lock()
+	k.spans[s.Base] = s
+	k.mu.Unlock()
+	return uint64(s.Base), OK
+}
+
+func (k *Kernel) sysMunmap(base mem.Addr) (uint64, Errno) {
+	k.mu.Lock()
+	s, ok := k.spans[base]
+	if ok {
+		delete(k.spans, base)
+	}
+	k.mu.Unlock()
+	if !ok {
+		return 0, EINVAL
+	}
+	if err := k.space.Unmap(s); err != nil {
+		return 0, EINVAL
+	}
+	return 0, OK
+}
+
+func (k *Kernel) sysLseek(p *Proc, fd int, offset int64, whence int) (uint64, Errno) {
+	e, errno := p.lookupFD(fd)
+	if errno != OK {
+		return 0, errno
+	}
+	if e.file == nil {
+		return 0, EINVAL // seeking sockets is ESPIPE territory
+	}
+	pos, err := e.file.Seek(offset, whence)
+	if err != nil {
+		return 0, EINVAL
+	}
+	return uint64(pos), OK
+}
+
+// sysDup duplicates a descriptor; both share the underlying object (and
+// for files, the cursor — as dup(2) does).
+func (k *Kernel) sysDup(p *Proc, fd int) (uint64, Errno) {
+	e, errno := p.lookupFD(fd)
+	if errno != OK {
+		return 0, errno
+	}
+	dup := *e
+	return uint64(p.allocFD(&dup)), OK
+}
+
+func (k *Kernel) sysGetrandom(buf mem.Addr, n uint64) (uint64, Errno) {
+	if n > maxIO {
+		n = maxIO
+	}
+	out := make([]byte, n)
+	k.mu.Lock()
+	x := k.rng
+	for i := range out {
+		// xorshift64*: deterministic, good enough for a simulated kernel.
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		out[i] = byte((x * 0x2545F4914F6CDD1D) >> 56)
+	}
+	k.rng = x
+	k.mu.Unlock()
+	if err := k.space.WriteAt(buf, out); err != nil {
+		return 0, EFAULT
+	}
+	return n, OK
+}
+
+// SpanSection returns the still-mapped span starting at base, if any.
+func (k *Kernel) SpanSection(base mem.Addr) *mem.Section {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.spans[base]
+}
+
+func spanName(i int) string {
+	// fmt.Sprintf would be fine; this is on the allocation path, so keep
+	// it allocation-light.
+	buf := [24]byte{'s', 'p', 'a', 'n', '-'}
+	n := 5
+	if i == 0 {
+		buf[n] = '0'
+		n++
+	} else {
+		start := n
+		for i > 0 {
+			buf[n] = byte('0' + i%10)
+			i /= 10
+			n++
+		}
+		for l, r := start, n-1; l < r; l, r = l+1, r-1 {
+			buf[l], buf[r] = buf[r], buf[l]
+		}
+	}
+	return string(buf[:n])
+}
+
+func fsErrno(err error) Errno {
+	switch {
+	case err == nil:
+		return OK
+	case errors.Is(err, simfs.ErrNotExist):
+		return ENOENT
+	case errors.Is(err, simfs.ErrExist):
+		return EEXIST
+	case errors.Is(err, simfs.ErrIsDir):
+		return EISDIR
+	case errors.Is(err, simfs.ErrNotDir):
+		return ENOTDIR
+	case errors.Is(err, simfs.ErrBadFlags):
+		return EINVAL
+	default:
+		return EACCES
+	}
+}

@@ -1,0 +1,302 @@
+package litterbox
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/litterbox-project/enclosure/internal/hw"
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/mem"
+	"github.com/litterbox-project/enclosure/internal/mpk"
+	"github.com/litterbox-project/enclosure/internal/seccomp"
+)
+
+// ErrTooManyMetaPkgs is retained for API stability; since libmpk-style
+// key virtualisation was implemented (mpk_virt.go) it is only returned
+// when a *single* memory view needs more meta-packages than the key
+// cache holds (see ErrViewTooWide).
+var ErrTooManyMetaPkgs = errors.New("litterbox/mpk: more meta-packages than protection keys")
+
+// MPKBackend is LB_MPK (§5.3): one protection key per meta-package, an
+// execution environment is simply a PKRU value, switches are PKRU
+// writes, transfers are pkey_mprotect calls, and system calls are
+// filtered by a seccomp BPF program indexed by the PKRU value.
+type MPKBackend struct {
+	unit *mpk.Unit
+	lb   *LitterBox
+
+	mu        sync.Mutex
+	keyByMeta []int          // meta-package index → protection key
+	keyOf     map[string]int // package → protection key
+	superKey  int
+	rules     map[uint32]seccomp.EnvRule // PKRU value → syscall rule
+	virt      *virtState                 // non-nil when keys are virtualised
+}
+
+// NewMPK returns an LB_MPK backend over the simulated MPK unit.
+func NewMPK(unit *mpk.Unit) *MPKBackend {
+	return &MPKBackend{unit: unit, keyOf: make(map[string]int), rules: make(map[uint32]seccomp.EnvRule)}
+}
+
+// Name implements Backend.
+func (b *MPKBackend) Name() string { return "mpk" }
+
+// Unit exposes the MPK unit (for tests).
+func (b *MPKBackend) Unit() *mpk.Unit { return b.unit }
+
+// Setup implements Backend: scan untrusted text for WRPKRU, allocate one
+// key per meta-package, tag every section, derive each environment's
+// PKRU, and load the PKRU-indexed seccomp filter.
+func (b *MPKBackend) Setup(lb *LitterBox) error {
+	b.lb = lb
+
+	// ERIM-style scan: only LitterBox may modify PKRU.
+	for _, sec := range lb.Space.Sections() {
+		if sec.Kind != mem.KindText {
+			continue
+		}
+		if sec.Pkg == userName || sec.Pkg == superName {
+			continue
+		}
+		if err := b.unit.ScanText(sec); err != nil {
+			return err
+		}
+	}
+
+	metas := lb.MetaPackages()
+	// One key per meta-package plus one for super-and-heap-pool state.
+	// super is always its own meta-package (no env maps it), so its key
+	// doubles as the pool key. With more meta-packages than keys, fall
+	// back to libmpk-style key virtualisation (mpk_virt.go).
+	if len(metas) > hw.NumKeys-1 {
+		if err := b.setupVirt(lb, metas); err != nil {
+			return err
+		}
+		for id := EnvID(0); ; id++ {
+			env, ok := lb.Env(id)
+			if !ok {
+				break
+			}
+			b.derivePKRUVirt(env, metas)
+			b.addRule(env)
+		}
+		b.lb.Kernel.SetPkeyOps(b.unit)
+		return b.reloadFilter()
+	}
+	b.keyByMeta = make([]int, len(metas))
+	for i, group := range metas {
+		key, errno := b.unit.PkeyAlloc()
+		if errno != kernel.OK {
+			return fmt.Errorf("litterbox/mpk: pkey_alloc: %v", errno)
+		}
+		b.keyByMeta[i] = key
+		for _, pkg := range group {
+			b.keyOf[pkg] = key
+		}
+	}
+	sk, ok := b.keyOf[superName]
+	if !ok {
+		return fmt.Errorf("litterbox/mpk: %s missing from clustering", superName)
+	}
+	b.superKey = sk
+	b.keyOf[kernel.HeapOwner] = sk // pooled spans are invisible to all views
+
+	// Tag every section with its owner's key.
+	for _, sec := range lb.Space.Sections() {
+		key, ok := b.keyOf[sec.Pkg]
+		if !ok {
+			key = b.superKey // unknown owners default to inaccessible
+		}
+		if errno := b.unit.PkeyMprotect(sec.Base, sec.Size, sec.Perm, key); errno != kernel.OK {
+			return fmt.Errorf("litterbox/mpk: tagging %s: %v", sec, errno)
+		}
+	}
+
+	// Derive PKRU values and syscall rules for every environment.
+	for id := EnvID(0); ; id++ {
+		env, ok := lb.Env(id)
+		if !ok {
+			break
+		}
+		b.derivePKRU(env, metas)
+		b.addRule(env)
+	}
+	b.lb.Kernel.SetPkeyOps(b.unit)
+	return b.reloadFilter()
+}
+
+// derivePKRU computes env's PKRU from its per-meta-package modifier.
+func (b *MPKBackend) derivePKRU(env *Env, metas [][]string) {
+	if b.virt != nil {
+		b.derivePKRUVirt(env, metas)
+		return
+	}
+	pkru := hw.PKRUAllDenied
+	for i, group := range metas {
+		mod := env.ModOf(group[0])
+		key := b.keyByMeta[i]
+		pkru = pkru.WithKey(key, mod >= ModR, mod >= ModRW)
+	}
+	// Keys outside any meta-package (including 0 and the heap pool under
+	// superKey) stay denied unless trusted.
+	if env.Trusted {
+		for k := 0; k < hw.NumKeys; k++ {
+			pkru = pkru.WithKey(k, true, true)
+		}
+		pkru = pkru.WithKey(b.superKey, false, false)
+	}
+	env.PKRU = pkru
+}
+
+// addRule registers env's syscall mask under its PKRU value. Two
+// environments sharing a PKRU but disagreeing on categories intersect —
+// the conservative, never-escalating resolution.
+func (b *MPKBackend) addRule(env *Env) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var nrs []uint32
+	if env.Trusted {
+		for _, n := range kernel.Numbers() {
+			nrs = append(nrs, uint32(n))
+		}
+	} else {
+		for _, n := range kernel.NumbersIn(env.Cats) {
+			nrs = append(nrs, uint32(n))
+		}
+	}
+	rule := seccomp.EnvRule{PKRU: uint32(env.PKRU), Allowed: nrs}
+	if env.Cats.Has(kernel.CatNet) && len(env.ConnectAllow) > 0 {
+		rule.ConnectNr = uint32(kernel.NrConnect)
+		rule.ConnectAllow = append([]uint32(nil), env.ConnectAllow...)
+	}
+	if prev, ok := b.rules[rule.PKRU]; ok {
+		rule.Allowed = intersectNrs(prev.Allowed, rule.Allowed)
+		if len(prev.ConnectAllow) > 0 {
+			rule.ConnectNr = prev.ConnectNr
+			rule.ConnectAllow = prev.ConnectAllow
+		}
+	}
+	b.rules[rule.PKRU] = rule
+}
+
+func intersectNrs(a, c []uint32) []uint32 {
+	in := make(map[uint32]bool, len(a))
+	for _, n := range a {
+		in[n] = true
+	}
+	var out []uint32
+	for _, n := range c {
+		if in[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// reloadFilter recompiles and installs the BPF program.
+func (b *MPKBackend) reloadFilter() error {
+	b.mu.Lock()
+	rules := make([]seccomp.EnvRule, 0, len(b.rules))
+	for _, r := range b.rules {
+		rules = append(rules, r)
+	}
+	b.mu.Unlock()
+	prog, err := seccomp.CompileFilter(rules, seccomp.RetTrap, seccomp.RetTrap)
+	if err != nil {
+		return fmt.Errorf("litterbox/mpk: compiling seccomp filter: %w", err)
+	}
+	b.lb.Kernel.SetSeccompFilter(prog)
+	return nil
+}
+
+// CreateEnv implements Backend: a lazily materialised intersection
+// environment needs a PKRU and a filter rule. Meta-package membership is
+// uniform under intersection (members shared modifiers in both parents),
+// so the PKRU derivation is unchanged.
+func (b *MPKBackend) CreateEnv(env *Env) error {
+	b.derivePKRU(env, b.lb.MetaPackages())
+	b.addRule(env)
+	return b.reloadFilter()
+}
+
+// Switch implements Backend: validate the call-site, then one WRPKRU.
+// Under key virtualisation, a target view touching cold meta-packages
+// first takes the libmpk slow path that pages them into the key cache.
+func (b *MPKBackend) Switch(cpu *hw.CPU, from, to *Env, verify func() error) error {
+	if verify != nil {
+		if err := verify(); err != nil {
+			return err
+		}
+	}
+	if b.virt != nil {
+		if _, err := b.ensureCached(cpu, to); err != nil {
+			return err
+		}
+	}
+	cpu.WritePKRU(to.PKRU)
+	return nil
+}
+
+// CheckAccess implements Backend via the MPK unit's PKRU enforcement.
+func (b *MPKBackend) CheckAccess(cpu *hw.CPU, addr mem.Addr, size uint64, write bool) error {
+	return b.unit.CheckAccess(cpu, addr, size, write)
+}
+
+// CheckExec implements Backend. MPK protects data accesses only; the
+// fetch-side restriction is enforced at the language level (the view
+// check the runtime already performed) plus the WRPKRU scan, so there is
+// nothing further to do here — faithfully mirroring the hardware.
+func (b *MPKBackend) CheckExec(cpu *hw.CPU, env *Env, pkg string, entry mem.Addr) error {
+	return nil
+}
+
+// Transfer implements Backend: one pkey_mprotect retags the span with
+// the destination arena's key (Table 1: 1002ns end to end).
+func (b *MPKBackend) Transfer(cpu *hw.CPU, sec *mem.Section, toPkg string) error {
+	key := b.currentKeyOf(toPkg)
+	b.lb.Clock.Advance(hw.CostPkeyMprotect)
+	cpu.Counters.PkeyMprotects.Add(1)
+	if errno := b.unit.PkeyMprotect(sec.Base, sec.Size, sec.Perm, key); errno != kernel.OK {
+		return fmt.Errorf("litterbox/mpk: transfer %s to %s: %v", sec, toPkg, errno)
+	}
+	return nil
+}
+
+// Syscall implements Backend: the native syscall path; the kernel's
+// PKRU-indexed seccomp filter decides (Table 1: 523ns for getuid).
+func (b *MPKBackend) Syscall(cpu *hw.CPU, env *Env, nr kernel.Nr, args [6]uint64) (uint64, kernel.Errno) {
+	return b.lb.Kernel.Invoke(b.lb.Proc, cpu, nr, args)
+}
+
+// KeyOf exposes a package's protection key (for tests; -1 if untagged).
+func (b *MPKBackend) KeyOf(pkg string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if k, ok := b.keyOf[pkg]; ok {
+		return k
+	}
+	return -1
+}
+
+// DescribeKeys renders the key assignment for diagnostics.
+func (b *MPKBackend) DescribeKeys() string {
+	metas := b.lb.MetaPackages()
+	var sb strings.Builder
+	for i, group := range metas {
+		key := 0
+		switch {
+		case b.virt != nil:
+			key = b.virt.physOf[i]
+		default:
+			key = b.keyByMeta[i]
+		}
+		label := fmt.Sprintf("key %d", key)
+		if b.virt != nil && key == virtColdKey {
+			label = "cold (key 15)"
+		}
+		fmt.Fprintf(&sb, "%s: %s\n", label, strings.Join(group, ", "))
+	}
+	return sb.String()
+}

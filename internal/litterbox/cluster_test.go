@@ -1,0 +1,122 @@
+package litterbox_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/litterbox-project/enclosure/internal/hw"
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/linker"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+	"github.com/litterbox-project/enclosure/internal/mem"
+	"github.com/litterbox-project/enclosure/internal/pkggraph"
+)
+
+// TestClusteringProperty: for random programs and policies, any two
+// packages sharing a meta-package have identical access modifiers in
+// every environment — the invariant that makes one protection key per
+// meta-package sound (§5.3).
+func TestClusteringProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := seed | 1
+		next := func() uint32 {
+			rng = rng*1664525 + 1013904223
+			return rng
+		}
+		const nPkgs = 8
+		g := pkggraph.New()
+		name := func(i int) string { return fmt.Sprintf("p%d", i) }
+		for i := 0; i < nPkgs; i++ {
+			var imports []string
+			for j := 0; j < i; j++ {
+				if next()%3 == 0 {
+					imports = append(imports, name(j))
+				}
+			}
+			if err := g.Add(&pkggraph.Package{Name: name(i), Imports: imports, Vars: map[string]int{"v": 8}}); err != nil {
+				return false
+			}
+		}
+		if err := g.AddReserved(&pkggraph.Package{Name: pkggraph.UserPkg}); err != nil {
+			return false
+		}
+		if err := g.AddReserved(&pkggraph.Package{Name: pkggraph.SuperPkg}); err != nil {
+			return false
+		}
+		if err := g.Seal(); err != nil {
+			return false
+		}
+
+		nEncl := int(next()%3) + 1
+		var decls []linker.DeclInput
+		var specs []litterbox.EnclosureSpec
+		mods := []litterbox.AccessMod{litterbox.ModR, litterbox.ModRW, litterbox.ModRWX}
+		for e := 0; e < nEncl; e++ {
+			declPkg := name(int(next()) % nPkgs)
+			pol := litterbox.Policy{Mods: map[string]litterbox.AccessMod{}}
+			for i := 0; i < nPkgs; i++ {
+				switch next() % 5 {
+				case 0:
+					pol.Mods[name(i)] = mods[next()%3]
+				case 1:
+					pol.Mods[name(i)] = litterbox.ModU
+				}
+			}
+			nm := fmt.Sprintf("e%d", e)
+			decls = append(decls, linker.DeclInput{Name: nm, Pkg: declPkg, Policy: "random"})
+			specs = append(specs, litterbox.EnclosureSpec{ID: e + 1, Name: nm, Pkg: declPkg, Policy: pol})
+		}
+
+		space := mem.NewAddressSpace(0)
+		img, err := linker.Link(g, decls, space)
+		if err != nil {
+			return false
+		}
+		clock := hw.NewClock()
+		k := kernel.New(space, clock)
+		lb, err := litterbox.Init(litterbox.Config{
+			Image: img, Specs: specs, Clock: clock,
+			Kernel: k, Proc: k.NewProc(1, 1, 1),
+			Backend: litterbox.NewBaseline(),
+		})
+		if err != nil {
+			return false
+		}
+
+		envs := lb.EnvsSnapshot()
+		for _, group := range lb.MetaPackages() {
+			for i := 1; i < len(group); i++ {
+				for _, env := range envs {
+					if env.ModOf(group[0]) != env.ModOf(group[i]) {
+						t.Logf("seed %d: %s and %s clustered but differ in %s",
+							seed, group[0], group[i], env)
+						return false
+					}
+				}
+			}
+		}
+		// And the clustering is maximal: packages in different groups
+		// differ somewhere.
+		metas := lb.MetaPackages()
+		for a := 0; a < len(metas); a++ {
+			for b := a + 1; b < len(metas); b++ {
+				same := true
+				for _, env := range envs {
+					if env.ModOf(metas[a][0]) != env.ModOf(metas[b][0]) {
+						same = false
+						break
+					}
+				}
+				if same {
+					t.Logf("seed %d: groups %v and %v should have merged", seed, metas[a], metas[b])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

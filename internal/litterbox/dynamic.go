@@ -1,0 +1,159 @@
+package litterbox
+
+import (
+	"fmt"
+
+	"github.com/litterbox-project/enclosure/internal/hw"
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/mem"
+	"github.com/litterbox-project/enclosure/internal/pkggraph"
+	"github.com/litterbox-project/enclosure/internal/seccomp"
+)
+
+// Dynamic package registration (§5.2): dynamic languages import modules
+// lazily, so "LitterBox must accept multiple calls to Init, each of
+// which provide only partial information about a program", and "the
+// execution of an enclosure can trigger new imports, so LitterBox's
+// default policy makes these new packages available to the executing
+// enclosure, unless explicitly restricted by user policies."
+//
+// AddDynamicPackage is that incremental-Init path: it grows the
+// dependence graph, validates the new sections, and extends the views
+// of the environments the import should be visible to (the importing
+// enclosure plus, implicitly, the trusted environment).
+
+// DynamicMapper is implemented by backends that can admit packages
+// after Init.
+type DynamicMapper interface {
+	// MapDynamicPackage makes the package's sections accessible at the
+	// given modifier in each listed environment (full access in
+	// trusted is implied and must also be arranged).
+	MapDynamicPackage(cpu *hw.CPU, pkg string, secs []*mem.Section, visibleTo []*Env) error
+}
+
+// ErrNoDynamicSupport reports a backend without run-time imports.
+var ErrNoDynamicSupport = fmt.Errorf("litterbox: backend cannot admit packages after Init")
+
+// AddDynamicPackage registers a run-time import. The package must
+// already be in the graph (pkggraph.AddIncremental) with its sections
+// mapped; visibleTo lists the enclosure environments whose views gain
+// the module at full access (the paper's default for import-triggering
+// enclosures).
+func (lb *LitterBox) AddDynamicPackage(cpu *hw.CPU, p *pkggraph.Package, secs []*mem.Section, visibleTo []*Env) error {
+	for _, sec := range secs {
+		if !sec.Base.PageAligned() || sec.Size%mem.PageSize != 0 {
+			return fmt.Errorf("%w: %s", ErrMisaligned, sec)
+		}
+	}
+	dm, ok := lb.backend.(DynamicMapper)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoDynamicSupport, lb.backend.Name())
+	}
+
+	lb.mu.Lock()
+	for _, env := range visibleTo {
+		if env.Trusted {
+			continue
+		}
+		env.extendView(p.Name, ModRWX)
+	}
+	// Track the package in the clustering tables as its own group; the
+	// MPK backend assigns it a fresh key below.
+	lb.pkgToMeta[p.Name] = len(lb.metaPkgs)
+	lb.metaPkgs = append(lb.metaPkgs, []string{p.Name})
+	lb.mu.Unlock()
+
+	if err := dm.MapDynamicPackage(cpu, p.Name, secs, visibleTo); err != nil {
+		return err
+	}
+	lb.record("import", nil, "dynamic package %s (+%d sections)", p.Name, len(secs))
+	return nil
+}
+
+// --- Baseline: nothing to enforce, nothing to map. -------------------
+
+// MapDynamicPackage implements DynamicMapper.
+func (b *BaselineBackend) MapDynamicPackage(cpu *hw.CPU, pkg string, secs []*mem.Section, visibleTo []*Env) error {
+	return nil
+}
+
+// --- VT-x: map the sections into the visible tables. ------------------
+
+// MapDynamicPackage implements DynamicMapper.
+func (b *VTXBackend) MapDynamicPackage(cpu *hw.CPU, pkg string, secs []*mem.Section, visibleTo []*Env) error {
+	targets := append([]*Env{b.lb.Trusted()}, visibleTo...)
+	for _, env := range targets {
+		mod := ModRWX
+		for _, sec := range secs {
+			rights := sectionRights(mod, sec.Kind) & sec.Perm
+			if rights == mem.PermNone {
+				continue
+			}
+			b.lb.Clock.Advance(hw.CostEPTToggle)
+			if err := b.machine.MapSection(env.Table, sec, rights); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// --- CHERI: grant capabilities in the visible tables. -----------------
+
+// MapDynamicPackage implements DynamicMapper.
+func (b *CHERIBackend) MapDynamicPackage(cpu *hw.CPU, pkg string, secs []*mem.Section, visibleTo []*Env) error {
+	targets := append([]*Env{b.lb.Trusted()}, visibleTo...)
+	for _, env := range targets {
+		for _, sec := range secs {
+			rights := sectionRights(ModRWX, sec.Kind) & sec.Perm
+			if rights == mem.PermNone {
+				continue
+			}
+			if err := b.GrantCapability(env, sec.Base, sec.Size, rights); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// --- MPK: fresh key, retag, refresh PKRUs and the syscall filter. ------
+
+// MapDynamicPackage implements DynamicMapper. The new module gets its
+// own protection key; the importing environments' PKRU values gain it,
+// and because PKRU values identify environments in the seccomp filter,
+// the filter is re-derived (the same slow path libmpk remaps take).
+// Tasks already inside an affected environment pick the new PKRU up at
+// their next switch — the import itself runs through the trusted
+// runtime, so the importer always returns via Execute and sees it.
+func (b *MPKBackend) MapDynamicPackage(cpu *hw.CPU, pkg string, secs []*mem.Section, visibleTo []*Env) error {
+	if b.virt != nil {
+		return fmt.Errorf("%w: dynamic imports with virtualised keys", ErrNoDynamicSupport)
+	}
+	key, errno := b.unit.PkeyAlloc()
+	if errno != kernel.OK {
+		return fmt.Errorf("litterbox/mpk: pkey_alloc for %s: %v", pkg, errno)
+	}
+	b.mu.Lock()
+	b.keyByMeta = append(b.keyByMeta, key)
+	b.keyOf[pkg] = key
+	b.mu.Unlock()
+	for _, sec := range secs {
+		b.lb.Clock.Advance(hw.CostPkeyMprotect)
+		cpu.Counters.PkeyMprotects.Add(1)
+		if errno := b.unit.PkeyMprotect(sec.Base, sec.Size, sec.Perm, key); errno != kernel.OK {
+			return fmt.Errorf("litterbox/mpk: tagging %s: %v", sec, errno)
+		}
+	}
+	// Refresh every environment's PKRU (the new key defaults to denied;
+	// trusted and the importers gain it) and re-derive the filter.
+	b.mu.Lock()
+	b.rules = make(map[uint32]seccomp.EnvRule)
+	b.mu.Unlock()
+	metas := b.lb.MetaPackages()
+	for _, env := range b.lb.EnvsSnapshot() {
+		b.derivePKRU(env, metas)
+		b.addRule(env)
+	}
+	return b.reloadFilter()
+}

@@ -1,0 +1,214 @@
+package litterbox
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/litterbox-project/enclosure/internal/hw"
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/mem"
+)
+
+// EnvID identifies an execution environment. The trusted environment —
+// non-enclosed code with access to everything except LitterBox's super
+// package — is always TrustedEnv.
+type EnvID int
+
+// TrustedEnv is the identifier of the trusted execution environment.
+const TrustedEnv EnvID = 0
+
+// Env is one execution environment: a complete memory view (package →
+// access modifier), a system-call filter, and the backend's hardware
+// handle for it (a PKRU value under LB_MPK, a page table under LB_VTX).
+type Env struct {
+	ID   EnvID
+	Name string
+
+	// View is the complete memory view: every package granted any
+	// access appears here; absent packages are unmapped. It is fixed at
+	// Init except for dynamic imports, which extend it under viewMu
+	// (reads on the Call path take the read lock).
+	View   map[string]AccessMod
+	viewMu sync.RWMutex
+
+	// Cats is the permitted system-call category mask.
+	Cats kernel.Category
+
+	// ConnectAllow optionally narrows connect(2) destinations.
+	ConnectAllow []uint32
+
+	// Trusted marks the distinguished non-enclosed environment.
+	Trusted bool
+
+	// Hardware handles, owned by the backend.
+	PKRU  hw.PKRU // LB_MPK
+	Table int     // LB_VTX page-table id
+}
+
+// ModOf returns the environment's access modifier for a package
+// (ModU for packages outside the view).
+func (e *Env) ModOf(pkg string) AccessMod {
+	if e.Trusted {
+		if pkg == superName {
+			return ModU
+		}
+		return ModRWX
+	}
+	e.viewMu.RLock()
+	m := e.View[pkg]
+	e.viewMu.RUnlock()
+	return m
+}
+
+// extendView adds a package to the view (dynamic imports only).
+func (e *Env) extendView(pkg string, mod AccessMod) {
+	e.viewMu.Lock()
+	e.View[pkg] = mod
+	e.viewMu.Unlock()
+}
+
+// viewSnapshot copies the view for race-free iteration.
+func (e *Env) viewSnapshot() map[string]AccessMod {
+	e.viewMu.RLock()
+	out := make(map[string]AccessMod, len(e.View))
+	for k, v := range e.View {
+		out[k] = v
+	}
+	e.viewMu.RUnlock()
+	return out
+}
+
+// CanExec reports whether the environment may invoke pkg's functions.
+func (e *Env) CanExec(pkg string) bool { return e.ModOf(pkg) == ModRWX }
+
+// CanRead reports whether the environment may read pkg's data.
+func (e *Env) CanRead(pkg string) bool { return e.ModOf(pkg) >= ModR }
+
+// CanWrite reports whether the environment may write pkg's variables.
+func (e *Env) CanWrite(pkg string) bool { return e.ModOf(pkg) >= ModRW }
+
+// AllowsSyscall reports whether nr passes the environment's category
+// filter (argument-level connect filtering is enforced separately).
+func (e *Env) AllowsSyscall(nr kernel.Nr) bool {
+	if e.Trusted {
+		return true
+	}
+	cat := kernel.CategoryOf(nr)
+	return cat != kernel.CatNone && e.Cats.Has(cat)
+}
+
+// MoreRestrictiveThan reports whether e grants no right t does not: the
+// nesting invariant (§2.2 — "a switch can only enter an equal or more
+// restrictive environment, preventing an escalation of privileges").
+func (e *Env) MoreRestrictiveThan(t *Env) bool {
+	if t.Trusted {
+		return true
+	}
+	if e.Trusted {
+		return false
+	}
+	for pkg, m := range e.viewSnapshot() {
+		if m > t.ModOf(pkg) {
+			return false
+		}
+	}
+	if e.Cats&^t.Cats != 0 {
+		return false
+	}
+	return true
+}
+
+// String summarises the environment.
+func (e *Env) String() string {
+	if e.Trusted {
+		return fmt.Sprintf("env#%d(trusted)", e.ID)
+	}
+	view := e.viewSnapshot()
+	names := make([]string, 0, len(view))
+	for n := range view {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += " "
+		}
+		out += n + ":" + view[n].String()
+	}
+	return fmt.Sprintf("env#%d(%s | sys:%s)", e.ID, out, e.Cats)
+}
+
+// intersect builds the environment combining e's and f's restrictions:
+// per-package minimum modifier, category intersection, and the tighter
+// connect allowlist. It is the target of a nested switch.
+func intersect(e, f *Env) *Env {
+	if e.Trusted {
+		return f
+	}
+	if f.Trusted {
+		return e
+	}
+	out := &Env{
+		Name: e.Name + "&" + f.Name,
+		View: make(map[string]AccessMod),
+		Cats: e.Cats & f.Cats,
+	}
+	fview := f.viewSnapshot()
+	for pkg, m := range e.viewSnapshot() {
+		if fm, ok := fview[pkg]; ok {
+			min := m.Min(fm)
+			if min > ModU {
+				out.View[pkg] = min
+			}
+		}
+	}
+	switch {
+	case len(e.ConnectAllow) == 0:
+		out.ConnectAllow = append([]uint32(nil), f.ConnectAllow...)
+	case len(f.ConnectAllow) == 0:
+		out.ConnectAllow = append([]uint32(nil), e.ConnectAllow...)
+	default:
+		seen := make(map[uint32]bool, len(e.ConnectAllow))
+		for _, h := range e.ConnectAllow {
+			seen[h] = true
+		}
+		for _, h := range f.ConnectAllow {
+			if seen[h] {
+				out.ConnectAllow = append(out.ConnectAllow, h)
+			}
+		}
+		if out.ConnectAllow == nil {
+			out.ConnectAllow = []uint32{} // non-nil: an empty allowlist blocks all connects
+		}
+	}
+	return out
+}
+
+// sectionRights translates a package-level modifier into the page
+// rights a section of the given kind receives in that view. Under R and
+// RW the package's functions are hidden (§5.2: "hide a module's
+// functions when the module is mapped without execution rights").
+func sectionRights(mod AccessMod, kind mem.SectionKind) mem.Perm {
+	switch mod {
+	case ModRWX:
+		return kind.DefaultPerm()
+	case ModRW:
+		switch kind {
+		case mem.KindText:
+			return mem.PermNone
+		case mem.KindROData:
+			return mem.PermR
+		default:
+			return mem.PermR | mem.PermW
+		}
+	case ModR:
+		if kind == mem.KindText {
+			return mem.PermNone
+		}
+		return mem.PermR
+	default:
+		return mem.PermNone
+	}
+}

@@ -1,0 +1,204 @@
+package litterbox
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/mem"
+)
+
+func TestAccessModParsing(t *testing.T) {
+	for s, want := range map[string]AccessMod{
+		"U": ModU, "R": ModR, "RW": ModRW, "RWX": ModRWX,
+		" rw ": ModRW, "rwx": ModRWX,
+	} {
+		got, err := ParseAccessMod(s)
+		if err != nil || got != want {
+			t.Errorf("ParseAccessMod(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseAccessMod("RWXZ"); err == nil {
+		t.Error("bad modifier parsed")
+	}
+	if ModRW.Min(ModR) != ModR || ModU.Min(ModRWX) != ModU {
+		t.Error("Min broken")
+	}
+	if ModRWX.String() != "RWX" || ModU.String() != "U" {
+		t.Error("String broken")
+	}
+}
+
+func TestPolicyCloneAndString(t *testing.T) {
+	p := Policy{
+		Mods:         map[string]AccessMod{"a": ModR, "b": ModRWX},
+		Cats:         kernel.CatNet | kernel.CatIO,
+		ConnectAllow: []uint32{0x0A000002},
+	}
+	q := p.Clone()
+	q.Mods["a"] = ModU
+	q.ConnectAllow[0] = 9
+	if p.Mods["a"] != ModR || p.ConnectAllow[0] != 0x0A000002 {
+		t.Fatal("Clone shares state")
+	}
+	s := p.String()
+	if s != "a:R; b:RWX; sys:net,io; connect:0xa000002" {
+		t.Fatalf("Policy.String = %q", s)
+	}
+}
+
+func mkEnv(view map[string]AccessMod, cats kernel.Category) *Env {
+	return &Env{Name: "e", View: view, Cats: cats}
+}
+
+func TestEnvRights(t *testing.T) {
+	e := mkEnv(map[string]AccessMod{"a": ModRWX, "b": ModRW, "c": ModR}, kernel.CatNet)
+	if !e.CanExec("a") || e.CanExec("b") || e.CanExec("zzz") {
+		t.Error("CanExec")
+	}
+	if !e.CanWrite("b") || e.CanWrite("c") {
+		t.Error("CanWrite")
+	}
+	if !e.CanRead("c") || e.CanRead("zzz") {
+		t.Error("CanRead")
+	}
+	if !e.AllowsSyscall(kernel.NrConnect) || e.AllowsSyscall(kernel.NrOpen) {
+		t.Error("AllowsSyscall")
+	}
+
+	trusted := &Env{Trusted: true}
+	if !trusted.CanExec("anything") || trusted.CanExec(superName) {
+		t.Error("trusted rights")
+	}
+	if !trusted.AllowsSyscall(kernel.NrOpen) {
+		t.Error("trusted syscalls")
+	}
+}
+
+func TestMoreRestrictiveThan(t *testing.T) {
+	parent := mkEnv(map[string]AccessMod{"a": ModRWX, "b": ModR}, kernel.CatNet|kernel.CatIO)
+	child := mkEnv(map[string]AccessMod{"a": ModR}, kernel.CatNet)
+	if !child.MoreRestrictiveThan(parent) {
+		t.Error("strict subset not recognised")
+	}
+	if parent.MoreRestrictiveThan(child) {
+		t.Error("superset recognised as restriction")
+	}
+	wider := mkEnv(map[string]AccessMod{"c": ModR}, kernel.CatNone)
+	if wider.MoreRestrictiveThan(parent) {
+		t.Error("foreign package grant recognised as restriction")
+	}
+	syscalls := mkEnv(map[string]AccessMod{"a": ModR}, kernel.CatFile)
+	if syscalls.MoreRestrictiveThan(parent) {
+		t.Error("extra syscall category recognised as restriction")
+	}
+	trusted := &Env{Trusted: true}
+	if !parent.MoreRestrictiveThan(trusted) {
+		t.Error("everything is more restrictive than trusted")
+	}
+	if trusted.MoreRestrictiveThan(parent) {
+		t.Error("trusted more restrictive than an enclosure")
+	}
+}
+
+// TestIntersectNeverEscalates: the intersection of two environments
+// grants no right either parent withholds — the nesting invariant.
+func TestIntersectNeverEscalates(t *testing.T) {
+	pkgs := []string{"a", "b", "c", "d"}
+	f := func(mods1, mods2 [4]uint8, cats1, cats2 uint16) bool {
+		v1 := map[string]AccessMod{}
+		v2 := map[string]AccessMod{}
+		for i, p := range pkgs {
+			if m := AccessMod(mods1[i] % 4); m > ModU {
+				v1[p] = m
+			}
+			if m := AccessMod(mods2[i] % 4); m > ModU {
+				v2[p] = m
+			}
+		}
+		e1 := mkEnv(v1, kernel.Category(cats1))
+		e2 := mkEnv(v2, kernel.Category(cats2))
+		x := intersect(e1, e2)
+		for _, p := range pkgs {
+			if x.ModOf(p) > e1.ModOf(p) || x.ModOf(p) > e2.ModOf(p) {
+				return false
+			}
+		}
+		if x.Cats&^e1.Cats != 0 || x.Cats&^e2.Cats != 0 {
+			return false
+		}
+		return x.MoreRestrictiveThan(e1) && x.MoreRestrictiveThan(e2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectWithTrusted(t *testing.T) {
+	e := mkEnv(map[string]AccessMod{"a": ModR}, kernel.CatNet)
+	trusted := &Env{Trusted: true}
+	if intersect(trusted, e) != e || intersect(e, trusted) != e {
+		t.Fatal("intersection with trusted must be the enclosure env")
+	}
+}
+
+func TestIntersectConnectAllow(t *testing.T) {
+	e1 := mkEnv(map[string]AccessMod{"a": ModR}, kernel.CatNet)
+	e2 := mkEnv(map[string]AccessMod{"a": ModR}, kernel.CatNet)
+	e1.ConnectAllow = []uint32{1, 2, 3}
+	e2.ConnectAllow = []uint32{2, 3, 4}
+	x := intersect(e1, e2)
+	if len(x.ConnectAllow) != 2 || x.ConnectAllow[0] != 2 || x.ConnectAllow[1] != 3 {
+		t.Fatalf("connect intersection %v", x.ConnectAllow)
+	}
+	// One-sided allowlists carry over.
+	e2.ConnectAllow = nil
+	x = intersect(e1, e2)
+	if len(x.ConnectAllow) != 3 {
+		t.Fatalf("one-sided allowlist %v", x.ConnectAllow)
+	}
+	// Disjoint lists block everything (non-nil empty).
+	e2.ConnectAllow = []uint32{9}
+	x = intersect(e1, e2)
+	if x.ConnectAllow == nil || len(x.ConnectAllow) != 0 {
+		t.Fatalf("disjoint allowlists %v", x.ConnectAllow)
+	}
+}
+
+func TestSectionRights(t *testing.T) {
+	cases := []struct {
+		mod  AccessMod
+		kind mem.SectionKind
+		want mem.Perm
+	}{
+		{ModRWX, mem.KindText, mem.PermR | mem.PermX},
+		{ModRWX, mem.KindROData, mem.PermR},
+		{ModRWX, mem.KindData, mem.PermR | mem.PermW},
+		{ModRWX, mem.KindHeap, mem.PermR | mem.PermW},
+		{ModRW, mem.KindText, mem.PermNone}, // functions hidden
+		{ModRW, mem.KindROData, mem.PermR},
+		{ModRW, mem.KindData, mem.PermR | mem.PermW},
+		{ModR, mem.KindText, mem.PermNone},
+		{ModR, mem.KindData, mem.PermR},
+		{ModR, mem.KindHeap, mem.PermR},
+		{ModU, mem.KindData, mem.PermNone},
+		{ModU, mem.KindText, mem.PermNone},
+	}
+	for _, c := range cases {
+		if got := sectionRights(c.mod, c.kind); got != c.want {
+			t.Errorf("sectionRights(%v, %v) = %v, want %v", c.mod, c.kind, got, c.want)
+		}
+	}
+}
+
+func TestEnvString(t *testing.T) {
+	e := mkEnv(map[string]AccessMod{"b": ModR, "a": ModRWX}, kernel.CatNone)
+	e.ID = 3
+	if e.String() != "env#3(a:RWX b:R | sys:none)" {
+		t.Fatalf("Env.String = %q", e.String())
+	}
+	trusted := &Env{ID: 0, Trusted: true}
+	if trusted.String() != "env#0(trusted)" {
+		t.Fatalf("trusted String = %q", trusted.String())
+	}
+}

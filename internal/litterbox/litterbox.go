@@ -1,0 +1,574 @@
+package litterbox
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/litterbox-project/enclosure/internal/hw"
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/linker"
+	"github.com/litterbox-project/enclosure/internal/mem"
+	"github.com/litterbox-project/enclosure/internal/pkggraph"
+)
+
+const (
+	userName  = pkggraph.UserPkg
+	superName = pkggraph.SuperPkg
+)
+
+// Errors reported by the framework.
+var (
+	ErrBadToken    = errors.New("litterbox: call-site verification failed")
+	ErrUnknownEncl = errors.New("litterbox: unknown enclosure")
+	ErrUnknownPkg  = errors.New("litterbox: policy names unknown package")
+	ErrAborted     = errors.New("litterbox: program aborted by fault")
+	ErrEscalation  = errors.New("litterbox: switch would escalate privileges")
+	ErrSuperGrant  = errors.New("litterbox: policy grants access to litterbox/super")
+	ErrOverlap     = errors.New("litterbox: sections overlap")
+	ErrMisaligned  = errors.New("litterbox: section not page aligned")
+)
+
+// Fault is a protection violation: an access outside the memory view or
+// a filtered system call. Per the paper it stops the closure and aborts
+// the program; the enclosure runtime converts it into a program-level
+// error the host harness observes.
+type Fault struct {
+	Env    *Env
+	Op     string // "read", "write", "exec", "syscall", "switch"
+	Detail string
+	Cause  error
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("litterbox: fault in %s: %s %s", f.Env, f.Op, f.Detail)
+}
+
+// Unwrap exposes the backend-level cause.
+func (f *Fault) Unwrap() error { return f.Cause }
+
+// Backend is one hardware enforcement mechanism. LitterBox
+// differentiates between the selected hardware only for: creating and
+// enforcing execution environments, extending a package's arena, and
+// performing switches (§5.3).
+type Backend interface {
+	// Name identifies the backend ("baseline", "mpk", "vtx").
+	Name() string
+	// Setup initialises hardware state for the computed environments.
+	Setup(lb *LitterBox) error
+	// CreateEnv materialises hardware state for one (possibly lazily
+	// created intersection) environment.
+	CreateEnv(e *Env) error
+	// Switch moves the cpu from environment `from` into `to`. verify is
+	// the call-site check and runs inside the privileged path.
+	Switch(cpu *hw.CPU, from, to *Env, verify func() error) error
+	// CheckAccess enforces the current hardware state on a data access.
+	CheckAccess(cpu *hw.CPU, addr mem.Addr, size uint64, write bool) error
+	// CheckExec enforces instruction-fetch rights for a call into pkg
+	// at the function's entry address.
+	CheckExec(cpu *hw.CPU, env *Env, pkg string, entry mem.Addr) error
+	// Transfer retags a heap span as belonging to pkg's arena.
+	Transfer(cpu *hw.CPU, sec *mem.Section, toPkg string) error
+	// Syscall performs a system call under env's filter.
+	Syscall(cpu *hw.CPU, env *Env, nr kernel.Nr, args [6]uint64) (uint64, kernel.Errno)
+}
+
+// Config assembles everything Init needs.
+type Config struct {
+	Image   *linker.Image
+	Specs   []EnclosureSpec
+	Clock   *hw.Clock
+	Kernel  *kernel.Kernel
+	Proc    *kernel.Proc
+	Backend Backend
+}
+
+// LitterBox is one program's enforcement state.
+type LitterBox struct {
+	Image  *linker.Image
+	Space  *mem.AddressSpace
+	Clock  *hw.Clock
+	Kernel *kernel.Kernel
+	Proc   *kernel.Proc
+
+	backend Backend
+	graph   *pkggraph.Graph
+
+	mu      sync.Mutex
+	envs    map[EnvID]*Env
+	nextEnv EnvID
+	trusted *Env
+	byEncl  map[int]EnvID  // enclosure ID → environment
+	verif   map[int]uint64 // enclosure ID → expected call-site token
+	inter   map[[2]EnvID]EnvID
+
+	// Meta-package clustering results (for introspection and LB_MPK).
+	metaPkgs  [][]string
+	pkgToMeta map[string]int
+
+	aborted atomic.Bool
+	fault   atomic.Pointer[Fault]
+	trace   atomic.Value // *Trace, nil when disabled
+}
+
+// Init validates the image, computes every enclosure's memory view,
+// clusters packages into meta-packages, and initialises the backend.
+func Init(cfg Config) (*LitterBox, error) {
+	img := cfg.Image
+	lb := &LitterBox{
+		Image:   img,
+		Space:   img.Space,
+		Clock:   cfg.Clock,
+		Kernel:  cfg.Kernel,
+		Proc:    cfg.Proc,
+		backend: cfg.Backend,
+		graph:   img.Graph,
+		envs:    make(map[EnvID]*Env),
+		byEncl:  make(map[int]EnvID),
+		verif:   make(map[int]uint64),
+		inter:   make(map[[2]EnvID]EnvID),
+	}
+
+	if err := lb.validateSections(); err != nil {
+		return nil, err
+	}
+
+	// Cross-check the .pkgs section — the executable's own description
+	// of its packages, read back from simulated memory — against the
+	// graph and the mapped sections (§4.2: Init "takes a description of
+	// the program's packages and enclosures").
+	if err := lb.validatePkgsSection(); err != nil {
+		return nil, err
+	}
+
+	// Load the verification list from the image's .verif section.
+	verifs, err := img.ReadVerif()
+	if err != nil {
+		return nil, fmt.Errorf("litterbox: reading .verif: %w", err)
+	}
+	for _, v := range verifs {
+		lb.verif[v.EnclID] = v.Token
+	}
+
+	// The trusted environment.
+	lb.trusted = &Env{ID: TrustedEnv, Name: "trusted", Trusted: true, Cats: kernel.CatAll}
+	lb.envs[TrustedEnv] = lb.trusted
+	lb.nextEnv = 1
+
+	// Compute each enclosure's complete memory view.
+	for _, spec := range cfg.Specs {
+		env, err := lb.computeView(spec)
+		if err != nil {
+			return nil, err
+		}
+		env.ID = lb.nextEnv
+		lb.nextEnv++
+		lb.envs[env.ID] = env
+		lb.byEncl[spec.ID] = env.ID
+	}
+
+	// Cluster packages across all memory views into meta-packages.
+	lb.cluster()
+
+	if err := lb.backend.Setup(lb); err != nil {
+		return nil, err
+	}
+	return lb, nil
+}
+
+// validateSections enforces the layout assumptions (§2.3/§5.3):
+// page-aligned, non-overlapping sections.
+func (lb *LitterBox) validateSections() error {
+	secs := lb.Space.Sections()
+	var prevEnd mem.Addr
+	for _, s := range secs {
+		if !s.Base.PageAligned() || s.Size%mem.PageSize != 0 {
+			return fmt.Errorf("%w: %s", ErrMisaligned, s)
+		}
+		if s.Base < prevEnd {
+			return fmt.Errorf("%w: %s", ErrOverlap, s)
+		}
+		prevEnd = s.End()
+	}
+	return nil
+}
+
+// validatePkgsSection verifies the .pkgs metadata against the live
+// graph and address space: every described package exists, and every
+// described section is mapped where the descriptor says with the
+// rights it claims. A corrupted image fails Init.
+func (lb *LitterBox) validatePkgsSection() error {
+	descs, err := lb.Image.ReadPkgs()
+	if err != nil {
+		return fmt.Errorf("litterbox: reading .pkgs: %w", err)
+	}
+	for _, d := range descs {
+		if !lb.graph.Has(d.Name) {
+			return fmt.Errorf("litterbox: .pkgs describes unknown package %q", d.Name)
+		}
+		for _, sd := range d.Sections {
+			sec := lb.Space.SectionAt(sd.Base)
+			if sec == nil || sec.Base != sd.Base || sec.Size != sd.Size {
+				return fmt.Errorf("litterbox: .pkgs section %s of %s not mapped as described", sd.Name, d.Name)
+			}
+			if uint8(sec.Perm) != sd.Perm || sec.Pkg != d.Name {
+				return fmt.Errorf("litterbox: .pkgs section %s of %s disagrees with the image", sd.Name, d.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// computeView builds the enclosure's environment: the default view is
+// the declaring package plus its natural dependencies at full access,
+// plus LitterBox's user package; policy modifiers extend or restrict it.
+// super may never be granted.
+func (lb *LitterBox) computeView(spec EnclosureSpec) (*Env, error) {
+	view := map[string]AccessMod{
+		spec.Pkg: ModRWX,
+		userName: ModRWX,
+	}
+	deps, err := lb.graph.NaturalDeps(spec.Pkg)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range deps {
+		if d == superName {
+			continue
+		}
+		view[d] = ModRWX
+	}
+	for pkg, mod := range spec.Policy.Mods {
+		if pkg == superName {
+			return nil, fmt.Errorf("%w: enclosure %q", ErrSuperGrant, spec.Name)
+		}
+		if !lb.graph.Has(pkg) {
+			return nil, fmt.Errorf("%w: %q in enclosure %q", ErrUnknownPkg, pkg, spec.Name)
+		}
+		if mod == ModU {
+			delete(view, pkg)
+			if pkg == userName {
+				return nil, fmt.Errorf("litterbox: enclosure %q unmaps litterbox/user", spec.Name)
+			}
+			continue
+		}
+		view[pkg] = mod
+	}
+	return &Env{
+		Name:         spec.Name,
+		View:         view,
+		Cats:         spec.Policy.Cats,
+		ConnectAllow: append([]uint32(nil), spec.Policy.ConnectAllow...),
+	}, nil
+}
+
+// cluster groups packages whose access-modifier vector is identical
+// across every environment; each group is a meta-package and, under
+// LB_MPK, receives one protection key (§5.3).
+func (lb *LitterBox) cluster() {
+	sig := make(map[string]string)
+	for _, name := range lb.graph.Names() {
+		s := ""
+		for id := EnvID(0); id < lb.nextEnv; id++ {
+			s += lb.envs[id].ModOf(name).String() + "|"
+		}
+		sig[name] = s
+	}
+	bySig := make(map[string][]string)
+	for _, name := range lb.graph.Names() { // Names() is sorted: deterministic
+		bySig[sig[name]] = append(bySig[sig[name]], name)
+	}
+	// Deterministic meta-package order: by first member name.
+	var sigs []string
+	seen := map[string]bool{}
+	for _, name := range lb.graph.Names() {
+		if !seen[sig[name]] {
+			seen[sig[name]] = true
+			sigs = append(sigs, sig[name])
+		}
+	}
+	lb.metaPkgs = nil
+	lb.pkgToMeta = make(map[string]int)
+	for i, s := range sigs {
+		group := bySig[s]
+		lb.metaPkgs = append(lb.metaPkgs, group)
+		for _, p := range group {
+			lb.pkgToMeta[p] = i
+		}
+	}
+}
+
+// MetaPackages returns the clustering result: each element is one
+// meta-package's member list.
+func (lb *LitterBox) MetaPackages() [][]string {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	out := make([][]string, len(lb.metaPkgs))
+	for i, g := range lb.metaPkgs {
+		out[i] = append([]string(nil), g...)
+	}
+	return out
+}
+
+// MetaOf returns the meta-package index of a package (-1 if unknown).
+func (lb *LitterBox) MetaOf(pkg string) int {
+	if i, ok := lb.pkgToMeta[pkg]; ok {
+		return i
+	}
+	return -1
+}
+
+// Trusted returns the trusted environment.
+func (lb *LitterBox) Trusted() *Env { return lb.trusted }
+
+// EnvForEnclosure returns the environment computed for an enclosure ID.
+func (lb *LitterBox) EnvForEnclosure(id int) (*Env, error) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	eid, ok := lb.byEncl[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id=%d", ErrUnknownEncl, id)
+	}
+	return lb.envs[eid], nil
+}
+
+// Env returns an environment by its ID.
+func (lb *LitterBox) Env(id EnvID) (*Env, bool) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	e, ok := lb.envs[id]
+	return e, ok
+}
+
+// EnvsSnapshot returns all current environments (trusted, per-enclosure,
+// and materialised intersections) in ID order.
+func (lb *LitterBox) EnvsSnapshot() []*Env {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	out := make([]*Env, 0, len(lb.envs))
+	for id := EnvID(0); id < lb.nextEnv; id++ {
+		if e, ok := lb.envs[id]; ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Backend exposes the active backend (for stats and tests).
+func (lb *LitterBox) Backend() Backend { return lb.backend }
+
+// Graph exposes the program's package-dependence graph.
+func (lb *LitterBox) Graph() *pkggraph.Graph { return lb.graph }
+
+// Aborted reports whether a fault has aborted the program, and the fault.
+func (lb *LitterBox) Aborted() (*Fault, bool) {
+	if !lb.aborted.Load() {
+		return nil, false
+	}
+	return lb.fault.Load(), true
+}
+
+// RaiseFault records a protection violation and aborts the program.
+func (lb *LitterBox) RaiseFault(cpu *hw.CPU, f *Fault) *Fault {
+	cpu.Counters.Faults.Add(1)
+	lb.record("fault", f.Env, "%s %s", f.Op, f.Detail)
+	lb.fault.CompareAndSwap(nil, f)
+	lb.aborted.Store(true)
+	return f
+}
+
+// targetEnv resolves the environment a switch into enclosure env `to`
+// enters from `from`: the intersection, materialised lazily and cached.
+// Entering can only restrict; returning to the caller's environment is
+// always permitted because Epilog restores the saved `from`.
+func (lb *LitterBox) targetEnv(from, to *Env) (*Env, error) {
+	if from.Trusted {
+		return to, nil
+	}
+	if to.Trusted {
+		// Only the runtime (Execute) may schedule back to trusted; a
+		// Prolog into trusted would be an escalation.
+		return nil, ErrEscalation
+	}
+	if to.MoreRestrictiveThan(from) {
+		return to, nil
+	}
+	lb.mu.Lock()
+	key := [2]EnvID{from.ID, to.ID}
+	if id, ok := lb.inter[key]; ok {
+		e := lb.envs[id]
+		lb.mu.Unlock()
+		return e, nil
+	}
+	e := intersect(from, to)
+	e.ID = lb.nextEnv
+	lb.nextEnv++
+	lb.envs[e.ID] = e
+	lb.inter[key] = e.ID
+	lb.mu.Unlock()
+	if err := lb.backend.CreateEnv(e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Prolog enters enclosure enclID's execution environment from `from`,
+// verifying the call-site token against the .verif specification. It
+// returns the environment now in force (the intersection when nested).
+func (lb *LitterBox) Prolog(cpu *hw.CPU, from *Env, enclID int, token uint64) (*Env, error) {
+	if lb.aborted.Load() {
+		return nil, ErrAborted
+	}
+	enclEnv, err := lb.EnvForEnclosure(enclID)
+	if err != nil {
+		return nil, err
+	}
+	target, err := lb.targetEnv(from, enclEnv)
+	if err != nil {
+		return nil, err
+	}
+	verify := func() error {
+		if lb.verif[enclID] != token {
+			return ErrBadToken
+		}
+		return nil
+	}
+	if err := lb.backend.Switch(cpu, from, target, verify); err != nil {
+		return nil, lb.RaiseFault(cpu, &Fault{Env: from, Op: "switch", Detail: err.Error(), Cause: err})
+	}
+	cpu.Counters.Switches.Add(1)
+	lb.record("prolog", target, "entered enclosure #%d", enclID)
+	return target, nil
+}
+
+// Epilog returns from an enclosure to the caller's saved environment.
+func (lb *LitterBox) Epilog(cpu *hw.CPU, cur, back *Env, enclID int, token uint64) error {
+	verify := func() error {
+		if lb.verif[enclID] != token {
+			return ErrBadToken
+		}
+		return nil
+	}
+	if err := lb.backend.Switch(cpu, cur, back, verify); err != nil {
+		return lb.RaiseFault(cpu, &Fault{Env: cur, Op: "switch", Detail: err.Error(), Cause: err})
+	}
+	cpu.Counters.Switches.Add(1)
+	lb.record("epilog", back, "returned from enclosure #%d", enclID)
+	return nil
+}
+
+// InstallEnv unconditionally installs env's hardware state on a fresh
+// CPU — the scheduler's task-creation half of Execute. Unlike Execute
+// it never short-circuits: a new hardware thread boots with an
+// indeterminate PKRU/CR3 and must be placed into its environment.
+func (lb *LitterBox) InstallEnv(cpu *hw.CPU, env *Env) error {
+	if err := lb.backend.Switch(cpu, nil, env, nil); err != nil {
+		return lb.RaiseFault(cpu, &Fault{Env: env, Op: "switch", Detail: err.Error(), Cause: err})
+	}
+	cpu.Counters.Switches.Add(1)
+	return nil
+}
+
+// Execute is the scheduler hook: it installs env on the cpu when the
+// runtime resumes a goroutine bound to a different execution
+// environment (§4.2). No token is needed — the scheduler is trusted and
+// the transition was established by an earlier verified Prolog.
+func (lb *LitterBox) Execute(cpu *hw.CPU, from, to *Env) error {
+	if from == to {
+		return nil
+	}
+	if err := lb.backend.Switch(cpu, from, to, nil); err != nil {
+		return lb.RaiseFault(cpu, &Fault{Env: from, Op: "switch", Detail: err.Error(), Cause: err})
+	}
+	cpu.Counters.Switches.Add(1)
+	lb.record("execute", to, "scheduler resume")
+	return nil
+}
+
+// CheckRead enforces the memory view on a data read.
+func (lb *LitterBox) CheckRead(cpu *hw.CPU, env *Env, addr mem.Addr, size uint64) error {
+	if lb.aborted.Load() {
+		return ErrAborted
+	}
+	if err := lb.backend.CheckAccess(cpu, addr, size, false); err != nil {
+		return lb.RaiseFault(cpu, &Fault{Env: env, Op: "read", Detail: fmt.Sprintf("%s+%d: %v", addr, size, err), Cause: err})
+	}
+	return nil
+}
+
+// CheckWrite enforces the memory view on a data write.
+func (lb *LitterBox) CheckWrite(cpu *hw.CPU, env *Env, addr mem.Addr, size uint64) error {
+	if lb.aborted.Load() {
+		return ErrAborted
+	}
+	if err := lb.backend.CheckAccess(cpu, addr, size, true); err != nil {
+		return lb.RaiseFault(cpu, &Fault{Env: env, Op: "write", Detail: fmt.Sprintf("%s+%d: %v", addr, size, err), Cause: err})
+	}
+	return nil
+}
+
+// CheckExec enforces execute rights for a call into pkg at entry.
+func (lb *LitterBox) CheckExec(cpu *hw.CPU, env *Env, pkg string, entry mem.Addr) error {
+	if lb.aborted.Load() {
+		return ErrAborted
+	}
+	if !env.CanExec(pkg) {
+		return lb.RaiseFault(cpu, &Fault{Env: env, Op: "exec", Detail: fmt.Sprintf("call into %s at %s", pkg, entry)})
+	}
+	if err := lb.backend.CheckExec(cpu, env, pkg, entry); err != nil {
+		return lb.RaiseFault(cpu, &Fault{Env: env, Op: "exec", Detail: err.Error(), Cause: err})
+	}
+	return nil
+}
+
+// FilterSyscall performs a system call under env's filter; a rejected
+// call faults and aborts the program (§4.2).
+func (lb *LitterBox) FilterSyscall(cpu *hw.CPU, env *Env, nr kernel.Nr, args [6]uint64) (uint64, kernel.Errno, error) {
+	if lb.aborted.Load() {
+		return 0, kernel.ESECCOMP, ErrAborted
+	}
+	ret, errno := lb.backend.Syscall(cpu, env, nr, args)
+	if errno == kernel.ESECCOMP {
+		f := lb.RaiseFault(cpu, &Fault{Env: env, Op: "syscall", Detail: nr.Name()})
+		return 0, errno, f
+	}
+	lb.record("syscall", env, "%s -> %v", nr.Name(), errno)
+	return ret, errno, nil
+}
+
+// RuntimeSyscall performs a system call on behalf of the language
+// runtime (scheduler wakeups, deadline clock reads, entropy): the
+// runtime briefly switches to the trusted environment via Execute —
+// exactly the mechanism §5.1 describes for the scheduler and garbage
+// collector — issues the call there, and switches back. The switches
+// are free when the task already runs trusted.
+func (lb *LitterBox) RuntimeSyscall(cpu *hw.CPU, cur *Env, nr kernel.Nr, args [6]uint64) (uint64, kernel.Errno, error) {
+	if lb.aborted.Load() {
+		return 0, kernel.ESECCOMP, ErrAborted
+	}
+	if err := lb.Execute(cpu, cur, lb.trusted); err != nil {
+		return 0, kernel.ESECCOMP, err
+	}
+	ret, errno := lb.backend.Syscall(cpu, lb.trusted, nr, args)
+	if err := lb.Execute(cpu, lb.trusted, cur); err != nil {
+		return 0, kernel.ESECCOMP, err
+	}
+	return ret, errno, nil
+}
+
+// Transfer reassigns a heap section to another package's arena and
+// updates the backend's page state (§4.2).
+func (lb *LitterBox) Transfer(cpu *hw.CPU, sec *mem.Section, toPkg string) error {
+	if sec.Kind != mem.KindHeap {
+		return fmt.Errorf("litterbox: transfer of non-heap section %s", sec)
+	}
+	if err := lb.backend.Transfer(cpu, sec, toPkg); err != nil {
+		return err
+	}
+	cpu.Counters.Transfers.Add(1)
+	lb.record("transfer", nil, "%s -> %s", sec.Name, toPkg)
+	lb.Space.SetOwner(sec, toPkg)
+	return nil
+}

@@ -1,0 +1,128 @@
+// Package litterbox implements the paper's language-independent
+// enforcement backend (§4, §5.3). A language frontend describes a
+// program's packages and enclosures to Init, which computes memory
+// views, clusters packages into meta-packages, and initialises one of
+// the hardware isolation mechanisms; Prolog/Epilog/Execute switch
+// between execution environments, FilterSyscall vets system calls, and
+// Transfer repartitions heap spans between package arenas.
+package litterbox
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/litterbox-project/enclosure/internal/kernel"
+)
+
+// AccessMod is a package-granularity access right in an enclosure's
+// memory view, ordered by privilege (§2.2): U unmaps the package, R
+// grants read-only access to data and constants, RW adds writes to
+// variables, RWX additionally allows invoking the package's functions.
+type AccessMod uint8
+
+// Access modifiers, in increasing privilege order.
+const (
+	ModU AccessMod = iota
+	ModR
+	ModRW
+	ModRWX
+)
+
+// String renders the modifier in policy syntax.
+func (m AccessMod) String() string {
+	switch m {
+	case ModU:
+		return "U"
+	case ModR:
+		return "R"
+	case ModRW:
+		return "RW"
+	case ModRWX:
+		return "RWX"
+	default:
+		return fmt.Sprintf("AccessMod(%d)", uint8(m))
+	}
+}
+
+// ParseAccessMod parses policy syntax ("U", "R", "RW", "RWX").
+func ParseAccessMod(s string) (AccessMod, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "U":
+		return ModU, nil
+	case "R":
+		return ModR, nil
+	case "RW":
+		return ModRW, nil
+	case "RWX":
+		return ModRWX, nil
+	default:
+		return 0, fmt.Errorf("litterbox: invalid access modifier %q", s)
+	}
+}
+
+// Min returns the more restrictive of two modifiers.
+func (m AccessMod) Min(o AccessMod) AccessMod {
+	if o < m {
+		return o
+	}
+	return m
+}
+
+// Policy is the structured form of an enclosure's MemModifiers and
+// SysFilter, produced by a language frontend's parser.
+type Policy struct {
+	// Mods maps package names to explicit access modifiers, overriding
+	// or extending the default natural-dependency view.
+	Mods map[string]AccessMod
+	// Cats is the set of permitted system-call categories. The paper's
+	// default — and the zero value — is none.
+	Cats kernel.Category
+	// ConnectAllow, when non-empty, narrows net's connect(2) to these
+	// destination hosts (the §6.5 argument-filtering extension).
+	ConnectAllow []uint32
+}
+
+// Clone deep-copies the policy.
+func (p Policy) Clone() Policy {
+	q := Policy{Cats: p.Cats, ConnectAllow: append([]uint32(nil), p.ConnectAllow...)}
+	if p.Mods != nil {
+		q.Mods = make(map[string]AccessMod, len(p.Mods))
+		for k, v := range p.Mods {
+			q.Mods[k] = v
+		}
+	}
+	return q
+}
+
+// String renders the policy in the canonical literal syntax the
+// frontend parser accepts, e.g. "secrets:R; sys:none".
+func (p Policy) String() string {
+	var parts []string
+	names := make([]string, 0, len(p.Mods))
+	for n := range p.Mods {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		parts = append(parts, n+":"+p.Mods[n].String())
+	}
+	parts = append(parts, "sys:"+p.Cats.String())
+	if len(p.ConnectAllow) > 0 {
+		hosts := make([]string, len(p.ConnectAllow))
+		for i, h := range p.ConnectAllow {
+			hosts[i] = fmt.Sprintf("%#x", h)
+		}
+		parts = append(parts, "connect:"+strings.Join(hosts, ","))
+	}
+	return strings.Join(parts, "; ")
+}
+
+// EnclosureSpec is one enclosure as handed to Init: identity from the
+// image's .rstrct section plus the frontend-parsed policy.
+type EnclosureSpec struct {
+	ID     int
+	Name   string
+	Pkg    string // declaring package
+	Policy Policy
+}

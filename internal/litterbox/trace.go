@@ -1,0 +1,97 @@
+package litterbox
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// TraceEvent is one recorded enforcement event, stamped with virtual
+// time. Tracing is host-side observability: it charges nothing to the
+// simulated program.
+type TraceEvent struct {
+	At     int64  // virtual nanoseconds
+	Kind   string // "prolog", "epilog", "execute", "syscall", "transfer", "fault"
+	Env    string // environment name in force
+	Detail string
+}
+
+// String renders the event as one trace line.
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("%10dns %-8s %-14s %s", e.At, e.Kind, e.Env, e.Detail)
+}
+
+// Trace is a bounded ring buffer of enforcement events.
+type Trace struct {
+	mu     sync.Mutex
+	events []TraceEvent
+	next   int
+	full   bool
+}
+
+// EnableTrace starts recording the last capacity enforcement events.
+func (lb *LitterBox) EnableTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	tr := &Trace{events: make([]TraceEvent, capacity)}
+	lb.trace.Store(tr)
+	return tr
+}
+
+// DisableTrace stops recording.
+func (lb *LitterBox) DisableTrace() { lb.trace.Store((*Trace)(nil)) }
+
+// record appends an event if tracing is enabled.
+func (lb *LitterBox) record(kind string, env *Env, format string, args ...any) {
+	tr, _ := lb.trace.Load().(*Trace)
+	if tr == nil {
+		return
+	}
+	name := "?"
+	if env != nil {
+		if env.Trusted {
+			name = "trusted"
+		} else {
+			name = env.Name
+		}
+	}
+	tr.mu.Lock()
+	tr.events[tr.next] = TraceEvent{
+		At:     lb.Clock.Now(),
+		Kind:   kind,
+		Env:    name,
+		Detail: fmt.Sprintf(format, args...),
+	}
+	tr.next++
+	if tr.next == len(tr.events) {
+		tr.next = 0
+		tr.full = true
+	}
+	tr.mu.Unlock()
+}
+
+// Events returns the recorded events, oldest first.
+func (t *Trace) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		out := make([]TraceEvent, t.next)
+		copy(out, t.events[:t.next])
+		return out
+	}
+	out := make([]TraceEvent, 0, len(t.events))
+	out = append(out, t.events[t.next:]...)
+	out = append(out, t.events[:t.next]...)
+	return out
+}
+
+// String renders the whole trace.
+func (t *Trace) String() string {
+	var sb strings.Builder
+	for _, e := range t.Events() {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

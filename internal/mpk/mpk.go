@@ -1,0 +1,209 @@
+// Package mpk simulates the Intel Memory Protection Keys unit LB_MPK
+// builds on (§5.3): page-table entries carry a 4-bit key; the
+// user-writable PKRU register encodes, with two bits per key, whether
+// data tagged with each key may be read or written; the kernel exposes
+// pkey_alloc/pkey_free and pkey_mprotect to manage tags. Data accesses
+// are checked against PKRU; instruction fetches are not (MPK protects
+// data only), so execute rights remain section-level.
+//
+// Like ERIM and the paper, the unit also provides a binary scan that
+// rejects program text containing a WRPKRU instruction outside
+// LitterBox's own package — otherwise untrusted code could simply grant
+// itself access.
+package mpk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/litterbox-project/enclosure/internal/hw"
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/mem"
+)
+
+// DefaultKey is protection key 0, which tags all memory not explicitly
+// retagged; PKRU conventionally leaves it accessible.
+const DefaultKey = 0
+
+// WRPKRUOpcode is the x86 encoding of WRPKRU (0F 01 EF). The text scan
+// searches untrusted text sections for it.
+var WRPKRUOpcode = []byte{0x0F, 0x01, 0xEF}
+
+// Errors reported by the unit.
+var (
+	ErrNoKeys      = errors.New("mpk: out of protection keys")
+	ErrBadKey      = errors.New("mpk: invalid or unallocated key")
+	ErrNotSection  = errors.New("mpk: range is not a mapped section")
+	ErrWRPKRUFound = errors.New("mpk: WRPKRU instruction in untrusted text")
+)
+
+type pte struct {
+	perm mem.Perm
+	key  int
+}
+
+// Unit is the simulated MPK-capable MMU shared by all CPUs of a
+// program. It owns the page-table key tags and enforces PKRU on access.
+type Unit struct {
+	space *mem.AddressSpace
+	clock *hw.Clock
+
+	mu    sync.Mutex
+	used  [hw.NumKeys]bool
+	pages map[uint64]pte
+}
+
+// NewUnit returns an MPK unit over the address space. Key 0 is
+// pre-allocated as the default key, as on Linux.
+func NewUnit(space *mem.AddressSpace, clock *hw.Clock) *Unit {
+	u := &Unit{space: space, clock: clock, pages: make(map[uint64]pte)}
+	u.used[DefaultKey] = true
+	return u
+}
+
+// PkeyAlloc reserves a fresh key. Implements kernel.PkeyOps.
+func (u *Unit) PkeyAlloc() (int, kernel.Errno) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	for k := 1; k < hw.NumKeys; k++ {
+		if !u.used[k] {
+			u.used[k] = true
+			return k, kernel.OK
+		}
+	}
+	return -1, kernel.ENOSYS // ENOSPC in spirit; kernel maps exhaustion
+}
+
+// PkeyFree releases a key. Pages tagged with it fall back to DefaultKey
+// semantics only after an explicit retag; freeing a key in use is the
+// caller's bug, as on Linux.
+func (u *Unit) PkeyFree(key int) kernel.Errno {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if key <= 0 || key >= hw.NumKeys || !u.used[key] {
+		return kernel.EINVAL
+	}
+	u.used[key] = false
+	return kernel.OK
+}
+
+// PkeyMprotect tags [base, base+size) with key and sets its page
+// permissions. The range must be page aligned and mapped. Implements
+// kernel.PkeyOps; LitterBox's Transfer invokes it for every span
+// reassignment (the paper's Table 1 "transfer" row).
+func (u *Unit) PkeyMprotect(base mem.Addr, size uint64, perm mem.Perm, key int) kernel.Errno {
+	if !base.PageAligned() || size == 0 || size%mem.PageSize != 0 {
+		return kernel.EINVAL
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if key < 0 || key >= hw.NumKeys || !u.used[key] {
+		return kernel.EINVAL
+	}
+	if !u.space.Mapped(base, size) {
+		return kernel.ENOENT
+	}
+	first := base.PageNumber()
+	last := (base + mem.Addr(size) - 1).PageNumber()
+	for p := first; p <= last; p++ {
+		u.pages[p] = pte{perm: perm, key: key}
+	}
+	return kernel.OK
+}
+
+// KeyOf returns the key tagging the page containing addr.
+func (u *Unit) KeyOf(addr mem.Addr) int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if e, ok := u.pages[addr.PageNumber()]; ok {
+		return e.key
+	}
+	return DefaultKey
+}
+
+// AccessError describes an MPK protection fault.
+type AccessError struct {
+	Addr  mem.Addr
+	Write bool
+	Key   int
+	PKRU  hw.PKRU
+}
+
+// Error implements the error interface.
+func (e *AccessError) Error() string {
+	op := "read"
+	if e.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("mpk: protection fault: %s %s key=%d %s", op, e.Addr, e.Key, e.PKRU)
+}
+
+// CheckAccess validates a data access of size bytes at addr under the
+// cpu's PKRU. Unmapped addresses fault with mem.ErrUnmapped; key
+// violations fault with *AccessError. Page permissions (e.g. writing
+// rodata) are also enforced, as the page tables would.
+func (u *Unit) CheckAccess(cpu *hw.CPU, addr mem.Addr, size uint64, write bool) error {
+	if size == 0 {
+		return nil
+	}
+	pkru := cpu.PeekPKRU()
+	u.clock.Advance(hw.CostPTWalk)
+	cpu.Counters.PTWalks.Add(1)
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	first := addr.PageNumber()
+	last := (addr + mem.Addr(size) - 1).PageNumber()
+	for p := first; p <= last; p++ {
+		e, ok := u.pages[p]
+		if !ok {
+			// Untracked page: default key, permissions from the section.
+			sec := u.space.SectionAt(mem.Addr(p << mem.PageShift))
+			if sec == nil {
+				return fmt.Errorf("%w: %s", mem.ErrUnmapped, addr)
+			}
+			e = pte{perm: sec.Perm, key: DefaultKey}
+		}
+		if !e.perm.Has(mem.PermR) || (write && !e.perm.Has(mem.PermW)) {
+			return &AccessError{Addr: addr, Write: write, Key: e.key, PKRU: pkru}
+		}
+		if write {
+			if !pkru.CanWrite(e.key) {
+				return &AccessError{Addr: addr, Write: true, Key: e.key, PKRU: pkru}
+			}
+		} else if !pkru.CanRead(e.key) {
+			return &AccessError{Addr: addr, Write: false, Key: e.key, PKRU: pkru}
+		}
+	}
+	return nil
+}
+
+// ScanText searches a text section's bytes for a WRPKRU occurrence,
+// including sequences straddling any offset. LitterBox's Init runs this
+// over every non-LitterBox text section, mirroring ERIM's binary
+// inspection; finding one aborts initialisation.
+func (u *Unit) ScanText(sec *mem.Section) error {
+	buf := make([]byte, sec.Size)
+	if err := u.space.ReadAt(sec.Base, buf); err != nil {
+		return fmt.Errorf("mpk: scan %s: %w", sec.Name, err)
+	}
+	for i := 0; i+len(WRPKRUOpcode) <= len(buf); i++ {
+		if buf[i] == WRPKRUOpcode[0] && buf[i+1] == WRPKRUOpcode[1] && buf[i+2] == WRPKRUOpcode[2] {
+			return fmt.Errorf("%w: %s at +%#x", ErrWRPKRUFound, sec.Name, i)
+		}
+	}
+	return nil
+}
+
+// KeysInUse returns the number of allocated keys (including key 0).
+func (u *Unit) KeysInUse() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	n := 0
+	for _, b := range u.used {
+		if b {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,103 @@
+package pyfront
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/litterbox-project/enclosure/internal/core"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+)
+
+// TestCheriColocatedExperiment: with a byte-granular header capability,
+// the unified CPython layout runs switch-free under a read-only secret
+// — the §8 projection the page-based backends cannot reach.
+func TestCheriColocatedExperiment(t *testing.T) {
+	r, err := RunExperiment(core.CHERI, CheriColocated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cheri-colocated: %.2fx, %d switches, init %.1f%% of overhead",
+		r.Slowdown, r.Switches, r.InitShare*100)
+	if r.Switches != 0 {
+		t.Errorf("co-located CHERI metadata needed %d switches", r.Switches)
+	}
+	if r.Slowdown > 1.8 {
+		t.Errorf("slowdown %.2fx — should be decoupled-like", r.Slowdown)
+	}
+	if r.PlotBytes == 0 {
+		t.Error("no plot written")
+	}
+}
+
+// TestCheriColocatedKeepsDataReadOnly: unlike the Decoupled simulation,
+// tampering with the secret's *data* faults — the write capability only
+// spans the header.
+func TestCheriColocatedKeepsDataReadOnly(t *testing.T) {
+	in := NewInterp(CheriColocated)
+	b := core.NewBuilder(core.CHERI)
+	b.Package(core.PackageSpec{Name: MainMod, Imports: []string{SecretMod, PlotMod}})
+	b.Package(core.PackageSpec{Name: SecretMod, Vars: map[string]int{"data": HeaderSize + 64}})
+	b.Package(core.PackageSpec{Name: PlotMod, Funcs: map[string]core.Func{
+		"tamper": func(t *core.Task, args ...core.Value) ([]core.Value, error) {
+			obj := args[0].(PyObject)
+			in.Incref(t, obj)                  // header write: capability covers it
+			t.Store8(obj.Payload().Addr, 0xFF) // data write: must fault
+			return nil, nil
+		},
+	}})
+	b.Enclosure("plot", MainMod, PolicyConservative,
+		func(t *core.Task, args ...core.Value) ([]core.Value, error) {
+			return t.Call(PlotMod, "tamper", args...)
+		}, PlotMod)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.FS().MkdirAll("/tmp"); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := prog.VarRef(SecretMod, "data")
+	if err := prog.GrantCapability("plot", data.Slice(0, HeaderSize), true); err != nil {
+		t.Fatal(err)
+	}
+	err = prog.Run(func(task *core.Task) error {
+		obj := PyObject{Ref: data}
+		task.Store64(data.Addr+offRefcount, 1)
+		_, err := prog.MustEnclosure("plot").Call(task, obj)
+		return err
+	})
+	var fault *litterbox.Fault
+	if !errors.As(err, &fault) || fault.Op != "write" {
+		t.Fatalf("data tamper with header-only capability did not fault: %v", err)
+	}
+	// The header increment landed before the fault.
+	_ = prog
+}
+
+// TestMetadataModeMatrix summarises the four designs on one axis each:
+// switches needed and whether the secret's data stays protected.
+func TestMetadataModeMatrix(t *testing.T) {
+	type row struct {
+		mode          Mode
+		kind          core.BackendKind
+		wantSwitches  bool
+		dataProtected bool
+	}
+	rows := []row{
+		{Conservative, core.VTX, true, true},
+		{Decoupled, core.VTX, false, false},
+		{Separated, core.VTX, false, true},
+		{CheriColocated, core.CHERI, false, true},
+	}
+	for _, r := range rows {
+		res, err := RunExperiment(r.kind, r.mode)
+		if err != nil {
+			t.Fatalf("%v: %v", r.mode, err)
+		}
+		if (res.Switches > 0) != r.wantSwitches {
+			t.Errorf("%v: switches=%d, want >0=%v", r.mode, res.Switches, r.wantSwitches)
+		}
+		t.Logf("%-16v backend=%-5v slowdown=%6.2fx switches=%7d dataProtected=%v",
+			r.mode, r.kind, res.Slowdown, res.Switches, r.dataProtected)
+	}
+}

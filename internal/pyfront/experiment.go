@@ -1,0 +1,288 @@
+package pyfront
+
+import (
+	"fmt"
+
+	"github.com/litterbox-project/enclosure/internal/core"
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/mem"
+)
+
+// The §6.4 experiment: a Python program with a single enclosure
+// encapsulating the matplotlib module. User-sensitive data from a
+// secret module is shared read-only with a closure that generates a
+// plot from the data and writes the result to disk, running under
+// LB_VTX.
+
+// Module (package) names.
+const (
+	MainMod   = "py/main"
+	SecretMod = "py/secret"
+	PlotMod   = "py/matplotlib"
+	NumpyMod  = "py/numpy"
+)
+
+// Workload shape.
+const (
+	// Points is the number of data points plotted. With four refcount
+	// operations per point plus the generational GC passes, the
+	// conservative run performs "nearly 1M switches" as in the paper.
+	Points = 80000
+	// gcEvery is the allocation interval between generation-0 sweeps.
+	gcEvery = 20000
+	// costPerPoint models the plotting arithmetic per point (ns).
+	costPerPoint = 270
+	// costRender models the final rasterisation (ns).
+	costRender = 3_000_000
+	// InitCost models the enclosure's delayed initialisation on first
+	// invocation: computing module dependencies and memory views and
+	// configuring the underlying hardware (KVM) — §6.4 attributes 4.3%
+	// of the conservative slowdown to it, and it dominates the
+	// decoupled one.
+	InitCost = 12_000_000
+)
+
+// Policies: the secret module is shared read-only; the decoupled
+// variant maps it read-write to simulate metadata/data separation
+// (exactly the paper's second experiment). The plot is written to disk,
+// so file syscalls are authorised.
+const (
+	PolicyConservative = SecretMod + ":R; sys:file,io"
+	PolicyDecoupled    = SecretMod + ":RW; sys:file,io"
+	// PolicySeparated keeps the secret read-only — the detached-header
+	// arena is the only thing mapped read-write.
+	PolicySeparated = SecretMod + ":R; " + MetaPkg + ":RW; sys:file,io"
+)
+
+// PolicyFor returns the experiment policy for a metadata mode.
+// CheriColocated keeps the conservative (secret read-only) policy: the
+// header write right arrives as a byte-granular capability instead.
+func PolicyFor(mode Mode) string {
+	switch mode {
+	case Decoupled:
+		return PolicyDecoupled
+	case Separated:
+		return PolicySeparated
+	default:
+		return PolicyConservative
+	}
+}
+
+// Result summarises one experiment run.
+type Result struct {
+	Mode       Mode
+	Backend    core.BackendKind
+	TotalNs    int64
+	BaselineNs int64 // same workload under the Baseline backend
+	Slowdown   float64
+	Switches   int64   // interpreter-level controlled switches
+	InitShare  float64 // fraction of the *overhead* due to delayed init
+	SysShare   float64 // fraction of the overhead due to system calls
+	PlotBytes  int     // size of the plot written to disk
+}
+
+// buildProgram assembles the Python program for one mode/backend.
+func buildProgram(kind core.BackendKind, policy string, in *Interp) (*core.Program, error) {
+	b := core.NewBuilder(kind)
+	b.Package(core.PackageSpec{
+		Name:    MainMod,
+		Imports: []string{SecretMod, PlotMod},
+		Origin:  "app", LOC: 40,
+	})
+	b.Package(core.PackageSpec{
+		Name:   SecretMod,
+		Origin: "app", LOC: 15,
+		Vars: map[string]int{"data": HeaderSize + Points*8},
+	})
+	b.Package(core.PackageSpec{
+		Name:   MetaPkg,
+		Origin: "runtime", LOC: 200,
+		Vars: map[string]int{"secret_header": SepHeaderSize},
+	})
+	b.Package(core.PackageSpec{Name: NumpyMod, Origin: "public", LOC: 120000, Stars: 25000})
+	b.Package(core.PackageSpec{
+		Name:    PlotMod,
+		Imports: []string{NumpyMod},
+		Origin:  "public", LOC: 110000, Stars: 19000, Contributors: 1300,
+		Funcs: map[string]core.Func{
+			"plot": func(t *core.Task, args ...core.Value) ([]core.Value, error) {
+				return plot(in, t, args...)
+			},
+		},
+	})
+	b.Enclosure("plot", MainMod, policy,
+		func(t *core.Task, args ...core.Value) ([]core.Value, error) {
+			return t.Call(PlotMod, "plot", args...)
+		}, PlotMod)
+	return b.Build()
+}
+
+// plot is matplotlib's entry point: it walks the secret data, touching
+// the shared object's reference count around every access as CPython's
+// evaluation loop does, builds temporary point objects in its own
+// module (linked into the generational GC), periodically collects, and
+// finally writes the rendered plot to disk.
+func plot(in *Interp, t *core.Task, args ...core.Value) ([]core.Value, error) {
+	secret := args[0].(PyObject)
+	var acc uint64
+	for i := 0; i < Points; i++ {
+		in.Incref(t, secret)
+		v := t.Load64(secret.Payload().Addr + mem.Addr(i*8))
+		acc = acc*31 + v
+		tmp := in.NewObject(t, nil) // point object: header only
+		in.Decref(t, tmp)           // immediately garbage, like CPython temporaries
+		in.Decref(t, secret)
+		t.Compute(costPerPoint)
+		if (i+1)%gcEvery == 0 {
+			in.Collect(t, PlotMod)
+		}
+	}
+	in.Collect(t, PlotMod)
+	t.Compute(costRender)
+
+	// Render a deterministic "PNG" and write it to disk.
+	png := make([]byte, 13000)
+	for i := range png {
+		png[i] = byte(acc >> (uint(i) % 8 * 8))
+	}
+	buf := t.NewBytes(png)
+	path := t.NewString("/tmp/plot.png")
+	fd, errno := t.Syscall(kernel.NrOpen, uint64(path.Addr), path.Size, kernel.OWronly|kernel.OCreat|kernel.OTrunc)
+	if errno != kernel.OK {
+		return nil, fmt.Errorf("pyfront: open plot: %v", errno)
+	}
+	const chunk = 1024
+	for off := uint64(0); off < buf.Size; off += chunk {
+		n := buf.Size - off
+		if n > chunk {
+			n = chunk
+		}
+		if _, errno := t.Syscall(kernel.NrWrite, fd, uint64(buf.Addr)+off, n); errno != kernel.OK {
+			return nil, fmt.Errorf("pyfront: write plot: %v", errno)
+		}
+	}
+	if _, errno := t.Syscall(kernel.NrClose, fd); errno != kernel.OK {
+		return nil, fmt.Errorf("pyfront: close plot: %v", errno)
+	}
+	return []core.Value{len(png)}, nil
+}
+
+func toAddr(i int) mem.Addr { return mem.Addr(i) }
+
+// runOnce executes the workload and returns (total virtual ns, interp).
+func runOnce(kind core.BackendKind, mode Mode) (int64, *Interp, int, error) {
+	policy := PolicyFor(mode)
+	in := NewInterp(mode)
+	prog, err := buildProgram(kind, policy, in)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	if err := prog.FS().MkdirAll("/tmp"); err != nil {
+		return 0, nil, 0, err
+	}
+	if mode == CheriColocated && kind == core.CHERI {
+		// The byte-granular refinement: only the secret object's header
+		// becomes writable inside the enclosure; its data stays R.
+		secretRef, err := prog.VarRef(SecretMod, "data")
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		if err := prog.GrantCapability("plot", secretRef.Slice(0, HeaderSize), true); err != nil {
+			return 0, nil, 0, err
+		}
+	}
+	var total int64
+	var plotBytes int
+	err = prog.Run(func(t *core.Task) error {
+		secretRef, err := prog.VarRef(SecretMod, "data")
+		if err != nil {
+			return err
+		}
+		var secret PyObject
+		if mode == Separated {
+			// Detached header in the metadata module; the payload keeps
+			// living (read-only to the enclosure) in the secret module.
+			hdr, err := prog.VarRef(MetaPkg, "secret_header")
+			if err != nil {
+				return err
+			}
+			payload := secretRef.Slice(HeaderSize, uint64(Points*8))
+			secret = PyObject{Ref: payload, Meta: hdr}
+			t.Store64(hdr.Addr+offDataPtr, uint64(payload.Addr))
+			t.Store64(hdr.Addr+offDataLen, payload.Size)
+		} else {
+			secret = PyObject{Ref: secretRef}
+		}
+		// Trusted code initialises the secret data and its header.
+		t.Store64(secret.headerAddr()+offRefcount, 1)
+		t.Store64(secret.headerAddr()+offGCNext, 0)
+		for i := 0; i < Points; i++ {
+			t.Store64(secret.Payload().Addr+toAddr(i*8), uint64(i)*2654435761)
+		}
+
+		start := prog.Clock().Now()
+		// Delayed initialisation: module dependency computation, memory
+		// views, and hardware (KVM) configuration on first invocation.
+		if kind != core.Baseline {
+			t.Compute(InitCost)
+		}
+		res, err := prog.MustEnclosure("plot").Call(t, secret)
+		if err != nil {
+			return err
+		}
+		total = prog.Clock().Now() - start
+		plotBytes = res[0].(int)
+		// The plot must exist on the simulated disk.
+		data, err := prog.FS().ReadFile("/tmp/plot.png")
+		if err != nil {
+			return err
+		}
+		if len(data) != plotBytes {
+			return fmt.Errorf("pyfront: plot on disk %dB, want %dB", len(data), plotBytes)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	return total, in, plotBytes, nil
+}
+
+// RunExperiment reproduces §6.4 under the given backend (the paper uses
+// LB_VTX): it measures the mode against the Baseline backend and
+// decomposes the overhead into switches, delayed initialisation, and
+// system calls.
+func RunExperiment(kind core.BackendKind, mode Mode) (Result, error) {
+	baseNs, _, _, err := runOnce(core.Baseline, mode)
+	if err != nil {
+		return Result{}, fmt.Errorf("pyfront baseline: %w", err)
+	}
+	totalNs, in, plotBytes, err := runOnce(kind, mode)
+	if err != nil {
+		return Result{}, fmt.Errorf("pyfront %v/%v: %w", kind, mode, err)
+	}
+	overhead := float64(totalNs - baseNs)
+	res := Result{
+		Mode:       mode,
+		Backend:    kind,
+		TotalNs:    totalNs,
+		BaselineNs: baseNs,
+		Slowdown:   float64(totalNs) / float64(baseNs),
+		Switches:   in.Switches,
+		PlotBytes:  plotBytes,
+	}
+	if overhead > 0 {
+		res.InitShare = InitCost / overhead
+		// ~18 file-syscall round trips; their extra cost vs baseline.
+		const plotSyscalls = 16
+		var extraPerSyscall float64
+		switch kind {
+		case core.VTX:
+			extraPerSyscall = 3739
+		case core.MPK:
+			extraPerSyscall = 136
+		}
+		res.SysShare = plotSyscalls * extraPerSyscall / overhead
+	}
+	return res, nil
+}

@@ -1,0 +1,70 @@
+package pyfront
+
+import (
+	"testing"
+
+	"github.com/litterbox-project/enclosure/internal/core"
+)
+
+// TestConservativeExperimentMatchesPaper checks the §6.4 headline
+// numbers: ~18× slowdown, nearly 1M switches, delayed init a few
+// percent of the overhead, syscalls under 1%.
+func TestConservativeExperimentMatchesPaper(t *testing.T) {
+	r, err := RunExperiment(core.VTX, Conservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("conservative: %.2fx, %d switches, init %.1f%%, syscalls %.2f%%",
+		r.Slowdown, r.Switches, r.InitShare*100, r.SysShare*100)
+	if r.Slowdown < 15 || r.Slowdown > 22 {
+		t.Errorf("slowdown %.2fx, paper ~18x", r.Slowdown)
+	}
+	if r.Switches < 900_000 || r.Switches > 1_100_000 {
+		t.Errorf("switches %d, paper ~1M", r.Switches)
+	}
+	if r.InitShare <= 0 || r.InitShare > 0.06 {
+		t.Errorf("init share %.1f%%, paper 4.3%%", r.InitShare*100)
+	}
+	if r.SysShare >= 0.01 {
+		t.Errorf("syscall share %.2f%%, paper <1%%", r.SysShare*100)
+	}
+	if r.PlotBytes == 0 {
+		t.Error("no plot written")
+	}
+}
+
+// TestDecoupledExperimentMatchesPaper checks the second experiment:
+// ~1.4× dominated by the delayed initialisation.
+func TestDecoupledExperimentMatchesPaper(t *testing.T) {
+	r, err := RunExperiment(core.VTX, Decoupled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("decoupled: %.2fx, %d switches, init %.1f%% of overhead",
+		r.Slowdown, r.Switches, r.InitShare*100)
+	if r.Slowdown < 1.2 || r.Slowdown > 1.7 {
+		t.Errorf("slowdown %.2fx, paper ~1.4x", r.Slowdown)
+	}
+	if r.Switches != 0 {
+		t.Errorf("decoupled metadata should need no switches, got %d", r.Switches)
+	}
+	if r.InitShare < 0.5 {
+		t.Errorf("init share %.1f%%: overhead should be init-dominated", r.InitShare*100)
+	}
+}
+
+// TestExperimentDeterministic: the virtual-clock methodology makes the
+// measurement exactly reproducible.
+func TestExperimentDeterministic(t *testing.T) {
+	a, err := RunExperiment(core.VTX, Decoupled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunExperiment(core.VTX, Decoupled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalNs != b.TotalNs || a.BaselineNs != b.BaselineNs {
+		t.Fatalf("non-deterministic: %d/%d vs %d/%d", a.TotalNs, a.BaselineNs, b.TotalNs, b.BaselineNs)
+	}
+}

@@ -1,0 +1,79 @@
+package pyfront
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/litterbox-project/enclosure/internal/core"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+)
+
+// TestLazyImportInsideEnclosure models matplotlib pulling in one of its
+// backends on first use: the enclosed module imports "py/agg" lazily,
+// uses it, and the secret stays out of reach throughout.
+func TestLazyImportInsideEnclosure(t *testing.T) {
+	for _, kind := range []core.BackendKind{core.MPK, core.VTX, core.CHERI} {
+		t.Run(kind.String(), func(t *testing.T) {
+			in := NewInterp(Decoupled)
+			b := core.NewBuilder(kind)
+			b.Package(core.PackageSpec{Name: MainMod, Imports: []string{SecretMod, PlotMod}})
+			b.Package(core.PackageSpec{Name: SecretMod, Vars: map[string]int{"data": HeaderSize + 64}})
+			b.Package(core.PackageSpec{Name: PlotMod, Funcs: map[string]core.Func{
+				"plot": func(t *core.Task, args ...core.Value) ([]core.Value, error) {
+					// First use of the rasteriser triggers its import.
+					err := in.LazyImport(t, core.PackageSpec{
+						Name: "py/agg", Origin: "public", LOC: 45000,
+						Vars: map[string]int{"canvas": 1024},
+						Funcs: map[string]core.Func{
+							"rasterize": func(t *core.Task, args ...core.Value) ([]core.Value, error) {
+								ref, err := t.Prog().VarRef("py/agg", "canvas")
+								if err != nil {
+									return nil, err
+								}
+								t.Store64(ref.Addr, 0xCAFE)
+								return []core.Value{t.Load64(ref.Addr)}, nil
+							},
+						},
+					})
+					if err != nil {
+						return nil, err
+					}
+					return t.Call("py/agg", "rasterize")
+				},
+				"steal": func(t *core.Task, args ...core.Value) ([]core.Value, error) {
+					ref, err := t.Prog().VarRef(SecretMod, "data")
+					if err != nil {
+						return nil, err
+					}
+					t.Store8(ref.Addr+HeaderSize, 0xFF)
+					return nil, nil
+				},
+			}})
+			b.Enclosure("plot", MainMod, SecretMod+":R; sys:none",
+				func(t *core.Task, args ...core.Value) ([]core.Value, error) {
+					fn := args[0].(string)
+					return t.Call(PlotMod, fn)
+				}, PlotMod)
+			prog, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = prog.Run(func(task *core.Task) error {
+				res, err := prog.MustEnclosure("plot").Call(task, "plot")
+				if err != nil {
+					return err
+				}
+				if res[0].(uint64) != 0xCAFE {
+					t.Errorf("rasterize returned %#x", res[0])
+				}
+				// The secret is still write-protected after the import.
+				_, err = prog.MustEnclosure("plot").Call(task, "steal")
+				return err
+			})
+			var fault *litterbox.Fault
+			if !errors.As(err, &fault) || fault.Op != "write" {
+				t.Fatalf("secret writable after lazy import: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,303 @@
+// Package seccomp implements the kernel-side system-call filtering that
+// LB_MPK relies on (§5.3): SysFilter policies are compiled to a classic
+// BPF program, loaded via a simulated seccomp(2), and evaluated on every
+// system call. Following the paper, the seccomp_data structure is
+// extended with the current PKRU value (the kernel patch [45] the authors
+// apply), so one program indexes the current execution environment to a
+// mask of permitted system calls.
+//
+// The virtual machine is a faithful subset of classic BPF: an
+// accumulator, an index register, absolute loads from the data buffer,
+// ALU ops, conditional jumps (forward only), and RET. Programs are
+// validated before load exactly as the kernel's checker does.
+package seccomp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Opcode classes and modifiers (classic BPF encoding).
+const (
+	classLD   = 0x00
+	classLDX  = 0x01
+	classALU  = 0x04
+	classJMP  = 0x05
+	classRET  = 0x06
+	classMisc = 0x07
+
+	sizeW   = 0x00
+	modeABS = 0x20
+	modeIMM = 0x00
+	modeMEM = 0x60
+
+	aluAdd = 0x00
+	aluSub = 0x10
+	aluAnd = 0x50
+	aluOr  = 0x40
+	aluRsh = 0x70
+	aluLsh = 0x60
+
+	jmpJA   = 0x00
+	jmpJEQ  = 0x10
+	jmpJGT  = 0x20
+	jmpJGE  = 0x30
+	jmpJSET = 0x40
+
+	srcK = 0x00
+	srcX = 0x08
+
+	retK = 0x00
+	retA = 0x10
+
+	miscTAX = 0x00
+	miscTXA = 0x80
+)
+
+// Exported opcodes assembled from class|mode|size or class|op|src.
+const (
+	OpLdAbsW = classLD | modeABS | sizeW // A = data[K:K+4]
+	OpLdImm  = classLD | modeIMM | sizeW // A = K
+	OpLdMem  = classLD | modeMEM | sizeW // A = M[K]
+	OpStMem  = 0x02                      // M[K] = A (class ST)
+	OpAddK   = classALU | aluAdd | srcK
+	OpSubK   = classALU | aluSub | srcK
+	OpAndK   = classALU | aluAnd | srcK
+	OpOrK    = classALU | aluOr | srcK
+	OpRshK   = classALU | aluRsh | srcK
+	OpLshK   = classALU | aluLsh | srcK
+	OpJmpJA  = classJMP | jmpJA
+	OpJeqK   = classJMP | jmpJEQ | srcK
+	OpJgtK   = classJMP | jmpJGT | srcK
+	OpJgeK   = classJMP | jmpJGE | srcK
+	OpJsetK  = classJMP | jmpJSET | srcK
+	OpJeqX   = classJMP | jmpJEQ | srcX
+	OpRetK   = classRET | retK
+	OpRetA   = classRET | retA
+	OpTax    = classMisc | miscTAX
+	OpTxa    = classMisc | miscTXA
+)
+
+// Seccomp return actions (high 16 bits significant, as in Linux).
+const (
+	RetKillProcess uint32 = 0x80000000
+	RetKillThread  uint32 = 0x00000000
+	RetTrap        uint32 = 0x00030000
+	RetErrno       uint32 = 0x00050000
+	RetAllow       uint32 = 0x7fff0000
+)
+
+// ActionOf masks a filter's return value down to its action.
+func ActionOf(ret uint32) uint32 { return ret & 0xffff0000 }
+
+// Data is the simulated seccomp_data buffer handed to filters. Layout
+// (little endian):
+//
+//	off  0: nr      uint32
+//	off  4: arch    uint32
+//	off  8: ip      uint64
+//	off 16: args[6] uint64
+//	off 64: pkru    uint32   <- the paper's kernel-patch extension
+const (
+	OffNr   = 0
+	OffArch = 4
+	OffIP   = 8
+	OffArgs = 16
+	OffPKRU = 64
+
+	// DataLen is the total length of the seccomp data buffer.
+	DataLen = 68
+
+	// AuditArchSim identifies our simulated architecture.
+	AuditArchSim = 0xC0DE5151
+)
+
+// Data carries one system call's metadata to the filter.
+type Data struct {
+	Nr   uint32
+	Arch uint32
+	IP   uint64
+	Args [6]uint64
+	PKRU uint32
+}
+
+// load32 fetches the 32-bit little-endian word at offset off.
+func (d *Data) load32(off uint32) (uint32, bool) {
+	switch {
+	case off == OffNr:
+		return d.Nr, true
+	case off == OffArch:
+		return d.Arch, true
+	case off == OffIP:
+		return uint32(d.IP), true
+	case off == OffIP+4:
+		return uint32(d.IP >> 32), true
+	case off >= OffArgs && off <= OffArgs+48-4 && off%4 == 0:
+		idx := (off - OffArgs) / 8
+		if (off-OffArgs)%8 == 0 {
+			return uint32(d.Args[idx]), true
+		}
+		return uint32(d.Args[idx] >> 32), true
+	case off == OffPKRU:
+		return d.PKRU, true
+	default:
+		return 0, false
+	}
+}
+
+// Insn is one classic-BPF instruction.
+type Insn struct {
+	Op     uint16
+	Jt, Jf uint8
+	K      uint32
+}
+
+// String disassembles the instruction.
+func (i Insn) String() string {
+	return fmt.Sprintf("{op=%#04x jt=%d jf=%d k=%#x}", i.Op, i.Jt, i.Jf, i.K)
+}
+
+// Stmt assembles a non-branching instruction (BPF_STMT).
+func Stmt(op uint16, k uint32) Insn { return Insn{Op: op, K: k} }
+
+// Jump assembles a conditional branch (BPF_JUMP).
+func Jump(op uint16, k uint32, jt, jf uint8) Insn { return Insn{Op: op, Jt: jt, Jf: jf, K: k} }
+
+// MaxInsns matches the kernel's BPF_MAXINSNS.
+const MaxInsns = 4096
+
+// scratchSlots is the size of the BPF scratch memory M[].
+const scratchSlots = 16
+
+// Validation errors.
+var (
+	ErrTooLong    = errors.New("seccomp: program exceeds BPF_MAXINSNS")
+	ErrEmptyProg  = errors.New("seccomp: empty program")
+	ErrBadJump    = errors.New("seccomp: jump out of bounds")
+	ErrBadOpcode  = errors.New("seccomp: unknown opcode")
+	ErrBadLoad    = errors.New("seccomp: load outside seccomp_data")
+	ErrNoReturn   = errors.New("seccomp: program can fall off the end")
+	ErrBadScratch = errors.New("seccomp: scratch index out of range")
+	ErrDivByZero  = errors.New("seccomp: division by zero constant")
+)
+
+// Program is a validated BPF filter ready for attachment.
+type Program struct {
+	insns []Insn
+}
+
+// Compile validates the raw instruction list (bounds, jump targets,
+// terminal returns) and returns a loadable Program, mirroring the
+// kernel's checker in seccomp_check_filter/bpf_check_classic.
+func Compile(insns []Insn) (*Program, error) {
+	if len(insns) == 0 {
+		return nil, ErrEmptyProg
+	}
+	if len(insns) > MaxInsns {
+		return nil, ErrTooLong
+	}
+	for pc, in := range insns {
+		switch in.Op {
+		case OpLdAbsW:
+			// Overflow-safe bound: K+4 could wrap a uint32.
+			if in.K > DataLen-4 || in.K%4 != 0 {
+				return nil, fmt.Errorf("%w: pc=%d k=%#x", ErrBadLoad, pc, in.K)
+			}
+		case OpLdImm, OpAddK, OpSubK, OpAndK, OpOrK, OpRshK, OpLshK,
+			OpRetK, OpRetA, OpTax, OpTxa:
+			// always fine
+		case OpLdMem, OpStMem:
+			if in.K >= scratchSlots {
+				return nil, fmt.Errorf("%w: pc=%d k=%d", ErrBadScratch, pc, in.K)
+			}
+		case OpJmpJA:
+			if pc+1+int(in.K) >= len(insns) {
+				return nil, fmt.Errorf("%w: pc=%d", ErrBadJump, pc)
+			}
+		case OpJeqK, OpJgtK, OpJgeK, OpJsetK, OpJeqX:
+			if pc+1+int(in.Jt) >= len(insns) || pc+1+int(in.Jf) >= len(insns) {
+				return nil, fmt.Errorf("%w: pc=%d", ErrBadJump, pc)
+			}
+		default:
+			return nil, fmt.Errorf("%w: pc=%d op=%#04x", ErrBadOpcode, pc, in.Op)
+		}
+	}
+	// Every path must terminate in RET: because all jumps are forward,
+	// it suffices that the last instruction is a RET and that no jump
+	// escapes (already checked).
+	last := insns[len(insns)-1].Op
+	if last != OpRetK && last != OpRetA {
+		return nil, ErrNoReturn
+	}
+	p := &Program{insns: make([]Insn, len(insns))}
+	copy(p.insns, insns)
+	return p, nil
+}
+
+// Len returns the instruction count.
+func (p *Program) Len() int { return len(p.insns) }
+
+// Run evaluates the filter over data and returns the 32-bit verdict.
+func (p *Program) Run(d *Data) (uint32, error) {
+	var a, x uint32
+	var scratch [scratchSlots]uint32
+	for pc := 0; pc < len(p.insns); pc++ {
+		in := p.insns[pc]
+		switch in.Op {
+		case OpLdAbsW:
+			v, ok := d.load32(in.K)
+			if !ok {
+				return 0, fmt.Errorf("%w: k=%#x", ErrBadLoad, in.K)
+			}
+			a = v
+		case OpLdImm:
+			a = in.K
+		case OpLdMem:
+			a = scratch[in.K]
+		case OpStMem:
+			scratch[in.K] = a
+		case OpAddK:
+			a += in.K
+		case OpSubK:
+			a -= in.K
+		case OpAndK:
+			a &= in.K
+		case OpOrK:
+			a |= in.K
+		case OpRshK:
+			a >>= in.K & 31
+		case OpLshK:
+			a <<= in.K & 31
+		case OpTax:
+			x = a
+		case OpTxa:
+			a = x
+		case OpJmpJA:
+			pc += int(in.K)
+		case OpJeqK:
+			pc += condOffset(a == in.K, in)
+		case OpJgtK:
+			pc += condOffset(a > in.K, in)
+		case OpJgeK:
+			pc += condOffset(a >= in.K, in)
+		case OpJsetK:
+			pc += condOffset(a&in.K != 0, in)
+		case OpJeqX:
+			pc += condOffset(a == x, in)
+		case OpRetK:
+			return in.K, nil
+		case OpRetA:
+			return a, nil
+		default:
+			return 0, fmt.Errorf("%w: op=%#04x", ErrBadOpcode, in.Op)
+		}
+	}
+	return 0, ErrNoReturn
+}
+
+func condOffset(cond bool, in Insn) int {
+	if cond {
+		return int(in.Jt)
+	}
+	return int(in.Jf)
+}

@@ -1,0 +1,253 @@
+package seccomp
+
+import (
+	"errors"
+	"testing"
+)
+
+func run(t *testing.T, insns []Insn, d *Data) uint32 {
+	t.Helper()
+	p, err := Compile(insns)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	v, err := p.Run(d)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return v
+}
+
+func TestRetImmediate(t *testing.T) {
+	if got := run(t, []Insn{Stmt(OpRetK, 42)}, &Data{}); got != 42 {
+		t.Fatalf("ret k = %d", got)
+	}
+}
+
+func TestLoadFields(t *testing.T) {
+	d := &Data{
+		Nr:   7,
+		Arch: AuditArchSim,
+		IP:   0x1122334455667788,
+		Args: [6]uint64{0xAABBCCDD00112233, 2, 3, 4, 5, 6},
+		PKRU: 0x55551234,
+	}
+	cases := []struct {
+		off  uint32
+		want uint32
+	}{
+		{OffNr, 7},
+		{OffArch, AuditArchSim},
+		{OffIP, 0x55667788},
+		{OffIP + 4, 0x11223344},
+		{OffArgs, 0x00112233},     // args[0] low
+		{OffArgs + 4, 0xAABBCCDD}, // args[0] high
+		{OffArgs + 8, 2},          // args[1] low
+		{OffPKRU, 0x55551234},
+	}
+	for _, c := range cases {
+		got := run(t, []Insn{Stmt(OpLdAbsW, c.off), Stmt(OpRetA, 0)}, d)
+		if got != c.want {
+			t.Errorf("load[%d] = %#x, want %#x", c.off, got, c.want)
+		}
+	}
+}
+
+func TestALUAndJumps(t *testing.T) {
+	// (5 + 3) & 0xC == 8 -> allow else kill
+	insns := []Insn{
+		Stmt(OpLdImm, 5),
+		Stmt(OpAddK, 3),
+		Stmt(OpAndK, 0xC),
+		Jump(OpJeqK, 8, 0, 1),
+		Stmt(OpRetK, RetAllow),
+		Stmt(OpRetK, RetKillThread),
+	}
+	if got := run(t, insns, &Data{}); got != RetAllow {
+		t.Fatalf("arith chain = %#x", got)
+	}
+
+	// Jset: bit test.
+	insns = []Insn{
+		Stmt(OpLdImm, 0b1010),
+		Jump(OpJsetK, 0b0010, 0, 1),
+		Stmt(OpRetK, 1),
+		Stmt(OpRetK, 2),
+	}
+	if got := run(t, insns, &Data{}); got != 1 {
+		t.Fatalf("jset = %d", got)
+	}
+
+	// Jgt/Jge boundaries.
+	for _, c := range []struct {
+		op   uint16
+		k    uint32
+		a    uint32
+		want uint32
+	}{
+		{OpJgtK, 5, 5, 2}, // 5 > 5 false
+		{OpJgeK, 5, 5, 1}, // 5 >= 5 true
+	} {
+		insns := []Insn{
+			Stmt(OpLdImm, c.a),
+			Jump(c.op, c.k, 0, 1),
+			Stmt(OpRetK, 1),
+			Stmt(OpRetK, 2),
+		}
+		if got := run(t, insns, &Data{}); got != c.want {
+			t.Errorf("op %#x: got %d want %d", c.op, got, c.want)
+		}
+	}
+}
+
+func TestScratchAndRegisters(t *testing.T) {
+	insns := []Insn{
+		Stmt(OpLdImm, 7),
+		Stmt(OpStMem, 3),
+		Stmt(OpTax, 0), // X = 7
+		Stmt(OpLdImm, 7),
+		Jump(OpJeqX, 0, 0, 1), // A == X
+		Stmt(OpLdMem, 3),      // A = M[3] = 7
+		Stmt(OpRetA, 0),
+	}
+	if got := run(t, insns, &Data{}); got != 7 {
+		t.Fatalf("scratch/registers = %d", got)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	insns := []Insn{
+		Stmt(OpLdImm, 1),
+		Stmt(OpLshK, 4),
+		Stmt(OpRshK, 2),
+		Stmt(OpRetA, 0),
+	}
+	if got := run(t, insns, &Data{}); got != 4 {
+		t.Fatalf("shifts = %d", got)
+	}
+}
+
+func TestJmpJA(t *testing.T) {
+	insns := []Insn{
+		Jump(OpJmpJA, 1, 0, 0),
+		Stmt(OpRetK, 1), // skipped
+		Stmt(OpRetK, 2),
+	}
+	if got := run(t, insns, &Data{}); got != 2 {
+		t.Fatalf("ja = %d", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []struct {
+		insns []Insn
+		want  error
+	}{
+		{nil, ErrEmptyProg},
+		{make([]Insn, MaxInsns+1), ErrTooLong},
+		{[]Insn{Stmt(OpLdAbsW, DataLen)}, ErrBadLoad},
+		{[]Insn{Stmt(OpLdAbsW, 2)}, ErrBadLoad}, // misaligned
+		{[]Insn{Stmt(OpLdMem, 16), Stmt(OpRetK, 0)}, ErrBadScratch},
+		{[]Insn{Jump(OpJeqK, 0, 5, 0), Stmt(OpRetK, 0)}, ErrBadJump},
+		{[]Insn{Jump(OpJmpJA, 9, 0, 0), Stmt(OpRetK, 0)}, ErrBadJump},
+		{[]Insn{Stmt(0xFFFF, 0)}, ErrBadOpcode},
+		{[]Insn{Stmt(OpLdImm, 1)}, ErrNoReturn},
+	}
+	for i, c := range cases {
+		if _, err := Compile(c.insns); !errors.Is(err, c.want) {
+			t.Errorf("case %d: err = %v, want %v", i, err, c.want)
+		}
+	}
+}
+
+// TestVMNeverPanicsOnRandomPrograms: arbitrary instruction streams are
+// either rejected by Compile or execute to a verdict without panicking
+// — matching the kernel's checker guarantees.
+func TestVMNeverPanicsOnRandomPrograms(t *testing.T) {
+	ops := []uint16{
+		OpLdAbsW, OpLdImm, OpLdMem, OpStMem, OpAddK, OpSubK, OpAndK, OpOrK,
+		OpRshK, OpLshK, OpJmpJA, OpJeqK, OpJgtK, OpJgeK, OpJsetK, OpJeqX,
+		OpRetK, OpRetA, OpTax, OpTxa, 0xBEEF, // one invalid opcode
+	}
+	check := func(seed uint32) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("seed %d panicked: %v", seed, r)
+			}
+		}()
+		rng := seed | 1
+		next := func() uint32 {
+			rng = rng*1664525 + 1013904223
+			return rng
+		}
+		n := int(next()%30) + 1
+		insns := make([]Insn, n)
+		for i := range insns {
+			insns[i] = Insn{
+				Op: ops[next()%uint32(len(ops))],
+				Jt: uint8(next() % 8),
+				Jf: uint8(next() % 8),
+				K:  next() % 128,
+			}
+		}
+		insns[n-1] = Stmt(OpRetK, next()) // give it a chance to validate
+		p, err := Compile(insns)
+		if err != nil {
+			return true // rejected: fine
+		}
+		_, rerr := p.Run(&Data{Nr: next(), Arch: AuditArchSim, PKRU: next()})
+		_ = rerr // load errors are impossible post-validation, but any error is acceptable
+		return true
+	}
+	for seed := uint32(0); seed < 2000; seed++ {
+		if !check(seed) {
+			t.Fatalf("seed %d", seed)
+		}
+	}
+}
+
+// TestVMDeterministic: the same program over the same data always
+// yields the same verdict.
+func TestVMDeterministic(t *testing.T) {
+	rules := []EnvRule{{PKRU: 0x5, Allowed: []uint32{1, 2, 3, 9}}}
+	p, err := CompileFilter(rules, RetTrap, RetErrno)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Data{Nr: 9, Arch: AuditArchSim, PKRU: 0x5}
+	first, err := p.Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		again, err := p.Run(d)
+		if err != nil || again != first {
+			t.Fatalf("iteration %d: %#x vs %#x (%v)", i, again, first, err)
+		}
+	}
+}
+
+func TestActionOf(t *testing.T) {
+	if ActionOf(RetErrno|38) != RetErrno {
+		t.Error("errno action lost")
+	}
+	if ActionOf(RetAllow) != RetAllow {
+		t.Error("allow action lost")
+	}
+}
+
+// TestLoadOffsetOverflow is the fuzzer-found regression: a load offset
+// near the uint32 maximum must be rejected at Compile, not wrap past
+// the bounds check and crash the VM.
+func TestLoadOffsetOverflow(t *testing.T) {
+	for _, k := range []uint32{0xfffffffc, 0xfffffff0, DataLen - 3, DataLen} {
+		_, err := Compile([]Insn{Stmt(OpLdAbsW, k), Stmt(OpRetA, 0)})
+		if !errors.Is(err, ErrBadLoad) {
+			t.Errorf("k=%#x: err = %v, want ErrBadLoad", k, err)
+		}
+	}
+	// The last legal word offset still compiles.
+	if _, err := Compile([]Insn{Stmt(OpLdAbsW, DataLen-4), Stmt(OpRetA, 0)}); err != nil {
+		t.Errorf("k=%#x rejected: %v", DataLen-4, err)
+	}
+}

@@ -1,0 +1,97 @@
+package seccomp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// EnvRule describes the system-call mask of one execution environment,
+// keyed by the PKRU value that identifies it (the paper compiles
+// FilterSyscall "into a BPF filter loaded via seccomp, which indexes the
+// current environment (from the PKRU value) to a mask of permitted
+// system calls").
+type EnvRule struct {
+	// PKRU identifies the environment.
+	PKRU uint32
+	// Allowed lists permitted system-call numbers.
+	Allowed []uint32
+	// ConnectNr, if non-zero with ConnectAllow non-empty, enables the
+	// §6.5 extension: connect(2) is permitted only toward the listed
+	// destination hosts (the low 32 bits of args[1] in this kernel's
+	// connect ABI), letting packages like ssh-decorator keep their valid
+	// functionality while being unable to contact an exfiltration server.
+	ConnectNr    uint32
+	ConnectAllow []uint32
+}
+
+// ErrBlockTooLarge reports an environment whose dispatch block exceeds
+// the reach of BPF's 8-bit forward jumps.
+var ErrBlockTooLarge = errors.New("seccomp: environment rule block exceeds jump range")
+
+// CompileFilter builds one BPF program dispatching on the PKRU value.
+// Syscalls not matched by the current environment's rule return deny;
+// a PKRU value with no rule returns defaultAction (the trusted,
+// non-enclosed environment typically gets RetAllow via its own rule).
+func CompileFilter(rules []EnvRule, defaultAction, denyAction uint32) (*Program, error) {
+	var insns []Insn
+
+	// Architecture pinning, as every real seccomp policy does.
+	insns = append(insns,
+		Stmt(OpLdAbsW, OffArch),
+		Jump(OpJeqK, AuditArchSim, 1, 0),
+		Stmt(OpRetK, RetKillProcess),
+	)
+
+	// Deterministic order for reproducible programs.
+	sorted := append([]EnvRule(nil), rules...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].PKRU < sorted[j].PKRU })
+
+	for _, r := range sorted {
+		block := buildEnvBlock(r, denyAction)
+		if len(block) > 250 {
+			return nil, fmt.Errorf("%w: pkru=%#x len=%d", ErrBlockTooLarge, r.PKRU, len(block))
+		}
+		insns = append(insns, Stmt(OpLdAbsW, OffPKRU))
+		insns = append(insns, Jump(OpJeqK, r.PKRU, 0, uint8(len(block))))
+		insns = append(insns, block...)
+	}
+	insns = append(insns, Stmt(OpRetK, defaultAction))
+	return Compile(insns)
+}
+
+// buildEnvBlock emits the body run once the PKRU dispatch matched; it
+// must end with a RET on every path and may assume nothing about A.
+func buildEnvBlock(r EnvRule, denyAction uint32) []Insn {
+	var block []Insn
+
+	if r.ConnectNr != 0 && len(r.ConnectAllow) > 0 {
+		// ld nr; jeq connect, 0, skip; ld arg1; (jeq ip,0,1; ret allow)*; ret deny
+		sub := []Insn{Stmt(OpLdAbsW, OffArgs+8)} // args[1] low word: dest host
+		for _, ip := range r.ConnectAllow {
+			sub = append(sub,
+				Jump(OpJeqK, ip, 0, 1),
+				Stmt(OpRetK, RetAllow),
+			)
+		}
+		sub = append(sub, Stmt(OpRetK, denyAction))
+		block = append(block, Stmt(OpLdAbsW, OffNr))
+		block = append(block, Jump(OpJeqK, r.ConnectNr, 0, uint8(len(sub))))
+		block = append(block, sub...)
+	}
+
+	allowed := append([]uint32(nil), r.Allowed...)
+	sort.Slice(allowed, func(i, j int) bool { return allowed[i] < allowed[j] })
+	for _, nr := range allowed {
+		if nr == r.ConnectNr && len(r.ConnectAllow) > 0 {
+			continue // already handled with argument checks
+		}
+		block = append(block,
+			Stmt(OpLdAbsW, OffNr),
+			Jump(OpJeqK, nr, 0, 1),
+			Stmt(OpRetK, RetAllow),
+		)
+	}
+	block = append(block, Stmt(OpRetK, denyAction))
+	return block
+}

@@ -1,0 +1,52 @@
+package seccomp
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzVM: arbitrary instruction bytes either fail Compile or run to a
+// verdict; the interpreter must never panic or loop.
+func FuzzVM(f *testing.F) {
+	mk := func(insns ...Insn) []byte {
+		out := make([]byte, 0, len(insns)*8)
+		for _, in := range insns {
+			var b [8]byte
+			binary.LittleEndian.PutUint16(b[0:], in.Op)
+			b[2], b[3] = in.Jt, in.Jf
+			binary.LittleEndian.PutUint32(b[4:], in.K)
+			out = append(out, b[:]...)
+		}
+		return out
+	}
+	f.Add(mk(Stmt(OpLdAbsW, OffNr), Jump(OpJeqK, 1, 0, 1), Stmt(OpRetK, RetAllow), Stmt(OpRetK, RetTrap)))
+	f.Add(mk(Stmt(OpRetK, 0)))
+	f.Add(mk(Jump(OpJmpJA, 200, 0, 0), Stmt(OpRetK, 0)))
+	f.Add([]byte{1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		n := len(raw) / 8
+		if n == 0 || n > 64 {
+			return
+		}
+		insns := make([]Insn, n)
+		for i := 0; i < n; i++ {
+			insns[i] = Insn{
+				Op: binary.LittleEndian.Uint16(raw[i*8:]),
+				Jt: raw[i*8+2],
+				Jf: raw[i*8+3],
+				K:  binary.LittleEndian.Uint32(raw[i*8+4:]),
+			}
+		}
+		p, err := Compile(insns)
+		if err != nil {
+			return
+		}
+		d := &Data{Nr: 7, Arch: AuditArchSim, Args: [6]uint64{1, 2, 3}, PKRU: 0x55}
+		v1, err1 := p.Run(d)
+		v2, err2 := p.Run(d)
+		if v1 != v2 || (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic: %#x/%v vs %#x/%v", v1, err1, v2, err2)
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package simdb
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/litterbox-project/enclosure/internal/simnet"
+)
+
+func dialDB(t *testing.T, net *simnet.Net) *simnet.Conn {
+	t.Helper()
+	c, err := net.Dial(simnet.HostIP(10, 0, 0, 1), Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func roundTrip(t *testing.T, c *simnet.Conn, req string, wantPrefix string) string {
+	t.Helper()
+	if _, err := c.Write([]byte(req)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64*1024)
+	var got []byte
+	for !strings.HasPrefix(string(got), wantPrefix) || len(got) < len(wantPrefix) {
+		n, err := c.Read(buf)
+		got = append(got, buf[:n]...)
+		if err != nil {
+			break
+		}
+		if strings.Contains(string(got), "\n") {
+			break
+		}
+	}
+	return string(got)
+}
+
+func TestGetSetProtocol(t *testing.T) {
+	net := simnet.New()
+	srv, err := Start(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := dialDB(t, net)
+	defer c.Close()
+
+	if got := roundTrip(t, c, "GET missing\n", "NIL"); !strings.HasPrefix(got, "NIL") {
+		t.Fatalf("GET missing = %q", got)
+	}
+	if got := roundTrip(t, c, "SET page 5\nhello", "OK"); !strings.HasPrefix(got, "OK") {
+		t.Fatalf("SET = %q", got)
+	}
+
+	// GET returns header + payload.
+	if _, err := c.Write([]byte("GET page\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1024)
+	var resp []byte
+	for len(resp) < len("VAL 5\nhello") {
+		n, err := c.Read(buf)
+		resp = append(resp, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	if string(resp) != "VAL 5\nhello" {
+		t.Fatalf("GET page = %q", resp)
+	}
+}
+
+func TestDirectPutGet(t *testing.T) {
+	net := simnet.New()
+	srv, err := Start(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Put("k", []byte("v1"))
+	got, ok := srv.Get("k")
+	if !ok || string(got) != "v1" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	got[0] = 'X' // must be a copy
+	again, _ := srv.Get("k")
+	if string(again) != "v1" {
+		t.Fatal("Get returned shared slice")
+	}
+	if _, ok := srv.Get("missing"); ok {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestSetLargeValueInChunks(t *testing.T) {
+	net := simnet.New()
+	srv, err := Start(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	val := bytes.Repeat([]byte("xyz"), 10000)
+	c := dialDB(t, net)
+	defer c.Close()
+	// Header first, then the payload in pieces.
+	if _, err := c.Write([]byte(fmt.Sprintf("SET big %d\n", len(val)))); err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(val); off += 7000 {
+		end := off + 7000
+		if end > len(val) {
+			end = len(val)
+		}
+		if _, err := c.Write(val[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 16)
+	n, err := c.Read(buf)
+	if err != nil || string(buf[:n]) != "OK\n" {
+		t.Fatalf("SET big: %q %v", buf[:n], err)
+	}
+	got, ok := srv.Get("big")
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatal("large value corrupted")
+	}
+}
+
+func TestBadCommands(t *testing.T) {
+	net := simnet.New()
+	srv, err := Start(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := dialDB(t, net)
+	defer c.Close()
+	if got := roundTrip(t, c, "DROP TABLE users\n", "ERR"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("bad command = %q", got)
+	}
+	if got := roundTrip(t, c, "SET k notanumber\n", "ERR"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("bad length = %q", got)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	net := simnet.New()
+	srv, err := Start(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv.Close()
+}

@@ -1,0 +1,285 @@
+// Package simnet is the in-memory network behind the simulated kernel's
+// socket system calls. It provides loopback-style reliable byte streams:
+// listeners with accept queues and connected socket pairs, enough to run
+// the paper's HTTP, FastHTTP, wiki/Postgres, and exfiltration-attack
+// workloads (§6.2, §6.3, §6.5) without touching a real network.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Addr is a simulated IPv4-style endpoint: a 32-bit host plus a port.
+type Addr struct {
+	Host uint32
+	Port uint16
+}
+
+// String renders the address dotted-quad style.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d:%d",
+		byte(a.Host>>24), byte(a.Host>>16), byte(a.Host>>8), byte(a.Host), a.Port)
+}
+
+// HostIP packs four octets into a host address.
+func HostIP(a, b, c, d byte) uint32 {
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+}
+
+// Errors mirror errno conditions the kernel translates.
+var (
+	ErrAddrInUse   = errors.New("simnet: address already in use")
+	ErrConnRefused = errors.New("simnet: connection refused")
+	ErrClosed      = errors.New("simnet: use of closed connection")
+	ErrNotListener = errors.New("simnet: socket is not listening")
+	ErrUnreachable = errors.New("simnet: host unreachable")
+)
+
+const (
+	streamBufSize   = 256 * 1024
+	acceptQueueSize = 1024
+)
+
+// stream is one direction of a connection: a bounded in-memory pipe.
+type stream struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	closed bool
+}
+
+func newStream() *stream {
+	s := &stream{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *stream) write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	written := 0
+	for written < len(p) {
+		for !s.closed && len(s.buf) >= streamBufSize {
+			s.cond.Wait()
+		}
+		if s.closed {
+			return written, ErrClosed
+		}
+		room := streamBufSize - len(s.buf)
+		n := len(p) - written
+		if n > room {
+			n = room
+		}
+		s.buf = append(s.buf, p[written:written+n]...)
+		written += n
+		s.cond.Broadcast()
+	}
+	return written, nil
+}
+
+func (s *stream) read(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.buf) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.buf) == 0 {
+		return 0, ErrClosed // EOF after close
+	}
+	n := copy(p, s.buf)
+	s.buf = s.buf[n:]
+	s.cond.Broadcast()
+	return n, nil
+}
+
+func (s *stream) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Conn is one endpoint of an established connection.
+type Conn struct {
+	local, remote Addr
+	rd, wr        *stream
+	once          sync.Once
+}
+
+// LocalAddr returns the endpoint's own address.
+func (c *Conn) LocalAddr() Addr { return c.local }
+
+// RemoteAddr returns the peer's address.
+func (c *Conn) RemoteAddr() Addr { return c.remote }
+
+// Read receives bytes from the peer, blocking until data or EOF.
+func (c *Conn) Read(p []byte) (int, error) { return c.rd.read(p) }
+
+// Write sends bytes to the peer.
+func (c *Conn) Write(p []byte) (int, error) { return c.wr.write(p) }
+
+// Close shuts down both directions.
+func (c *Conn) Close() error {
+	c.once.Do(func() {
+		c.rd.close()
+		c.wr.close()
+	})
+	return nil
+}
+
+// Pair returns two connected endpoints with no listener involved — the
+// substrate behind pipe(2) and socketpair(2) in the simulated kernel.
+func Pair() (*Conn, *Conn) {
+	a2b := newStream()
+	b2a := newStream()
+	a := &Conn{rd: b2a, wr: a2b}
+	b := &Conn{rd: a2b, wr: b2a}
+	return a, b
+}
+
+// Listener accepts incoming connections on a bound address.
+type Listener struct {
+	addr   Addr
+	net    *Net
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*Conn
+	closed bool
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() Addr { return l.addr }
+
+// Accept blocks until a connection arrives or the listener closes.
+// Connections already queued are drained even while closing, as a real
+// TCP stack delivers an established backlog.
+func (l *Listener) Accept() (*Conn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.queue) == 0 && !l.closed {
+		l.cond.Wait()
+	}
+	if len(l.queue) == 0 {
+		return nil, ErrClosed
+	}
+	c := l.queue[0]
+	l.queue = l.queue[1:]
+	return c, nil
+}
+
+// Close stops the listener and releases its address.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+
+	l.net.mu.Lock()
+	delete(l.net.listeners, l.addr)
+	l.net.mu.Unlock()
+	return nil
+}
+
+func (l *Listener) enqueue(c *Conn) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || len(l.queue) >= acceptQueueSize {
+		return ErrConnRefused
+	}
+	l.queue = append(l.queue, c)
+	l.cond.Broadcast()
+	return nil
+}
+
+// Net is one simulated network namespace.
+type Net struct {
+	mu        sync.Mutex
+	listeners map[Addr]*Listener
+	nextPort  uint16
+	// connectLog records every successful connect destination, letting
+	// the attack tests assert on exfiltration attempts.
+	connectLog []Addr
+}
+
+// New returns an empty network.
+func New() *Net {
+	return &Net{listeners: make(map[Addr]*Listener), nextPort: 40000}
+}
+
+// Listen binds a listener to addr. A zero port picks an ephemeral one.
+func (n *Net) Listen(addr Addr) (*Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if addr.Port == 0 {
+		addr.Port = n.ephemeralLocked()
+	}
+	if _, ok := n.listeners[addr]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
+	}
+	l := &Listener{addr: addr, net: n}
+	l.cond = sync.NewCond(&l.mu)
+	n.listeners[addr] = l
+	return l, nil
+}
+
+func (n *Net) ephemeralLocked() uint16 {
+	for {
+		p := n.nextPort
+		n.nextPort++
+		if n.nextPort == 0 {
+			n.nextPort = 40000
+		}
+		inUse := false
+		for a := range n.listeners {
+			if a.Port == p {
+				inUse = true
+				break
+			}
+		}
+		if !inUse {
+			return p
+		}
+	}
+}
+
+// Dial connects from local (host only; port is ephemeral) to remote.
+func (n *Net) Dial(localHost uint32, remote Addr) (*Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[remote]
+	if !ok {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrConnRefused, remote)
+	}
+	local := Addr{Host: localHost, Port: n.ephemeralLocked()}
+	n.connectLog = append(n.connectLog, remote)
+	n.mu.Unlock()
+
+	a2b := newStream()
+	b2a := newStream()
+	clientSide := &Conn{local: local, remote: remote, rd: b2a, wr: a2b}
+	serverSide := &Conn{local: remote, remote: local, rd: a2b, wr: b2a}
+	if err := l.enqueue(serverSide); err != nil {
+		return nil, err
+	}
+	return clientSide, nil
+}
+
+// ConnectLog returns a copy of all successful connect destinations.
+func (n *Net) ConnectLog() []Addr {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]Addr(nil), n.connectLog...)
+}
+
+// ResetConnectLog clears the connect log (between test cases).
+func (n *Net) ResetConnectLog() {
+	n.mu.Lock()
+	n.connectLog = nil
+	n.mu.Unlock()
+}

@@ -1,0 +1,311 @@
+// Package spec loads and runs enclosure scenarios from JSON: packages,
+// their variables, simple op-list function bodies, enclosure policies,
+// and a run script. It lets users author Figure-1-style demonstrations
+// and attack scenarios without writing Go — `cmd/enclose -spec file`.
+//
+// Function bodies are sequences of ops:
+//
+//	"read <pkg>.<var>"      load the variable through the enforced path
+//	"write <pkg>.<var>"     store a byte into it
+//	"syscall <name>"        invoke a system call with benign arguments
+//	"connect <a.b.c.d>"     create a socket and connect to the host
+//	"call <pkg>.<fn>"       invoke another spec-defined function
+//	"sleep <ns>"            charge modelled compute time
+//
+// The run script executes steps in order; each step either calls a
+// function from trusted code or invokes an enclosure. A protection
+// fault stops the program (as the paper dictates) and is reported as
+// the step's outcome.
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/litterbox-project/enclosure/internal/core"
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+)
+
+// File is the top-level JSON document.
+type File struct {
+	Backend    string      `json:"backend"` // baseline|mpk|vtx|cheri
+	Packages   []Package   `json:"packages"`
+	Enclosures []Enclosure `json:"enclosures"`
+	Run        []Step      `json:"run"`
+}
+
+// Package declares one program package.
+type Package struct {
+	Name    string              `json:"name"`
+	Imports []string            `json:"imports,omitempty"`
+	Vars    map[string]int      `json:"vars,omitempty"`
+	Consts  map[string]string   `json:"consts,omitempty"`
+	Funcs   map[string][]string `json:"funcs,omitempty"` // name -> ops
+	LOC     int                 `json:"loc,omitempty"`
+	Origin  string              `json:"origin,omitempty"`
+}
+
+// Enclosure declares one `with [policy] func` occurrence whose body
+// calls a single spec function.
+type Enclosure struct {
+	Name   string   `json:"name"`
+	Pkg    string   `json:"pkg"`
+	Policy string   `json:"policy"`
+	Uses   []string `json:"uses,omitempty"`
+	Body   string   `json:"body"` // "pkg.fn" to call
+}
+
+// Step is one run-script entry: exactly one of Enclosure or Call.
+type Step struct {
+	Enclosure string `json:"enclosure,omitempty"`
+	Call      string `json:"call,omitempty"`   // "pkg.fn" from trusted code
+	Expect    string `json:"expect,omitempty"` // "ok" (default) or "fault"
+}
+
+// Outcome reports one executed step.
+type Outcome struct {
+	Step    Step
+	Fault   *litterbox.Fault
+	Err     error
+	Matched bool // outcome agrees with the step's expectation
+}
+
+// String renders the outcome for the CLI.
+func (o Outcome) String() string {
+	what := o.Step.Call
+	if o.Step.Enclosure != "" {
+		what = "enclosure " + o.Step.Enclosure
+	}
+	switch {
+	case o.Fault != nil:
+		return fmt.Sprintf("%-24s FAULT  %v", what, o.Fault)
+	case o.Err != nil:
+		return fmt.Sprintf("%-24s ERROR  %v", what, o.Err)
+	default:
+		return fmt.Sprintf("%-24s ok", what)
+	}
+}
+
+// syscallNames maps spec names to numbers.
+var syscallNames = func() map[string]kernel.Nr {
+	out := make(map[string]kernel.Nr)
+	for _, nr := range kernel.Numbers() {
+		out[nr.Name()] = nr
+	}
+	return out
+}()
+
+// Parse decodes and validates a spec document.
+func Parse(blob []byte) (*File, error) {
+	var f File
+	if err := json.Unmarshal(blob, &f); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	if len(f.Packages) == 0 {
+		return nil, fmt.Errorf("spec: no packages")
+	}
+	for _, p := range f.Packages {
+		for fn, ops := range p.Funcs {
+			for _, op := range ops {
+				if err := checkOp(op); err != nil {
+					return nil, fmt.Errorf("spec: %s.%s: %w", p.Name, fn, err)
+				}
+			}
+		}
+	}
+	for _, e := range f.Enclosures {
+		if !strings.Contains(e.Body, ".") {
+			return nil, fmt.Errorf("spec: enclosure %s body %q is not pkg.fn", e.Name, e.Body)
+		}
+	}
+	return &f, nil
+}
+
+func checkOp(op string) error {
+	verb, rest, _ := strings.Cut(op, " ")
+	switch verb {
+	case "read", "write", "call":
+		if !strings.Contains(rest, ".") {
+			return fmt.Errorf("op %q needs pkg.name", op)
+		}
+	case "syscall":
+		if _, ok := syscallNames[rest]; !ok {
+			return fmt.Errorf("unknown syscall %q", rest)
+		}
+	case "connect":
+		if _, err := parseHost(rest); err != nil {
+			return err
+		}
+	case "sleep":
+		if _, err := strconv.ParseInt(rest, 10, 64); err != nil {
+			return fmt.Errorf("bad sleep %q", rest)
+		}
+	default:
+		return fmt.Errorf("unknown op %q", op)
+	}
+	return nil
+}
+
+// parseHost parses a dotted quad.
+func parseHost(s string) (uint32, error) {
+	parts := strings.Split(strings.TrimSpace(s), ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("bad host %q", s)
+	}
+	var v uint32
+	for _, p := range parts {
+		o, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("bad host %q", s)
+		}
+		v = v<<8 | uint32(o)
+	}
+	return v, nil
+}
+
+// backendOf resolves the backend name.
+func backendOf(name string) (core.BackendKind, error) {
+	switch name {
+	case "", "mpk":
+		return core.MPK, nil
+	case "baseline":
+		return core.Baseline, nil
+	case "vtx":
+		return core.VTX, nil
+	case "cheri":
+		return core.CHERI, nil
+	default:
+		return 0, fmt.Errorf("spec: unknown backend %q", name)
+	}
+}
+
+// compileOps turns an op list into a core.Func.
+func compileOps(ops []string) core.Func {
+	return func(t *core.Task, args ...core.Value) ([]core.Value, error) {
+		for _, op := range ops {
+			verb, rest, _ := strings.Cut(op, " ")
+			switch verb {
+			case "read":
+				pkg, v, _ := strings.Cut(rest, ".")
+				ref, err := t.Prog().VarRef(pkg, v)
+				if err != nil {
+					if ref, err = t.Prog().ConstRef(pkg, v); err != nil {
+						return nil, err
+					}
+				}
+				_ = t.ReadBytes(ref)
+			case "write":
+				pkg, v, _ := strings.Cut(rest, ".")
+				ref, err := t.Prog().VarRef(pkg, v)
+				if err != nil {
+					return nil, err
+				}
+				t.Store8(ref.Addr, 0x42)
+			case "syscall":
+				nr := syscallNames[rest]
+				buf := t.Alloc(64)
+				t.Syscall(nr, uint64(buf.Addr), 8)
+			case "connect":
+				host, _ := parseHost(rest)
+				sock, errno := t.Syscall(kernel.NrSocket)
+				if errno != kernel.OK {
+					return nil, fmt.Errorf("spec: socket: %v", errno)
+				}
+				t.Syscall(kernel.NrConnect, sock, uint64(host), 80)
+			case "call":
+				pkg, fn, _ := strings.Cut(rest, ".")
+				if _, err := t.Call(pkg, fn); err != nil {
+					return nil, err
+				}
+			case "sleep":
+				ns, _ := strconv.ParseInt(rest, 10, 64)
+				t.Compute(ns)
+			}
+		}
+		return nil, nil
+	}
+}
+
+// Build assembles the spec into a runnable program.
+func Build(f *File) (*core.Program, error) {
+	kind, err := backendOf(f.Backend)
+	if err != nil {
+		return nil, err
+	}
+	b := core.NewBuilder(kind)
+	for _, p := range f.Packages {
+		ps := core.PackageSpec{
+			Name:    p.Name,
+			Imports: p.Imports,
+			Vars:    p.Vars,
+			LOC:     p.LOC,
+			Origin:  p.Origin,
+			Funcs:   map[string]core.Func{},
+		}
+		if p.Consts != nil {
+			ps.Consts = map[string][]byte{}
+			for k, v := range p.Consts {
+				ps.Consts[k] = []byte(v)
+			}
+		}
+		for fn, ops := range p.Funcs {
+			ps.Funcs[fn] = compileOps(ops)
+		}
+		b.Package(ps)
+	}
+	for _, e := range f.Enclosures {
+		pkg, fn, _ := strings.Cut(e.Body, ".")
+		body := func(t *core.Task, args ...core.Value) ([]core.Value, error) {
+			return t.Call(pkg, fn, args...)
+		}
+		b.Enclosure(e.Name, e.Pkg, e.Policy, body, e.Uses...)
+	}
+	return b.Build()
+}
+
+// Run executes the spec's run script. Each step runs against a fresh
+// program (a fault aborts a program, so later steps need their own),
+// keeping outcomes independent and the script declarative.
+func Run(f *File) ([]Outcome, error) {
+	var outcomes []Outcome
+	for _, step := range f.Run {
+		prog, err := Build(f)
+		if err != nil {
+			return nil, err
+		}
+		o := Outcome{Step: step}
+		runErr := prog.Run(func(t *core.Task) error {
+			if step.Enclosure != "" {
+				e, err := prog.Enclosure(step.Enclosure)
+				if err != nil {
+					return err
+				}
+				_, err = e.Call(t)
+				return err
+			}
+			pkg, fn, ok := strings.Cut(step.Call, ".")
+			if !ok {
+				return fmt.Errorf("spec: step call %q is not pkg.fn", step.Call)
+			}
+			_, err := t.Call(pkg, fn)
+			return err
+		})
+		var fault *litterbox.Fault
+		if errors.As(runErr, &fault) {
+			o.Fault = fault
+		} else {
+			o.Err = runErr
+		}
+		want := step.Expect
+		if want == "" {
+			want = "ok"
+		}
+		o.Matched = (want == "fault") == (o.Fault != nil) && (o.Err == nil)
+		outcomes = append(outcomes, o)
+	}
+	return outcomes, nil
+}

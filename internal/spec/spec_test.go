@@ -1,0 +1,165 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure1JSON is Figure 1 as a declarative scenario.
+const figure1JSON = `{
+  "backend": "mpk",
+  "packages": [
+    {"name": "main", "imports": ["secrets", "libFx"], "vars": {"private_key": 64}},
+    {"name": "secrets", "vars": {"original": 256}},
+    {"name": "libFx", "origin": "public", "loc": 160000, "funcs": {
+      "Invert":     ["read secrets.original", "sleep 1000"],
+      "Tamper":     ["write secrets.original"],
+      "Steal":      ["read main.private_key"],
+      "Exfiltrate": ["syscall socket"]
+    }}
+  ],
+  "enclosures": [
+    {"name": "rcl-ok",     "pkg": "main", "policy": "secrets:R; sys:none", "uses": ["libFx"], "body": "libFx.Invert"},
+    {"name": "rcl-tamper", "pkg": "main", "policy": "secrets:R; sys:none", "uses": ["libFx"], "body": "libFx.Tamper"},
+    {"name": "rcl-steal",  "pkg": "main", "policy": "secrets:R; sys:none", "uses": ["libFx"], "body": "libFx.Steal"},
+    {"name": "rcl-exfil",  "pkg": "main", "policy": "secrets:R; sys:none", "uses": ["libFx"], "body": "libFx.Exfiltrate"}
+  ],
+  "run": [
+    {"enclosure": "rcl-ok"},
+    {"enclosure": "rcl-tamper", "expect": "fault"},
+    {"enclosure": "rcl-steal",  "expect": "fault"},
+    {"enclosure": "rcl-exfil",  "expect": "fault"},
+    {"call": "libFx.Tamper"}
+  ]
+}`
+
+func TestSpecFigure1(t *testing.T) {
+	f, err := Parse([]byte(figure1JSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes, err := Run(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 5 {
+		t.Fatalf("%d outcomes", len(outcomes))
+	}
+	for i, o := range outcomes {
+		if !o.Matched {
+			t.Errorf("step %d: %s (expect %q)", i, o, o.Step.Expect)
+		}
+	}
+	// Trusted call (step 5) may tamper: no enclosure in the way.
+	if outcomes[4].Fault != nil {
+		t.Errorf("trusted tamper faulted: %v", outcomes[4].Fault)
+	}
+	// Rendering includes the fault details.
+	if !strings.Contains(outcomes[1].String(), "FAULT") {
+		t.Errorf("outcome rendering: %s", outcomes[1])
+	}
+}
+
+func TestSpecBackends(t *testing.T) {
+	for _, backend := range []string{"baseline", "mpk", "vtx", "cheri"} {
+		doc := strings.Replace(figure1JSON, `"backend": "mpk"`, `"backend": "`+backend+`"`, 1)
+		f, err := Parse([]byte(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		outcomes, err := Run(f)
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		// The benign step works everywhere; the violations fault only on
+		// enforcing backends.
+		if outcomes[0].Fault != nil {
+			t.Errorf("%s: benign step faulted", backend)
+		}
+		enforcing := backend != "baseline"
+		if got := outcomes[1].Fault != nil; got != enforcing {
+			t.Errorf("%s: tamper fault=%v", backend, got)
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []string{
+		`{`, // not JSON
+		`{"packages": []}`,
+		`{"packages": [{"name":"a","funcs":{"F":["warp 9"]}}]}`,
+		`{"packages": [{"name":"a","funcs":{"F":["syscall warpdrive"]}}]}`,
+		`{"packages": [{"name":"a","funcs":{"F":["read nodot"]}}]}`,
+		`{"packages": [{"name":"a","funcs":{"F":["sleep fast"]}}]}`,
+		`{"packages": [{"name":"a"}], "enclosures":[{"name":"e","pkg":"a","policy":"sys:none","body":"nodot"}]}`,
+	}
+	for i, doc := range bad {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+	// Unknown backend surfaces at Build.
+	f, err := Parse([]byte(`{"backend":"sgx","packages":[{"name":"a"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(f); err == nil {
+		t.Error("unknown backend built")
+	}
+}
+
+func TestSpecConstsAndChainedCalls(t *testing.T) {
+	doc := `{
+	  "backend": "vtx",
+	  "packages": [
+	    {"name": "app", "imports": ["util"], "consts": {"banner": "hi"}, "funcs": {
+	      "Main": ["read app.banner", "call util.Helper"]
+	    }},
+	    {"name": "util", "funcs": {"Helper": ["sleep 50"]}}
+	  ],
+	  "run": [{"call": "app.Main"}]
+	}`
+	f, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes, err := Run(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcomes[0].Fault != nil || outcomes[0].Err != nil {
+		t.Fatalf("chained call: %s", outcomes[0])
+	}
+}
+
+func TestSpecConnectOp(t *testing.T) {
+	doc := `{
+	  "backend": "mpk",
+	  "packages": [
+	    {"name": "main", "imports": ["lib"]},
+	    {"name": "lib", "funcs": {
+	      "Exfil": ["connect 6.6.6.6"]
+	    }}
+	  ],
+	  "enclosures": [
+	    {"name": "e", "pkg": "main", "policy": "sys:net,io; connect:10.0.0.2",
+	     "uses": ["lib"], "body": "lib.Exfil"}
+	  ],
+	  "run": [{"enclosure": "e", "expect": "fault"}]
+	}`
+	f, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes, err := Run(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outcomes[0].Matched || outcomes[0].Fault == nil {
+		t.Fatalf("allow-listed connect not enforced: %s", outcomes[0])
+	}
+	// Bad host in an op is a parse error.
+	if _, err := Parse([]byte(`{"packages":[{"name":"a","funcs":{"F":["connect not.an.ip"]}}]}`)); err == nil {
+		t.Error("bad connect host accepted")
+	}
+}

@@ -1,0 +1,201 @@
+// Package vtx simulates the Intel VT-x machinery LB_VTX builds on
+// (§5.3): the application runs inside a virtual machine; each enclosure
+// execution environment is a separate page table; a switch is a system
+// call into the guest operating system (LitterBox's super package mapped
+// in non-root kernel mode) that validates the call-site and swaps CR3;
+// permitted system calls are forwarded to the host via a hypercall
+// (VM EXIT / VM RESUME); transfers toggle presence bits in the relevant
+// page tables.
+package vtx
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/litterbox-project/enclosure/internal/hw"
+	"github.com/litterbox-project/enclosure/internal/mem"
+)
+
+// PhysAddrBits is VT-x's 40-bit guest-physical limit; the paper keeps
+// GPA == GVA == HVA whenever the program fits below it.
+const PhysAddrBits = 40
+
+// Errors reported by the machine.
+var (
+	ErrNoTable    = errors.New("vtx: no such page table")
+	ErrTooHigh    = errors.New("vtx: address beyond 40-bit guest-physical space")
+	ErrNotInGuest = errors.New("vtx: operation requires guest kernel mode")
+)
+
+// AccessError describes an EPT-style protection fault: the active page
+// table does not map the page with the required rights. It surfaces as a
+// VM EXIT that prints a root-cause trace and stops the program.
+type AccessError struct {
+	Addr  mem.Addr
+	Write bool
+	Exec  bool
+	Table int
+}
+
+// Error implements the error interface.
+func (e *AccessError) Error() string {
+	op := "read"
+	if e.Write {
+		op = "write"
+	}
+	if e.Exec {
+		op = "exec"
+	}
+	return fmt.Sprintf("vtx: EPT violation: %s %s in page table %d", op, e.Addr, e.Table)
+}
+
+// PageTable is one execution environment's view: page number → rights.
+// Absent pages are not present (a fault on access).
+type PageTable struct {
+	ID    int
+	pages map[uint64]mem.Perm
+}
+
+// Machine is the per-program virtual machine: a set of page tables, one
+// per execution environment, plus the trusted table with user access to
+// everything except LitterBox's super package.
+type Machine struct {
+	space *mem.AddressSpace
+	clock *hw.Clock
+
+	mu     sync.Mutex
+	tables map[int]*PageTable
+	next   int
+}
+
+// NewMachine returns a machine with no page tables. The caller (LB_VTX)
+// creates table 0 as the trusted one.
+func NewMachine(space *mem.AddressSpace, clock *hw.Clock) *Machine {
+	return &Machine{space: space, clock: clock, tables: make(map[int]*PageTable)}
+}
+
+// CreateTable allocates an empty page table and returns its id.
+func (m *Machine) CreateTable() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.next
+	m.next++
+	m.tables[id] = &PageTable{ID: id, pages: make(map[uint64]mem.Perm)}
+	return id
+}
+
+// MapSection installs a section's pages with the given rights.
+func (m *Machine) MapSection(table int, sec *mem.Section, perm mem.Perm) error {
+	if uint64(sec.End()) >= 1<<PhysAddrBits {
+		return fmt.Errorf("%w: %s", ErrTooHigh, sec)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pt, ok := m.tables[table]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoTable, table)
+	}
+	first, last := sec.Pages()
+	for p := first; p <= last; p++ {
+		pt.pages[p] = perm
+	}
+	return nil
+}
+
+// UnmapSection clears the present bits for a section's pages.
+func (m *Machine) UnmapSection(table int, sec *mem.Section) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pt, ok := m.tables[table]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoTable, table)
+	}
+	first, last := sec.Pages()
+	for p := first; p <= last; p++ {
+		delete(pt.pages, p)
+	}
+	return nil
+}
+
+// Mapped reports the rights table grants on addr (PermNone if absent).
+func (m *Machine) Mapped(table int, addr mem.Addr) mem.Perm {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pt, ok := m.tables[table]
+	if !ok {
+		return mem.PermNone
+	}
+	return pt.pages[addr.PageNumber()]
+}
+
+// CheckAccess validates a data access under the cpu's active page table
+// (its CR3). A missing or insufficient mapping is an EPT violation.
+func (m *Machine) CheckAccess(cpu *hw.CPU, addr mem.Addr, size uint64, write bool) error {
+	if size == 0 {
+		return nil
+	}
+	m.clock.Advance(hw.CostPTWalk)
+	cpu.Counters.PTWalks.Add(1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pt, ok := m.tables[cpu.CR3()]
+	if !ok {
+		return fmt.Errorf("%w: CR3=%d", ErrNoTable, cpu.CR3())
+	}
+	first := addr.PageNumber()
+	last := (addr + mem.Addr(size) - 1).PageNumber()
+	for p := first; p <= last; p++ {
+		perm := pt.pages[p]
+		if !perm.Has(mem.PermR) || (write && !perm.Has(mem.PermW)) {
+			return &AccessError{Addr: addr, Write: write, Table: pt.ID}
+		}
+	}
+	return nil
+}
+
+// CheckExec validates an instruction fetch at addr under the active
+// table. LB_VTX enforces execute rights in the page tables, unlike MPK.
+func (m *Machine) CheckExec(cpu *hw.CPU, addr mem.Addr) error {
+	m.clock.Advance(hw.CostPTWalk)
+	cpu.Counters.PTWalks.Add(1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pt, ok := m.tables[cpu.CR3()]
+	if !ok {
+		return fmt.Errorf("%w: CR3=%d", ErrNoTable, cpu.CR3())
+	}
+	if !pt.pages[addr.PageNumber()].Has(mem.PermX) {
+		return &AccessError{Addr: addr, Exec: true, Table: pt.ID}
+	}
+	return nil
+}
+
+// GuestSwitch performs the LB_VTX switch mechanism: a specialised system
+// call into the guest kernel, which runs verify (the call-site check
+// against the .verif specification held in super) and, if it passes,
+// swaps CR3 to the target table and irets.
+func (m *Machine) GuestSwitch(cpu *hw.CPU, target int, verify func() error) error {
+	m.mu.Lock()
+	_, ok := m.tables[target]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoTable, target)
+	}
+	prev := cpu.GuestSyscallEntry()
+	defer cpu.GuestSyscallExit(prev)
+	if verify != nil {
+		if err := verify(); err != nil {
+			return err
+		}
+	}
+	return cpu.WriteCR3(target)
+}
+
+// Hypercall forwards an authorised operation to the host: a VM EXIT,
+// the host-side handler in root mode, then VM RESUME with the results.
+func Hypercall[T any](cpu *hw.CPU, handler func() T) T {
+	prev := cpu.VMExit()
+	defer cpu.VMResume(prev)
+	return handler()
+}
