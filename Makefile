@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench tables security examples clean
+.PHONY: all build vet test race bench tables scale security examples clean
 
 all: build vet test
 
@@ -24,6 +24,10 @@ bench:
 # Regenerate every table and figure of the paper's evaluation (§6).
 tables:
 	$(GO) run ./cmd/enclosebench -all
+
+# Multi-core engine scaling sweep (apps × backends × 1/2/4/8 workers).
+scale:
+	$(GO) run ./cmd/enclosebench -table scale
 
 security:
 	$(GO) run ./cmd/enclosebench -security

@@ -3,6 +3,7 @@
 //
 //	enclosebench -table 1     # micro-benchmarks (call/transfer/syscall)
 //	enclosebench -table 2     # bild, HTTP, FastHTTP + TCB study
+//	enclosebench -table scale # multi-core engine scaling sweep
 //	enclosebench -figure 4    # linked executable image layout
 //	enclosebench -figure 5    # wiki web-app with two enclosures
 //	enclosebench -python      # §6.4 CPython frontend experiments
@@ -26,7 +27,7 @@ import (
 func benchKind(i int) core.BackendKind { return core.BackendKind(i) }
 
 func main() {
-	table := flag.Int("table", 0, "regenerate Table N (1 or 2)")
+	table := flag.String("table", "", "regenerate a table: 1, 2, or scale")
 	figure := flag.Int("figure", 0, "regenerate Figure N (4 or 5)")
 	python := flag.Bool("python", false, "run the §6.4 Python experiments")
 	security := flag.Bool("security", false, "run the §6.5 attack scenarios")
@@ -60,7 +61,7 @@ func main() {
 		return
 	}
 
-	if *all || *table == 1 {
+	if *all || *table == "1" {
 		ran = true
 		results, err := bench.Table1(*iters)
 		if err != nil {
@@ -68,7 +69,7 @@ func main() {
 		}
 		fmt.Println(bench.RenderTable1(results))
 	}
-	if *all || *table == 2 {
+	if *all || *table == "2" {
 		ran = true
 		kinds := bench.PaperBackends
 		if *projections {
@@ -90,6 +91,14 @@ func main() {
 			[][]bench.MacroResult{bild, http, fast},
 			[]bench.TCBRow{bench.BildTCB(), bench.HTTPTCB(), bench.FastHTTPTCB()},
 		))
+	}
+	if *all || *table == "scale" {
+		ran = true
+		entries, err := bench.RunScale()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.RenderScaleTable(entries))
 	}
 	if *all || *figure == 4 {
 		ran = true

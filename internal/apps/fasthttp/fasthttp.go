@@ -64,7 +64,8 @@ func Register(b *core.Builder) {
 			"github.com/andybalholm/brotli",
 		},
 		Funcs: map[string]core.Func{
-			"Serve": serve,
+			"Serve":     serve,
+			"ServeConn": serveConnFunc,
 		},
 	})
 }
@@ -96,6 +97,32 @@ type ServeArgs struct {
 	Ready chan<- struct{} // closed once listening
 }
 
+// ConnState is the reused per-serving-loop buffer set — FastHTTP's
+// object reuse, the reason LB_MPK avoids "numerous costly transfers".
+type ConnState struct {
+	ReqBuf   core.Ref
+	RespBuf  core.Ref
+	ClockOut core.Ref
+}
+
+// AllocConnState allocates the reused buffers in FastHTTP's arena (one
+// set per engine worker; the serial Serve loop allocates its own).
+func AllocConnState(t *core.Task) ConnState {
+	return ConnState{
+		ReqBuf:   t.AllocIn(Pkg, 4096),
+		RespBuf:  t.AllocIn(Pkg, 16*1024),
+		ClockOut: t.AllocIn(Pkg, 8),
+	}
+}
+
+// ServeConnArgs is the engine entry's argument: one accepted
+// connection serviced inside the server enclosure.
+type ServeConnArgs struct {
+	State ConnState
+	Conn  uint64
+	Reqs  chan<- Request
+}
+
 // serve is FastHTTP's accept loop, running entirely inside the server
 // enclosure. Per request it performs the socket-only syscall trace
 // (accept, recv, send, send, shutdown) while the language runtime's
@@ -121,9 +148,7 @@ func serve(t *core.Task, args ...core.Value) ([]core.Value, error) {
 
 	// Object reuse across requests — the paper credits exactly this for
 	// LB_MPK avoiding "numerous costly transfers".
-	reqBuf := t.Alloc(4096)
-	respBuf := t.Alloc(16 * 1024)
-	clockOut := t.Alloc(8)
+	st := AllocConnState(t)
 
 	served := 0
 	for {
@@ -131,41 +156,10 @@ func serve(t *core.Task, args ...core.Value) ([]core.Value, error) {
 		if errno != kernel.OK {
 			break // listener closed
 		}
-		t.Compute(costConnSetup)
-		// Runtime housekeeping: netpoller wake, deadline, entropy.
-		t.RuntimeSyscall(kernel.NrFutex)
-		t.RuntimeSyscall(kernel.NrClockGettime, uint64(clockOut.Addr))
-		t.RuntimeSyscall(kernel.NrGetrandom, uint64(reqBuf.Addr), 16)
-
-		n, errno := t.Syscall(kernel.NrRecv, conn, uint64(reqBuf.Addr), reqBuf.Size)
-		if errno != kernel.OK {
-			t.Syscall(kernel.NrShutdown, conn)
-			continue
+		path, err := serveConn(t, st, conn, cfg.Reqs)
+		if err != nil {
+			return nil, err
 		}
-		raw := t.ReadBytes(reqBuf.Slice(0, n))
-		method, path := parseRequest(string(raw))
-		t.Compute(costParse)
-
-		// Secured callback: hand the parsed request to trusted code.
-		done := make(chan int, 1)
-		cfg.Reqs <- Request{Method: method, Path: path, Resp: respBuf, Done: done}
-		respLen := <-done
-
-		// Runtime: write deadline, netpoller re-arm.
-		t.RuntimeSyscall(kernel.NrClockGettime, uint64(clockOut.Addr))
-		t.RuntimeSyscall(kernel.NrFutex)
-
-		hdr := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Length: %d\r\n\r\n", respLen)
-		hdrRef := respBuf.Slice(uint64(respLen), uint64(len(hdr)))
-		t.WriteBytes(hdrRef, []byte(hdr))
-		t.Compute(costRespond)
-		if _, errno := t.Syscall(kernel.NrSend, conn, uint64(hdrRef.Addr), uint64(len(hdr))); errno != kernel.OK {
-			return nil, fmt.Errorf("fasthttp: send headers: %v", errno)
-		}
-		if _, errno := t.Syscall(kernel.NrSend, conn, uint64(respBuf.Addr), uint64(respLen)); errno != kernel.OK {
-			return nil, fmt.Errorf("fasthttp: send body: %v", errno)
-		}
-		t.Syscall(kernel.NrShutdown, conn)
 		served++
 		if path == "/quit" {
 			t.Syscall(kernel.NrShutdown, sock)
@@ -174,6 +168,62 @@ func serve(t *core.Task, args ...core.Value) ([]core.Value, error) {
 	}
 	close(cfg.Reqs)
 	return []core.Value{served}, nil
+}
+
+// serveConn services one accepted connection: the socket-only syscall
+// trace (recv, send, send, shutdown) with the runtime housekeeping
+// issued through the trusted runtime context, forwarding the parsed
+// request to trusted code over the channel. Shared between the serial
+// enclosed accept loop and the multi-core engine (where the accept
+// happens on the sharded host acceptor).
+func serveConn(t *core.Task, st ConnState, conn uint64, reqs chan<- Request) (string, error) {
+	t.Compute(costConnSetup)
+	// Runtime housekeeping: netpoller wake, deadline, entropy.
+	t.RuntimeSyscall(kernel.NrFutex)
+	t.RuntimeSyscall(kernel.NrClockGettime, uint64(st.ClockOut.Addr))
+	t.RuntimeSyscall(kernel.NrGetrandom, uint64(st.ReqBuf.Addr), 16)
+
+	n, errno := t.Syscall(kernel.NrRecv, conn, uint64(st.ReqBuf.Addr), st.ReqBuf.Size)
+	if errno != kernel.OK {
+		t.Syscall(kernel.NrShutdown, conn)
+		return "", nil
+	}
+	raw := t.ReadBytes(st.ReqBuf.Slice(0, n))
+	method, path := parseRequest(string(raw))
+	t.Compute(costParse)
+
+	// Secured callback: hand the parsed request to trusted code.
+	done := make(chan int, 1)
+	reqs <- Request{Method: method, Path: path, Resp: st.RespBuf, Done: done}
+	respLen := <-done
+
+	// Runtime: write deadline, netpoller re-arm.
+	t.RuntimeSyscall(kernel.NrClockGettime, uint64(st.ClockOut.Addr))
+	t.RuntimeSyscall(kernel.NrFutex)
+
+	hdr := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Length: %d\r\n\r\n", respLen)
+	hdrRef := st.RespBuf.Slice(uint64(respLen), uint64(len(hdr)))
+	t.WriteBytes(hdrRef, []byte(hdr))
+	t.Compute(costRespond)
+	if _, errno := t.Syscall(kernel.NrSend, conn, uint64(hdrRef.Addr), uint64(len(hdr))); errno != kernel.OK {
+		return "", fmt.Errorf("fasthttp: send headers: %v", errno)
+	}
+	if _, errno := t.Syscall(kernel.NrSend, conn, uint64(st.RespBuf.Addr), uint64(respLen)); errno != kernel.OK {
+		return "", fmt.Errorf("fasthttp: send body: %v", errno)
+	}
+	t.Syscall(kernel.NrShutdown, conn)
+	return path, nil
+}
+
+// serveConnFunc is the engine's per-connection entry into the enclosed
+// server. Args: ServeConnArgs.
+func serveConnFunc(t *core.Task, args ...core.Value) ([]core.Value, error) {
+	a := args[0].(ServeConnArgs)
+	path, err := serveConn(t, a.State, a.Conn, a.Reqs)
+	if err != nil {
+		return nil, err
+	}
+	return []core.Value{path}, nil
 }
 
 func parseRequest(raw string) (method, path string) {

@@ -1,0 +1,33 @@
+package httpserv
+
+import (
+	"sync"
+
+	"github.com/litterbox-project/enclosure/internal/core"
+	"github.com/litterbox-project/enclosure/internal/engine"
+)
+
+// ServeEngine runs the net/http benchmark across an engine's worker
+// virtual CPUs: a sharded accept loop (SO_REUSEPORT style) feeds each
+// accepted connection to a worker, which services it with the same
+// per-request trace as the serial Serve loop and dispatches into the
+// shared handler enclosure. Each worker lazily allocates its own
+// reused buffer set, so workers never contend on connection state.
+func ServeEngine(e *engine.Engine, port uint16, handler *core.Enclosure) (*engine.Server, error) {
+	var mu sync.Mutex
+	states := make(map[*core.WorkerCtx]ConnState)
+	return e.Serve(engine.ServeOpts{
+		Port: port,
+		Conn: func(t *core.Task, fd int) error {
+			mu.Lock()
+			st, ok := states[t.Worker()]
+			if !ok {
+				st = AllocConnState(t)
+				states[t.Worker()] = st
+			}
+			mu.Unlock()
+			_, err := t.Call(Pkg, "ServeConn", st, uint64(fd), handler)
+			return err
+		},
+	})
+}

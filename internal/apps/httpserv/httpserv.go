@@ -64,7 +64,8 @@ func Register(b *core.Builder) {
 		LOC:     110000,
 		Imports: []string{"net", "bufio", "net/textproto", "crypto/tls"},
 		Funcs: map[string]core.Func{
-			"Serve": serve,
+			"Serve":     serve,
+			"ServeConn": serveConnFunc,
 		},
 	})
 	b.Package(core.PackageSpec{
@@ -98,6 +99,26 @@ type ServeArgs struct {
 	Ready   chan<- struct{} // closed once listening
 }
 
+// ConnState is the per-serving-loop reused buffer set (Go pools these
+// across connections): request bytes, response headers, and the
+// clock_gettime output word for deadlines.
+type ConnState struct {
+	ReqBuf   core.Ref
+	HdrBuf   core.Ref
+	ClockOut core.Ref
+}
+
+// AllocConnState allocates the reused buffers in net/http's arena. The
+// multi-core engine calls it once per worker; the serial Serve loop
+// allocates the same set inline.
+func AllocConnState(t *core.Task) ConnState {
+	return ConnState{
+		ReqBuf:   t.AllocIn(Pkg, 4096),
+		HdrBuf:   t.AllocIn(Pkg, 512),
+		ClockOut: t.AllocIn(Pkg, 8),
+	}
+}
+
 // serve is net/http's accept loop: one connection per request (the
 // paper's closed-loop load generator), Go-shaped syscall trace, handler
 // dispatch through the enclosure, 13KB response. It returns when the
@@ -120,9 +141,7 @@ func serve(t *core.Task, args ...core.Value) ([]core.Value, error) {
 	}
 
 	// Reused connection buffers (Go pools these across connections).
-	reqBuf := t.Alloc(4096)
-	hdrBuf := t.Alloc(512)
-	clockOut := t.Alloc(8)
+	st := AllocConnState(t)
 
 	served := 0
 	for {
@@ -130,47 +149,10 @@ func serve(t *core.Task, args ...core.Value) ([]core.Value, error) {
 		if errno != kernel.OK {
 			break // listener closed: benchmark over
 		}
-		t.Compute(costConnSetup)
-		// Go runtime housekeeping on a fresh connection: netpoller
-		// registration wake and connection entropy.
-		t.Syscall(kernel.NrFutex)
-		t.Syscall(kernel.NrGetrandom, uint64(reqBuf.Addr), 16)
-		t.Syscall(kernel.NrGetpid)
-
-		// Read and parse the request; set the read deadline first.
-		t.Syscall(kernel.NrClockGettime, uint64(clockOut.Addr))
-		n, errno := t.Syscall(kernel.NrRead, conn, uint64(reqBuf.Addr), reqBuf.Size)
-		if errno != kernel.OK {
-			t.Syscall(kernel.NrClose, conn)
-			continue
-		}
-		// Netpoller re-arm after the blocking read.
-		t.Syscall(kernel.NrFutex)
-		raw := t.ReadBytes(reqBuf.Slice(0, n))
-		method, path := parseRequest(string(raw))
-		t.Compute(costParse)
-
-		// Dispatch into the enclosed handler: two switches.
-		res, err := cfg.Handler.Call(t, method, path)
+		path, err := serveConn(t, st, conn, cfg.Handler)
 		if err != nil {
 			return nil, err
 		}
-		page := res[0].(core.Ref)
-
-		// Respond: headers then body, under a write deadline.
-		t.Syscall(kernel.NrClockGettime, uint64(clockOut.Addr))
-		hdr := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: %d\r\n\r\n", page.Size)
-		t.WriteBytes(hdrBuf, []byte(hdr))
-		t.Compute(costRespond)
-		if _, errno := t.Syscall(kernel.NrWrite, conn, uint64(hdrBuf.Addr), uint64(len(hdr))); errno != kernel.OK {
-			return nil, fmt.Errorf("http: write headers: %v", errno)
-		}
-		if _, errno := t.Syscall(kernel.NrWrite, conn, uint64(page.Addr), page.Size); errno != kernel.OK {
-			return nil, fmt.Errorf("http: write body: %v", errno)
-		}
-		// Netpoller wake for the closing connection.
-		t.Syscall(kernel.NrFutex)
-		t.Syscall(kernel.NrClose, conn)
 		served++
 		if path == "/quit" {
 			t.Syscall(kernel.NrClose, sock)
@@ -178,6 +160,72 @@ func serve(t *core.Task, args ...core.Value) ([]core.Value, error) {
 		}
 	}
 	return []core.Value{served}, nil
+}
+
+// serveConn services one accepted connection with the Go-shaped
+// per-request trace: netpoller wakes, entropy, deadline clock reads,
+// request read/parse, dispatch through the enclosed handler (two
+// environment switches), 13KB response, close. The serial Serve loop
+// and the multi-core engine (where the accept happens on the sharded
+// host-level acceptor, SO_REUSEPORT style) share it so the per-request
+// work is identical regardless of worker count.
+func serveConn(t *core.Task, st ConnState, conn uint64, handler *core.Enclosure) (string, error) {
+	t.Compute(costConnSetup)
+	// Go runtime housekeeping on a fresh connection: netpoller
+	// registration wake and connection entropy.
+	t.Syscall(kernel.NrFutex)
+	t.Syscall(kernel.NrGetrandom, uint64(st.ReqBuf.Addr), 16)
+	t.Syscall(kernel.NrGetpid)
+
+	// Read and parse the request; set the read deadline first.
+	t.Syscall(kernel.NrClockGettime, uint64(st.ClockOut.Addr))
+	n, errno := t.Syscall(kernel.NrRead, conn, uint64(st.ReqBuf.Addr), st.ReqBuf.Size)
+	if errno != kernel.OK {
+		t.Syscall(kernel.NrClose, conn)
+		return "", nil
+	}
+	// Netpoller re-arm after the blocking read.
+	t.Syscall(kernel.NrFutex)
+	raw := t.ReadBytes(st.ReqBuf.Slice(0, n))
+	method, path := parseRequest(string(raw))
+	t.Compute(costParse)
+
+	// Dispatch into the enclosed handler: two switches.
+	res, err := handler.Call(t, method, path)
+	if err != nil {
+		return "", err
+	}
+	page := res[0].(core.Ref)
+
+	// Respond: headers then body, under a write deadline.
+	t.Syscall(kernel.NrClockGettime, uint64(st.ClockOut.Addr))
+	hdr := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: %d\r\n\r\n", page.Size)
+	t.WriteBytes(st.HdrBuf, []byte(hdr))
+	t.Compute(costRespond)
+	if _, errno := t.Syscall(kernel.NrWrite, conn, uint64(st.HdrBuf.Addr), uint64(len(hdr))); errno != kernel.OK {
+		return "", fmt.Errorf("http: write headers: %v", errno)
+	}
+	if _, errno := t.Syscall(kernel.NrWrite, conn, uint64(page.Addr), page.Size); errno != kernel.OK {
+		return "", fmt.Errorf("http: write body: %v", errno)
+	}
+	// Netpoller wake for the closing connection.
+	t.Syscall(kernel.NrFutex)
+	t.Syscall(kernel.NrClose, conn)
+	return path, nil
+}
+
+// serveConnFunc is the engine's entry: one connection, already accepted
+// by the sharded host acceptor and injected into the worker's fd table.
+// Args: ConnState, conn fd (uint64), handler enclosure.
+func serveConnFunc(t *core.Task, args ...core.Value) ([]core.Value, error) {
+	st := args[0].(ConnState)
+	conn := args[1].(uint64)
+	handler := args[2].(*core.Enclosure)
+	path, err := serveConn(t, st, conn, handler)
+	if err != nil {
+		return nil, err
+	}
+	return []core.Value{path}, nil
 }
 
 // parseRequest extracts the method and path of an HTTP/1.1 request.

@@ -1,0 +1,78 @@
+package wiki
+
+import (
+	"sync"
+
+	"github.com/litterbox-project/enclosure/internal/core"
+	"github.com/litterbox-project/enclosure/internal/engine"
+)
+
+// wikiWorker is one worker's replica of the Figure 5 topology: the
+// reused ○B buffer set, a private request channel to a trusted glue
+// task ○A, and a private query channel to a db-proxy task ○C with its
+// own Postgres connection — all pinned to the worker so every piece of
+// a request's work accrues on one virtual core's clock.
+type wikiWorker struct {
+	st    ConnState
+	reqs  chan Request
+	glue  *core.Handle
+	proxy *core.Handle
+}
+
+// ServeEngine runs the wiki across an engine's workers. server must be
+// the ○B enclosure wrapping mux's ServeConn; proxy must be the ○C
+// enclosure wrapping pq's Proxy. Each worker gets its own glue and
+// proxy tasks (and so its own database connection). The returned stop
+// function shuts the per-worker pipelines down and returns their first
+// error; call it after the accept loop and engine are drained.
+func ServeEngine(e *engine.Engine, port uint16, server, proxy *core.Enclosure) (*engine.Server, func() error, error) {
+	var mu sync.Mutex
+	workers := make(map[*core.WorkerCtx]*wikiWorker)
+
+	workerFor := func(t *core.Task) *wikiWorker {
+		mu.Lock()
+		defer mu.Unlock()
+		w, ok := workers[t.Worker()]
+		if !ok {
+			w = &wikiWorker{st: AllocConnState(t), reqs: make(chan Request, 16)}
+			queries := make(chan Query, 16)
+			w.proxy = t.Go("db-proxy", func(pt *core.Task) error {
+				_, err := proxy.Call(pt, ProxyArgs{Queries: queries})
+				return err
+			})
+			w.glue = t.Go("glue", func(gt *core.Task) error {
+				return Glue(gt, w.reqs, queries)
+			})
+			workers[t.Worker()] = w
+		}
+		return w
+	}
+
+	srv, err := e.Serve(engine.ServeOpts{
+		Port: port,
+		Conn: func(t *core.Task, fd int) error {
+			w := workerFor(t)
+			_, err := server.Call(t, ServeConnArgs{State: w.st, Conn: uint64(fd), Reqs: w.reqs})
+			return err
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	stop := func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		var first error
+		for _, w := range workers {
+			close(w.reqs) // glue exits and closes queries; the proxy drains and exits
+			if err := w.glue.Join(); err != nil && first == nil {
+				first = err
+			}
+			if err := w.proxy.Join(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	return srv, stop, nil
+}

@@ -101,7 +101,10 @@ func Register(b *core.Builder) {
 	b.Package(core.PackageSpec{
 		Name: MuxPkg, Origin: "public", LOC: 5600, Stars: 18000, Contributors: 60,
 		Imports: muxDeps,
-		Funcs:   map[string]core.Func{"Serve": muxServe},
+		Funcs: map[string]core.Func{
+			"Serve":     muxServe,
+			"ServeConn": muxServeConnFunc,
+		},
 	})
 	for i, name := range pqDeps {
 		var imports []string
@@ -148,6 +151,31 @@ type ServeArgs struct {
 	Ready chan<- struct{}
 }
 
+// ConnState is the reused per-serving-loop buffer set in mux's arena.
+type ConnState struct {
+	ReqBuf   core.Ref
+	RespBuf  core.Ref
+	ClockOut core.Ref
+}
+
+// AllocConnState allocates the reused buffers (one set per engine
+// worker; the serial Serve loop allocates its own).
+func AllocConnState(t *core.Task) ConnState {
+	return ConnState{
+		ReqBuf:   t.AllocIn(MuxPkg, 8192),
+		RespBuf:  t.AllocIn(MuxPkg, 32*1024),
+		ClockOut: t.AllocIn(MuxPkg, 8),
+	}
+}
+
+// ServeConnArgs is the engine entry's argument: one accepted
+// connection serviced inside the ○B enclosure.
+type ServeConnArgs struct {
+	State ConnState
+	Conn  uint64
+	Reqs  chan<- Request
+}
+
 // muxServe is ○B's body: gorilla/mux routing GET /view/<page> and
 // POST /save/<page>, forwarding to trusted code over the channel.
 func muxServe(t *core.Task, args ...core.Value) ([]core.Value, error) {
@@ -167,9 +195,7 @@ func muxServe(t *core.Task, args ...core.Value) ([]core.Value, error) {
 		close(cfg.Ready)
 	}
 
-	reqBuf := t.Alloc(8192)
-	respBuf := t.Alloc(32 * 1024)
-	clockOut := t.Alloc(8)
+	st := AllocConnState(t)
 
 	served := 0
 	for {
@@ -177,35 +203,10 @@ func muxServe(t *core.Task, args ...core.Value) ([]core.Value, error) {
 		if errno != kernel.OK {
 			break
 		}
-		t.Compute(costConnSetup)
-		t.RuntimeSyscall(kernel.NrFutex)
-		t.RuntimeSyscall(kernel.NrClockGettime, uint64(clockOut.Addr))
-
-		n, errno := t.Syscall(kernel.NrRecv, conn, uint64(reqBuf.Addr), reqBuf.Size)
-		if errno != kernel.OK {
-			t.Syscall(kernel.NrShutdown, conn)
-			continue
+		kind, err := muxServeConn(t, st, conn, cfg.Reqs)
+		if err != nil {
+			return nil, err
 		}
-		raw := string(t.ReadBytes(reqBuf.Slice(0, n)))
-		kind, page, body := route(raw)
-		t.Compute(costMuxRoute)
-
-		done := make(chan int, 1)
-		cfg.Reqs <- Request{Kind: kind, Page: page, Body: body, Resp: respBuf, Done: done}
-		respLen := <-done
-
-		t.RuntimeSyscall(kernel.NrFutex)
-		hdr := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: %d\r\n\r\n", respLen)
-		hdrRef := respBuf.Slice(uint64(respLen), uint64(len(hdr)))
-		t.WriteBytes(hdrRef, []byte(hdr))
-		t.Compute(costRespond)
-		if _, errno := t.Syscall(kernel.NrSend, conn, uint64(hdrRef.Addr), uint64(len(hdr))); errno != kernel.OK {
-			return nil, fmt.Errorf("mux: send headers: %v", errno)
-		}
-		if _, errno := t.Syscall(kernel.NrSend, conn, uint64(respBuf.Addr), uint64(respLen)); errno != kernel.OK {
-			return nil, fmt.Errorf("mux: send body: %v", errno)
-		}
-		t.Syscall(kernel.NrShutdown, conn)
 		served++
 		if kind == "quit" {
 			t.Syscall(kernel.NrShutdown, sock)
@@ -214,6 +215,54 @@ func muxServe(t *core.Task, args ...core.Value) ([]core.Value, error) {
 	}
 	close(cfg.Reqs)
 	return []core.Value{served}, nil
+}
+
+// muxServeConn services one accepted connection inside ○B: request
+// recv and routing ①, forwarding to trusted code ②, response write
+// back ⑦⑧. Shared between the serial enclosed accept loop and the
+// multi-core engine.
+func muxServeConn(t *core.Task, st ConnState, conn uint64, reqs chan<- Request) (string, error) {
+	t.Compute(costConnSetup)
+	t.RuntimeSyscall(kernel.NrFutex)
+	t.RuntimeSyscall(kernel.NrClockGettime, uint64(st.ClockOut.Addr))
+
+	n, errno := t.Syscall(kernel.NrRecv, conn, uint64(st.ReqBuf.Addr), st.ReqBuf.Size)
+	if errno != kernel.OK {
+		t.Syscall(kernel.NrShutdown, conn)
+		return "", nil
+	}
+	raw := string(t.ReadBytes(st.ReqBuf.Slice(0, n)))
+	kind, page, body := route(raw)
+	t.Compute(costMuxRoute)
+
+	done := make(chan int, 1)
+	reqs <- Request{Kind: kind, Page: page, Body: body, Resp: st.RespBuf, Done: done}
+	respLen := <-done
+
+	t.RuntimeSyscall(kernel.NrFutex)
+	hdr := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: %d\r\n\r\n", respLen)
+	hdrRef := st.RespBuf.Slice(uint64(respLen), uint64(len(hdr)))
+	t.WriteBytes(hdrRef, []byte(hdr))
+	t.Compute(costRespond)
+	if _, errno := t.Syscall(kernel.NrSend, conn, uint64(hdrRef.Addr), uint64(len(hdr))); errno != kernel.OK {
+		return "", fmt.Errorf("mux: send headers: %v", errno)
+	}
+	if _, errno := t.Syscall(kernel.NrSend, conn, uint64(st.RespBuf.Addr), uint64(respLen)); errno != kernel.OK {
+		return "", fmt.Errorf("mux: send body: %v", errno)
+	}
+	t.Syscall(kernel.NrShutdown, conn)
+	return kind, nil
+}
+
+// muxServeConnFunc is the engine's per-connection entry into ○B.
+// Args: ServeConnArgs.
+func muxServeConnFunc(t *core.Task, args ...core.Value) ([]core.Value, error) {
+	a := args[0].(ServeConnArgs)
+	kind, err := muxServeConn(t, a.State, a.Conn, a.Reqs)
+	if err != nil {
+		return nil, err
+	}
+	return []core.Value{kind}, nil
 }
 
 // route implements the application's two mux routes.

@@ -14,6 +14,7 @@ type Results struct {
 	Table2   []MacroEntry      `json:"table2"`
 	TCB      []TCBRow          `json:"tcb"`
 	Figure5  []MacroEntry      `json:"figure5"`
+	Scale    []ScaleEntry      `json:"scale"`
 	Python   []PythonEntry     `json:"python"`
 	Security []SecurityEntry   `json:"security"`
 	Paper    map[string]string `json:"paper_reference"`
@@ -97,6 +98,12 @@ func CollectResults(microIters int) (*Results, error) {
 		return nil, err
 	}
 	addMacro(&out.Figure5, wiki)
+
+	scale, err := RunScale()
+	if err != nil {
+		return nil, err
+	}
+	out.Scale = scale
 
 	py, err := PythonExperiments()
 	if err != nil {

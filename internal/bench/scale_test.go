@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/litterbox-project/enclosure/internal/core"
+)
+
+// TestScaleSpeedup locks the PR's acceptance bar: aggregate throughput
+// at 4 workers must exceed 2× the 1-worker figure for net/http on both
+// Baseline and LB_MPK. One worker-count pair per backend keeps the test
+// fast; `enclosebench -table scale` runs the full matrix.
+func TestScaleSpeedup(t *testing.T) {
+	for _, kind := range []core.BackendKind{core.Baseline, core.MPK} {
+		one, err := scaleHTTP(kind, 1)
+		if err != nil {
+			t.Fatalf("%v/1: %v", kind, err)
+		}
+		four, err := scaleHTTP(kind, 4)
+		if err != nil {
+			t.Fatalf("%v/4: %v", kind, err)
+		}
+		speedup := four.ReqsPerSec / one.ReqsPerSec
+		t.Logf("HTTP/%v: 1 worker %.0f reqs/s, 4 workers %.0f reqs/s (%.2fx)",
+			kind, one.ReqsPerSec, four.ReqsPerSec, speedup)
+		if speedup <= 2 {
+			t.Errorf("HTTP/%v: 4-worker speedup %.2fx, want > 2x", kind, speedup)
+		}
+	}
+}
+
+// TestScaleCellsServeCorrectly exercises one cell of each app shape on
+// a confining backend — the engine wiring must deliver byte-identical
+// responses while sharding connections across workers.
+func TestScaleCellsServeCorrectly(t *testing.T) {
+	for _, app := range ScaleApps {
+		entry, err := scaleCell(app, core.MPK, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if entry.ReqsPerSec <= 0 {
+			t.Errorf("%s: non-positive throughput %f", app, entry.ReqsPerSec)
+		}
+		if entry.Shed != 0 {
+			t.Errorf("%s: %d connections shed under nominal load", app, entry.Shed)
+		}
+		t.Logf("%-9s 2 workers: %.0f reqs/s, steals %d, maxdepth %d",
+			app, entry.ReqsPerSec, entry.Steals, entry.MaxQueueDepth)
+	}
+}

@@ -44,7 +44,7 @@ func (e *Enclosure) Call(t *Task, args ...Value) ([]Value, error) {
 	t.cpu.Clock.Advance(hw.CostClosureCall)
 
 	from := t.env
-	cur, err := t.prog.lb.Prolog(t.cpu, from, e.id, e.token)
+	cur, err := t.prog.lb.PrologWith(t.cpu, from, e.id, e.token, t.cache)
 	if err != nil {
 		t.fail(err)
 	}
@@ -55,9 +55,10 @@ func (e *Enclosure) Call(t *Task, args ...Value) ([]Value, error) {
 		t.popFrame()
 		t.popPkg()
 		t.env = from
-		// If the body faulted the program is dead and the switch back
-		// is moot; unwinding continues to the program boundary.
-		if _, dead := t.prog.lb.Aborted(); dead {
+		// If the body faulted, the task's domain (or the program) is
+		// dead and the switch back is moot; unwinding continues to the
+		// request or program boundary.
+		if _, dead := t.prog.lb.AbortedOn(t.cpu); dead {
 			return
 		}
 		if eerr := t.prog.lb.Epilog(t.cpu, cur, from, e.id, e.token); eerr != nil {

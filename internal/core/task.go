@@ -23,9 +23,15 @@ type Task struct {
 	pkgs   []string
 	id     int
 	name   string
-	sched  *Sched        // non-nil for user-level threads on a Sched CPU
-	frames []*stackFrame // split-stack segments (see stack.go)
+	sched  *Sched              // non-nil for user-level threads on a Sched CPU
+	worker *WorkerCtx          // non-nil when pinned to an engine worker
+	cache  *litterbox.EnvCache // per-worker Prolog target cache
+	frames []*stackFrame       // split-stack segments (see stack.go)
 }
+
+// Worker returns the worker context the task is pinned to (nil for
+// single-core tasks).
+func (t *Task) Worker() *WorkerCtx { return t.worker }
 
 // Prog returns the owning program.
 func (t *Task) Prog() *Program { return t.prog }
@@ -53,9 +59,10 @@ func (t *Task) fail(err error) {
 	panic(t.prog.lb.RaiseFault(t.cpu, &litterbox.Fault{Env: t.env, Op: "runtime", Detail: err.Error(), Cause: err}))
 }
 
-// checkAlive panics if an earlier fault killed the program.
+// checkAlive panics if an earlier fault killed this task's fault domain
+// (its worker) or the whole program.
 func (t *Task) checkAlive() {
-	if f, dead := t.prog.lb.Aborted(); dead {
+	if f, dead := t.prog.lb.AbortedOn(t.cpu); dead {
 		panic(f)
 	}
 }
@@ -294,7 +301,14 @@ func (h *Handle) Join() error {
 // environment on the fresh CPU via LitterBox's Execute hook.
 func (t *Task) Go(name string, fn func(t *Task) error) *Handle {
 	t.checkAlive()
-	child := t.prog.newTask(name, t.env, t.CurrentPkg())
+	var child *Task
+	if t.worker != nil {
+		// Goroutines spawned on a worker stay pinned to it: they charge
+		// its clock and fault into its domain.
+		child = t.prog.newTaskOn(t.worker, name, t.env, t.CurrentPkg())
+	} else {
+		child = t.prog.newTask(name, t.env, t.CurrentPkg())
+	}
 	h := &Handle{name: name, done: make(chan struct{})}
 	t.prog.wg.Add(1)
 	go func() {

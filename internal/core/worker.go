@@ -1,0 +1,99 @@
+package core
+
+import (
+	"github.com/litterbox-project/enclosure/internal/hw"
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+)
+
+// WorkerCtx is one parallel virtual CPU's execution context: its own
+// clock (virtual time accrues per core), hardware event counters,
+// kernel process state (fd table), fault domain, and LitterBox
+// environment cache. The program image, kernel namespaces, heap, and
+// enclosure tables stay shared and read-mostly — exactly the state a
+// real multi-core process shares between threads.
+//
+// Simulated goroutines pinned to a worker each get their own
+// architectural CPU (PKRU/CR3 are per-register-context), but all of
+// them charge the worker's clock, so per-worker accrual is the sum of
+// the work its goroutines performed.
+type WorkerCtx struct {
+	prog     *Program
+	name     string
+	clock    *hw.Clock
+	counters *hw.Counters
+	proc     *kernel.Proc
+	domain   *litterbox.FaultDomain
+	cache    *litterbox.EnvCache
+}
+
+// NewWorker creates a parallel worker context. Faults raised by tasks
+// on this worker abort only its fault domain, never the program or
+// other workers.
+func (p *Program) NewWorker(name string) *WorkerCtx {
+	w := &WorkerCtx{
+		prog:     p,
+		name:     name,
+		clock:    hw.NewClock(),
+		counters: &hw.Counters{},
+		proc:     p.kernel.NewProc(p.proc.UID, p.proc.PID, p.proc.HostIP),
+		domain:   &litterbox.FaultDomain{},
+		cache:    litterbox.NewEnvCache(),
+	}
+	p.lb.BindWorker(w.clock, &litterbox.CPUState{Proc: w.proc, Domain: w.domain})
+	return w
+}
+
+// Name returns the worker's diagnostic name.
+func (w *WorkerCtx) Name() string { return w.name }
+
+// Clock returns the worker's virtual clock.
+func (w *WorkerCtx) Clock() *hw.Clock { return w.clock }
+
+// Counters returns the worker's hardware event counters.
+func (w *WorkerCtx) Counters() *hw.Counters { return w.counters }
+
+// Proc returns the worker's kernel process context.
+func (w *WorkerCtx) Proc() *kernel.Proc { return w.proc }
+
+// Domain returns the worker's fault domain.
+func (w *WorkerCtx) Domain() *litterbox.FaultDomain { return w.domain }
+
+// EnvCache returns the worker's Prolog target cache.
+func (w *WorkerCtx) EnvCache() *litterbox.EnvCache { return w.cache }
+
+// newCPU returns a fresh architectural CPU charging this worker's clock
+// and counters.
+func (w *WorkerCtx) newCPU() *hw.CPU {
+	cpu := hw.NewCPU(w.clock)
+	cpu.Counters = w.counters
+	return cpu
+}
+
+// NewTaskOn creates a trusted-environment task pinned to worker w: its
+// CPU charges w's clock, its syscalls run under w's proc, its faults
+// abort only w's domain, and its Prologs resolve through w's cache.
+func (p *Program) NewTaskOn(w *WorkerCtx, name string) *Task {
+	return p.newTaskOn(w, name, p.lb.Trusted(), "main")
+}
+
+func (p *Program) newTaskOn(w *WorkerCtx, name string, env *litterbox.Env, pkg string) *Task {
+	p.mu.Lock()
+	p.nextID++
+	id := p.nextID
+	p.mu.Unlock()
+	t := &Task{
+		prog:   p,
+		cpu:    w.newCPU(),
+		env:    env,
+		id:     id,
+		name:   name,
+		worker: w,
+		cache:  w.cache,
+	}
+	t.pkgs = append(t.pkgs, pkg)
+	if err := p.lb.InstallEnv(t.cpu, env); err != nil {
+		panic(err)
+	}
+	return t
+}

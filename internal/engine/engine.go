@@ -1,0 +1,265 @@
+// Package engine executes enclosure workloads across N parallel
+// virtual CPUs. The paper evaluates LitterBox on a single core; a real
+// server runs GOMAXPROCS workers, so the engine models exactly the
+// state a multi-core Go process keeps per core and what it shares:
+//
+//   - per worker: an hw.Clock (virtual time accrues per core), hardware
+//     event counters, a kernel process context, a fault domain (a
+//     protection violation aborts the request's worker, never its
+//     siblings), and a Prolog environment cache;
+//   - shared, read-mostly: the program image, package graph, enclosure
+//     and environment tables, heap, and kernel namespaces.
+//
+// Work arrives on bounded per-worker run queues with preferred-worker
+// affinity; an idle worker steals from the longest sibling queue (front
+// first, oldest job — the fairness order), and a full engine sheds load
+// instead of queueing unboundedly, like a saturated SYN backlog.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/litterbox-project/enclosure/internal/core"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+)
+
+// ErrClosed reports a submission to a closed engine.
+var ErrClosed = errors.New("engine: closed")
+
+// Job is one unit of work: it runs on a fresh task pinned to whichever
+// worker dequeues it.
+type Job func(t *core.Task) error
+
+// Opts configures an engine.
+type Opts struct {
+	// Workers is the number of parallel virtual CPUs (default 1).
+	Workers int
+	// QueueDepth bounds each worker's run queue (default 64). When
+	// every queue is full, Submit rejects — backpressure, not OOM.
+	QueueDepth int
+}
+
+type job struct {
+	name string
+	fn   Job
+	done func(error) // nil for fire-and-forget
+}
+
+// Engine is a pool of worker virtual CPUs with work-stealing run
+// queues over one shared program.
+type Engine struct {
+	prog *core.Program
+	opts Opts
+
+	mu     sync.Mutex
+	cond   *sync.Cond // signals both "work queued" and "space freed"
+	queues [][]job
+	closed bool
+
+	workers []*worker
+	wg      sync.WaitGroup
+}
+
+// worker is one virtual CPU's engine-side state.
+type worker struct {
+	idx int
+	ctx *core.WorkerCtx
+
+	requests atomic.Int64
+	steals   atomic.Int64
+	enqueued atomic.Int64
+	spills   atomic.Int64
+	rejected atomic.Int64
+	maxDepth int64 // guarded by Engine.mu
+	busy     bool  // guarded by Engine.mu: executing a job right now
+}
+
+// New starts an engine with opts.Workers parallel virtual CPUs over
+// prog. Each worker owns its clock, counters, kernel proc, fault
+// domain, and environment cache (core.WorkerCtx); everything else in
+// prog is shared.
+func New(prog *core.Program, opts Opts) *Engine {
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	e := &Engine{prog: prog, opts: opts, queues: make([][]job, opts.Workers)}
+	e.cond = sync.NewCond(&e.mu)
+	for i := 0; i < opts.Workers; i++ {
+		e.workers = append(e.workers, &worker{idx: i, ctx: prog.NewWorker(fmt.Sprintf("cpu%d", i))})
+	}
+	for _, w := range e.workers {
+		e.wg.Add(1)
+		go e.run(w)
+	}
+	return e
+}
+
+// Prog returns the program the engine executes.
+func (e *Engine) Prog() *core.Program { return e.prog }
+
+// Workers returns the number of worker virtual CPUs.
+func (e *Engine) Workers() int { return len(e.workers) }
+
+// WorkerCtx returns worker i's execution context (for tests and for
+// apps that pin long-lived service tasks to specific workers).
+func (e *Engine) WorkerCtx(i int) *core.WorkerCtx { return e.workers[i].ctx }
+
+// Submit enqueues fn with affinity for worker pref, spilling to the
+// shortest other queue when pref's is full. It returns false when every
+// queue is at depth (or the engine is closed): the caller sheds the
+// work — for a server, closing the connection.
+func (e *Engine) Submit(pref int, name string, fn Job) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.enqueueLocked(pref, job{name: name, fn: fn})
+}
+
+// submitBlocking enqueues like Submit but waits for queue space instead
+// of rejecting. Pool admission uses it so batch work throttles the
+// producer rather than dropping jobs.
+func (e *Engine) submitBlocking(pref int, j job) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.enqueueLocked(pref, j) {
+			return nil
+		}
+		if e.closed {
+			return ErrClosed
+		}
+		e.cond.Wait()
+	}
+}
+
+func (e *Engine) enqueueLocked(pref int, j job) bool {
+	if e.closed {
+		return false
+	}
+	pref = ((pref % len(e.queues)) + len(e.queues)) % len(e.queues)
+	if len(e.queues[pref]) < e.opts.QueueDepth {
+		e.pushLocked(pref, j, false)
+		return true
+	}
+	best, depth := -1, e.opts.QueueDepth
+	for i := range e.queues {
+		if len(e.queues[i]) < depth {
+			best, depth = i, len(e.queues[i])
+		}
+	}
+	if best < 0 {
+		e.workers[pref].rejected.Add(1)
+		return false
+	}
+	e.pushLocked(best, j, true)
+	return true
+}
+
+func (e *Engine) pushLocked(i int, j job, spilled bool) {
+	e.queues[i] = append(e.queues[i], j)
+	w := e.workers[i]
+	w.enqueued.Add(1)
+	if spilled {
+		w.spills.Add(1)
+	}
+	if d := int64(len(e.queues[i])); d > w.maxDepth {
+		w.maxDepth = d
+	}
+	e.cond.Broadcast()
+}
+
+// run is one worker's host goroutine: drain own queue, steal when
+// empty, exit when the engine closes with nothing left anywhere.
+func (e *Engine) run(w *worker) {
+	defer e.wg.Done()
+	for {
+		j, ok := e.next(w)
+		if !ok {
+			return
+		}
+		e.exec(w, j)
+	}
+}
+
+// next dequeues the worker's next job: its own queue's front, else the
+// front (oldest job) of the longest *busy* sibling's queue — a steal.
+// Only busy victims are eligible: an idle owner is about to drain its
+// own queue, and racing it would defeat affinity (on a virtual-time
+// substrate every job looks instantaneous in real time, so an
+// unconditional steal lets one OS-favoured worker absorb the whole
+// load and serialise the virtual clocks).
+func (e *Engine) next(w *worker) (job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	w.busy = false
+	for {
+		if len(e.queues[w.idx]) > 0 {
+			j := e.queues[w.idx][0]
+			e.queues[w.idx] = e.queues[w.idx][1:]
+			w.busy = true
+			e.cond.Broadcast()
+			return j, true
+		}
+		victim, depth := -1, 0
+		for i := range e.queues {
+			if i != w.idx && e.workers[i].busy && len(e.queues[i]) > depth {
+				victim, depth = i, len(e.queues[i])
+			}
+		}
+		if victim >= 0 {
+			j := e.queues[victim][0]
+			e.queues[victim] = e.queues[victim][1:]
+			w.busy = true
+			w.steals.Add(1)
+			e.cond.Broadcast()
+			return j, true
+		}
+		if e.closed {
+			return job{}, false
+		}
+		e.cond.Wait()
+	}
+}
+
+// exec runs one job on a fresh task pinned to w. A protection fault
+// aborts only w's fault domain; the domain is reset afterwards so the
+// worker serves its next job — net/http recovering a panicking handler.
+func (e *Engine) exec(w *worker, j job) {
+	t := e.prog.NewTaskOn(w.ctx, j.name)
+	err := runJob(t, j.fn)
+	w.ctx.Domain().Reset()
+	w.requests.Add(1)
+	if j.done != nil {
+		j.done(err)
+	}
+}
+
+func runJob(t *core.Task, fn Job) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if f, ok := r.(*litterbox.Fault); ok {
+				err = f
+				return
+			}
+			panic(r)
+		}
+	}()
+	return fn(t)
+}
+
+// Close stops admission, drains every queued job, and joins the
+// workers. It is idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+}

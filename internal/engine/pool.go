@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool runs a batch of jobs across the engine's workers — the generic
+// fan-out counterpart to Serve. Admission blocks on queue space (a
+// batch producer throttles; it does not drop), jobs round-robin across
+// workers, and Wait joins the batch and returns its first error.
+type Pool struct {
+	e    *Engine
+	next atomic.Int64
+	wg   sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewPool returns an empty pool over the engine.
+func (e *Engine) NewPool() *Pool { return &Pool{e: e} }
+
+// Go submits one job to the pool, blocking while every run queue is
+// full. It returns an error only if the engine is closed.
+func (p *Pool) Go(name string, fn Job) error {
+	pref := int(p.next.Add(1)-1) % p.e.Workers()
+	p.wg.Add(1)
+	err := p.e.submitBlocking(pref, job{
+		name: name,
+		fn:   fn,
+		done: func(jerr error) {
+			if jerr != nil {
+				p.mu.Lock()
+				if p.err == nil {
+					p.err = jerr
+				}
+				p.mu.Unlock()
+			}
+			p.wg.Done()
+		},
+	})
+	if err != nil {
+		p.wg.Done()
+		return err
+	}
+	return nil
+}
+
+// Wait blocks until every submitted job has finished and returns the
+// first job error (a *litterbox.Fault when a job died to a protection
+// violation).
+func (p *Pool) Wait() error {
+	p.wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}

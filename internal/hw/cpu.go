@@ -1,6 +1,9 @@
 package hw
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Mode is the privilege mode of a virtual CPU. The LB_VTX backend runs
 // application code in non-root user mode, its guest kernel in non-root
@@ -84,30 +87,37 @@ func (p PKRU) String() string {
 	return fmt.Sprintf("PKRU[%s]=%#08x", out, uint32(p))
 }
 
-// CPU is the architectural state one simulated hardware thread exposes to
-// the isolation backends. The enclosure runtime binds one CPU per
-// simulated program; the scheduler multiplexes simulated goroutines over
-// it exactly as the paper's single-threaded evaluation does.
+// CPU is the architectural state one simulated hardware thread exposes
+// to the isolation backends. The single-core runtime binds one CPU per
+// simulated program and multiplexes simulated goroutines over it exactly
+// as the paper's single-threaded evaluation does; the multi-core engine
+// (internal/engine) binds one CPU per worker. Register state is held in
+// atomics so cross-worker observers (metrics, assertions, the race
+// detector) see consistent values — architecturally each register is
+// still owned by the one worker executing on the CPU, mirroring real
+// per-core PKRU/CR3.
 type CPU struct {
 	Clock    *Clock
 	Counters *Counters
 
-	pkru PKRU
-	cr3  int // identifier of the active page table (LB_VTX)
-	mode Mode
+	pkru atomic.Uint32
+	cr3  atomic.Int64 // identifier of the active page table (LB_VTX)
+	mode atomic.Uint32
 }
 
 // NewCPU returns a CPU in user mode with an all-allowing PKRU and page
 // table 0 active, sharing the given clock.
 func NewCPU(clock *Clock) *CPU {
-	return &CPU{Clock: clock, Counters: &Counters{}, pkru: PKRUAllAllowed}
+	c := &CPU{Clock: clock, Counters: &Counters{}}
+	c.pkru.Store(uint32(PKRUAllAllowed))
+	return c
 }
 
 // PKRU returns the current value of the protection-key rights register.
 // Reading PKRU is unprivileged, mirroring RDPKRU.
 func (c *CPU) PKRU() PKRU {
 	c.Clock.Advance(CostRDPKRU)
-	return c.pkru
+	return PKRU(c.pkru.Load())
 }
 
 // WritePKRU sets the protection-key rights register, charging the WRPKRU
@@ -116,46 +126,46 @@ func (c *CPU) PKRU() PKRU {
 func (c *CPU) WritePKRU(v PKRU) {
 	c.Clock.Advance(CostWRPKRU)
 	c.Counters.WRPKRUWrites.Add(1)
-	c.pkru = v
+	c.pkru.Store(uint32(v))
 }
 
 // PeekPKRU returns PKRU without charging the clock (for assertions).
-func (c *CPU) PeekPKRU() PKRU { return c.pkru }
+func (c *CPU) PeekPKRU() PKRU { return PKRU(c.pkru.Load()) }
 
 // CR3 returns the identifier of the active page table.
-func (c *CPU) CR3() int { return c.cr3 }
+func (c *CPU) CR3() int { return int(c.cr3.Load()) }
 
 // WriteCR3 installs a new page-table root. Only kernel modes may do so.
 func (c *CPU) WriteCR3(pt int) error {
-	if c.mode == ModeUser {
+	if c.Mode() == ModeUser {
 		return fmt.Errorf("hw: #GP: WriteCR3 from user mode")
 	}
 	c.Clock.Advance(CostCR3Switch)
-	c.cr3 = pt
+	c.cr3.Store(int64(pt))
 	return nil
 }
 
 // Mode returns the current privilege mode.
-func (c *CPU) Mode() Mode { return c.mode }
+func (c *CPU) Mode() Mode { return Mode(c.mode.Load()) }
 
 // SetMode transitions privilege mode without charging costs; the callers
 // (guest syscall and VM EXIT paths) charge their own entry costs.
-func (c *CPU) SetMode(m Mode) { c.mode = m }
+func (c *CPU) SetMode(m Mode) { c.mode.Store(uint32(m)) }
 
 // GuestSyscallEntry charges one kernel-entry leg and moves the CPU into
 // guest-kernel mode, returning the mode to restore on exit.
 func (c *CPU) GuestSyscallEntry() Mode {
 	c.Clock.Advance(CostSyscallEntry)
 	c.Counters.GuestSyscalls.Add(1)
-	prev := c.mode
-	c.mode = ModeGuestKernel
+	prev := c.Mode()
+	c.SetMode(ModeGuestKernel)
 	return prev
 }
 
 // GuestSyscallExit charges the return leg and restores the saved mode.
 func (c *CPU) GuestSyscallExit(prev Mode) {
 	c.Clock.Advance(CostSyscallEntry)
-	c.mode = prev
+	c.SetMode(prev)
 }
 
 // VMExit charges a hypercall round trip and moves the CPU to root mode,
@@ -163,10 +173,10 @@ func (c *CPU) GuestSyscallExit(prev Mode) {
 func (c *CPU) VMExit() Mode {
 	c.Clock.Advance(CostVMExit)
 	c.Counters.VMExits.Add(1)
-	prev := c.mode
-	c.mode = ModeRoot
+	prev := c.Mode()
+	c.SetMode(ModeRoot)
 	return prev
 }
 
 // VMResume restores non-root execution after a VM EXIT.
-func (c *CPU) VMResume(prev Mode) { c.mode = prev }
+func (c *CPU) VMResume(prev Mode) { c.SetMode(prev) }

@@ -166,17 +166,19 @@ const maxIO = 1 << 20
 
 // Invoke executes one system call on behalf of proc. The cpu supplies the
 // PKRU value the installed seccomp filter indexes and is charged the
-// baseline syscall cost. A filtered call returns ESECCOMP without
-// executing.
+// baseline syscall cost on *its own* clock — under the multi-core engine
+// each worker CPU accrues only the time its core actually spends in the
+// kernel; in single-core programs the CPU clock is the program clock, so
+// billing is unchanged.
 func (k *Kernel) Invoke(p *Proc, cpu *hw.CPU, nr Nr, args [6]uint64) (uint64, Errno) {
-	k.clock.Advance(hw.CostSyscall)
+	cpu.Clock.Advance(hw.CostSyscall)
 	cpu.Counters.Syscalls.Add(1)
 
 	k.mu.Lock()
 	filter := k.filter
 	k.mu.Unlock()
 	if filter != nil {
-		k.clock.Advance(hw.CostBPFFilter)
+		cpu.Clock.Advance(hw.CostBPFFilter)
 		cpu.Counters.BPFRuns.Add(1)
 		d := &seccomp.Data{
 			Nr:   uint32(nr),
@@ -192,19 +194,19 @@ func (k *Kernel) Invoke(p *Proc, cpu *hw.CPU, nr Nr, args [6]uint64) (uint64, Er
 			return 0, ESECCOMP
 		}
 	}
-	return k.dispatch(p, nr, args)
+	return k.dispatch(p, cpu, nr, args)
 }
 
 // InvokeUnfiltered executes a system call bypassing the BPF filter — the
 // LB_VTX host side, which filters in the guest kernel before the
 // hypercall (§5.3), and trusted runtime paths use this entry point.
 func (k *Kernel) InvokeUnfiltered(p *Proc, cpu *hw.CPU, nr Nr, args [6]uint64) (uint64, Errno) {
-	k.clock.Advance(hw.CostSyscall)
+	cpu.Clock.Advance(hw.CostSyscall)
 	cpu.Counters.Syscalls.Add(1)
-	return k.dispatch(p, nr, args)
+	return k.dispatch(p, cpu, nr, args)
 }
 
-func (k *Kernel) dispatch(p *Proc, nr Nr, args [6]uint64) (uint64, Errno) {
+func (k *Kernel) dispatch(p *Proc, cpu *hw.CPU, nr Nr, args [6]uint64) (uint64, Errno) {
 	switch nr {
 	case NrRead:
 		return k.sysRead(p, int(args[0]), mem.Addr(args[1]), args[2])
@@ -274,12 +276,14 @@ func (k *Kernel) dispatch(p *Proc, nr Nr, args [6]uint64) (uint64, Errno) {
 	case NrGetrandom:
 		return k.sysGetrandom(mem.Addr(args[0]), args[1])
 	case NrClockGettime:
-		if err := k.space.Store64(mem.Addr(args[0]), uint64(k.clock.Now())); err != nil {
+		// CLOCK_MONOTONIC is per-core here: each worker CPU reads the
+		// virtual time its own core has accrued.
+		if err := k.space.Store64(mem.Addr(args[0]), uint64(cpu.Clock.Now())); err != nil {
 			return 0, EFAULT
 		}
 		return 0, OK
 	case NrNanosleep:
-		k.clock.Advance(int64(args[0]))
+		cpu.Clock.Advance(int64(args[0]))
 		return 0, OK
 	case NrFutex:
 		return 0, OK // cooperative simulation: wakeups are immediate

@@ -52,5 +52,5 @@ func (b *BaselineBackend) Transfer(cpu *hw.CPU, sec *mem.Section, toPkg string) 
 
 // Syscall implements Backend: native, unfiltered system calls.
 func (b *BaselineBackend) Syscall(cpu *hw.CPU, env *Env, nr kernel.Nr, args [6]uint64) (uint64, kernel.Errno) {
-	return b.lb.Kernel.Invoke(b.lb.Proc, cpu, nr, args)
+	return b.lb.Kernel.Invoke(b.lb.ProcFor(cpu), cpu, nr, args)
 }

@@ -108,7 +108,7 @@ func (b *CHERIBackend) CheckExec(cpu *hw.CPU, env *Env, pkg string, entry mem.Ad
 // Transfer implements Backend: revoke the span's capabilities
 // everywhere, then re-derive them under the new owner.
 func (b *CHERIBackend) Transfer(cpu *hw.CPU, sec *mem.Section, toPkg string) error {
-	b.lb.Clock.Advance(hw.CostCapUpdate)
+	cpu.Clock.Advance(hw.CostCapUpdate)
 	for _, env := range b.lb.EnvsSnapshot() {
 		if err := b.unit.RevokeRange(env.Table, sec.Base, sec.Size); err != nil {
 			return err
@@ -131,7 +131,7 @@ func (b *CHERIBackend) Transfer(cpu *hw.CPU, sec *mem.Section, toPkg string) err
 // Syscall implements Backend: an in-process protected monitor checks
 // the environment's filter, then the call proceeds natively.
 func (b *CHERIBackend) Syscall(cpu *hw.CPU, env *Env, nr kernel.Nr, args [6]uint64) (uint64, kernel.Errno) {
-	b.lb.Clock.Advance(hw.CostCapSyscallCheck)
+	cpu.Clock.Advance(hw.CostCapSyscallCheck)
 	if !env.AllowsSyscall(nr) {
 		return 0, kernel.ESECCOMP
 	}
@@ -148,5 +148,5 @@ func (b *CHERIBackend) Syscall(cpu *hw.CPU, env *Env, nr kernel.Nr, args [6]uint
 			return 0, kernel.ESECCOMP
 		}
 	}
-	return b.lb.Kernel.InvokeUnfiltered(b.lb.Proc, cpu, nr, args)
+	return b.lb.Kernel.InvokeUnfiltered(b.lb.ProcFor(cpu), cpu, nr, args)
 }

@@ -27,12 +27,18 @@ type MPKBackend struct {
 	unit *mpk.Unit
 	lb   *LitterBox
 
-	mu        sync.Mutex
+	// stateMu guards the key assignment (keyByMeta, keyOf, superKey,
+	// virt) and every Env's PKRU against the libmpk remap slow path,
+	// which rewrites all of them while other workers switch. Switches
+	// take the read lock; remaps and lazy CreateEnv take the write lock.
+	stateMu   sync.RWMutex
 	keyByMeta []int          // meta-package index → protection key
 	keyOf     map[string]int // package → protection key
 	superKey  int
-	rules     map[uint32]seccomp.EnvRule // PKRU value → syscall rule
-	virt      *virtState                 // non-nil when keys are virtualised
+	virt      *virtState // non-nil when keys are virtualised
+
+	mu    sync.Mutex
+	rules map[uint32]seccomp.EnvRule // PKRU value → syscall rule
 }
 
 // NewMPK returns an LB_MPK backend over the simulated MPK unit.
@@ -216,7 +222,9 @@ func (b *MPKBackend) reloadFilter() error {
 // uniform under intersection (members shared modifiers in both parents),
 // so the PKRU derivation is unchanged.
 func (b *MPKBackend) CreateEnv(env *Env) error {
+	b.stateMu.Lock()
 	b.derivePKRU(env, b.lb.MetaPackages())
+	b.stateMu.Unlock()
 	b.addRule(env)
 	return b.reloadFilter()
 }
@@ -230,12 +238,23 @@ func (b *MPKBackend) Switch(cpu *hw.CPU, from, to *Env, verify func() error) err
 			return err
 		}
 	}
+	var pkru hw.PKRU
 	if b.virt != nil {
-		if _, err := b.ensureCached(cpu, to); err != nil {
+		// The slow path rewrites the global key assignment; it is
+		// serialised against every other switch.
+		b.stateMu.Lock()
+		_, err := b.ensureCached(cpu, to)
+		pkru = to.PKRU
+		b.stateMu.Unlock()
+		if err != nil {
 			return err
 		}
+	} else {
+		b.stateMu.RLock()
+		pkru = to.PKRU
+		b.stateMu.RUnlock()
 	}
-	cpu.WritePKRU(to.PKRU)
+	cpu.WritePKRU(pkru)
 	return nil
 }
 
@@ -255,8 +274,10 @@ func (b *MPKBackend) CheckExec(cpu *hw.CPU, env *Env, pkg string, entry mem.Addr
 // Transfer implements Backend: one pkey_mprotect retags the span with
 // the destination arena's key (Table 1: 1002ns end to end).
 func (b *MPKBackend) Transfer(cpu *hw.CPU, sec *mem.Section, toPkg string) error {
+	b.stateMu.RLock()
 	key := b.currentKeyOf(toPkg)
-	b.lb.Clock.Advance(hw.CostPkeyMprotect)
+	b.stateMu.RUnlock()
+	cpu.Clock.Advance(hw.CostPkeyMprotect)
 	cpu.Counters.PkeyMprotects.Add(1)
 	if errno := b.unit.PkeyMprotect(sec.Base, sec.Size, sec.Perm, key); errno != kernel.OK {
 		return fmt.Errorf("litterbox/mpk: transfer %s to %s: %v", sec, toPkg, errno)
@@ -267,13 +288,13 @@ func (b *MPKBackend) Transfer(cpu *hw.CPU, sec *mem.Section, toPkg string) error
 // Syscall implements Backend: the native syscall path; the kernel's
 // PKRU-indexed seccomp filter decides (Table 1: 523ns for getuid).
 func (b *MPKBackend) Syscall(cpu *hw.CPU, env *Env, nr kernel.Nr, args [6]uint64) (uint64, kernel.Errno) {
-	return b.lb.Kernel.Invoke(b.lb.Proc, cpu, nr, args)
+	return b.lb.Kernel.Invoke(b.lb.ProcFor(cpu), cpu, nr, args)
 }
 
 // KeyOf exposes a package's protection key (for tests; -1 if untagged).
 func (b *MPKBackend) KeyOf(pkg string) int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.stateMu.RLock()
+	defer b.stateMu.RUnlock()
 	if k, ok := b.keyOf[pkg]; ok {
 		return k
 	}
@@ -283,6 +304,8 @@ func (b *MPKBackend) KeyOf(pkg string) int {
 // DescribeKeys renders the key assignment for diagnostics.
 func (b *MPKBackend) DescribeKeys() string {
 	metas := b.lb.MetaPackages()
+	b.stateMu.RLock()
+	defer b.stateMu.RUnlock()
 	var sb strings.Builder
 	for i, group := range metas {
 		key := 0

@@ -113,7 +113,7 @@ func (b *VTXBackend) CheckExec(cpu *hw.CPU, env *Env, pkg string, entry mem.Addr
 // environment's page table according to the destination arena's
 // visibility (Table 1: 158ns — cheaper than MPK's pkey_mprotect).
 func (b *VTXBackend) Transfer(cpu *hw.CPU, sec *mem.Section, toPkg string) error {
-	b.lb.Clock.Advance(hw.CostEPTToggle)
+	cpu.Clock.Advance(hw.CostEPTToggle)
 	for _, env := range b.lb.EnvsSnapshot() {
 		// Compute rights as if the section were owned by toPkg.
 		mod := env.ModOf(toPkg)
@@ -162,7 +162,7 @@ func (b *VTXBackend) Syscall(cpu *hw.CPU, env *Env, nr kernel.Nr, args [6]uint64
 		errno kernel.Errno
 	}
 	r := vtx.Hypercall(cpu, func() result {
-		ret, errno := b.lb.Kernel.InvokeUnfiltered(b.lb.Proc, cpu, nr, args)
+		ret, errno := b.lb.Kernel.InvokeUnfiltered(b.lb.ProcFor(cpu), cpu, nr, args)
 		return result{ret, errno}
 	})
 	return r.ret, r.errno

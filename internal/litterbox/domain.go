@@ -1,0 +1,141 @@
+package litterbox
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/litterbox-project/enclosure/internal/hw"
+	"github.com/litterbox-project/enclosure/internal/kernel"
+)
+
+// FaultDomain scopes protection faults to one worker CPU. The paper's
+// single-threaded evaluation aborts the whole program on any fault; a
+// multi-core server instead contains a fault to the core (and so the
+// request) that raised it — a fault on worker A never aborts worker B.
+// The engine resets the domain between requests, the way net/http
+// recovers a panicking handler without taking the process down.
+type FaultDomain struct {
+	aborted atomic.Bool
+	fault   atomic.Pointer[Fault]
+	faults  atomic.Int64
+}
+
+// Aborted reports whether a fault has aborted this domain, and the fault.
+func (d *FaultDomain) Aborted() (*Fault, bool) {
+	if !d.aborted.Load() {
+		return nil, false
+	}
+	return d.fault.Load(), true
+}
+
+// Faults returns the total number of faults raised in this domain,
+// including ones already cleared by Reset.
+func (d *FaultDomain) Faults() int64 { return d.faults.Load() }
+
+// Reset clears the abort so the owning worker can serve its next
+// request. The cumulative fault count is preserved.
+func (d *FaultDomain) Reset() {
+	d.fault.Store(nil)
+	d.aborted.Store(false)
+}
+
+// CPUState is the per-worker state LitterBox consults on hot paths: the
+// kernel process context system calls execute under and the fault
+// domain violations abort. Bindings are keyed by the worker's *clock*:
+// every simulated goroutine gets its own architectural CPU (register
+// context), but all goroutines pinned to one worker share that worker's
+// clock, so the clock identifies the worker. CPUs with no binding fall
+// back to the program-wide Proc and the program-wide abort — the
+// single-core behaviour.
+type CPUState struct {
+	Proc   *kernel.Proc
+	Domain *FaultDomain
+}
+
+// BindWorker associates per-worker state with a worker clock. The
+// engine calls this once per worker before any task runs on it.
+func (lb *LitterBox) BindWorker(clock *hw.Clock, st *CPUState) {
+	lb.cpus.Store(clock, st)
+}
+
+func (lb *LitterBox) stateFor(cpu *hw.CPU) *CPUState {
+	if st, ok := lb.cpus.Load(cpu.Clock); ok {
+		return st.(*CPUState)
+	}
+	return nil
+}
+
+// ProcFor resolves the kernel process context for syscalls issued on
+// cpu: the bound worker proc, or the program-wide one.
+func (lb *LitterBox) ProcFor(cpu *hw.CPU) *kernel.Proc {
+	if st := lb.stateFor(cpu); st != nil && st.Proc != nil {
+		return st.Proc
+	}
+	return lb.Proc
+}
+
+// DomainFor returns the fault domain bound to cpu's worker, or nil when
+// faults on it abort the whole program.
+func (lb *LitterBox) DomainFor(cpu *hw.CPU) *FaultDomain {
+	if st := lb.stateFor(cpu); st != nil {
+		return st.Domain
+	}
+	return nil
+}
+
+// AbortedOn reports whether execution on cpu must stop: its domain
+// faulted, or the whole program aborted.
+func (lb *LitterBox) AbortedOn(cpu *hw.CPU) (*Fault, bool) {
+	if d := lb.DomainFor(cpu); d != nil {
+		if f, ok := d.Aborted(); ok {
+			return f, true
+		}
+	}
+	return lb.Aborted()
+}
+
+// EnvCache memoises Prolog target-environment resolution per worker:
+// the environment a switch from `from` into enclosure `encl` lands in
+// is a pure function of the pair, so after the first (program-wide,
+// lock-taking) resolution each worker answers from its own cache and
+// the hot path touches no shared mutable state. The mutex is
+// worker-local — only tasks pinned to the same worker contend on it.
+type EnvCache struct {
+	mu     sync.Mutex
+	m      map[envCacheKey]*Env
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type envCacheKey struct {
+	from EnvID
+	encl int
+}
+
+// NewEnvCache returns an empty per-worker environment cache.
+func NewEnvCache() *EnvCache {
+	return &EnvCache{m: make(map[envCacheKey]*Env)}
+}
+
+func (c *EnvCache) lookup(from EnvID, encl int) *Env {
+	c.mu.Lock()
+	e := c.m[envCacheKey{from, encl}]
+	c.mu.Unlock()
+	if e != nil {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e
+}
+
+func (c *EnvCache) store(from EnvID, encl int, e *Env) {
+	c.mu.Lock()
+	c.m[envCacheKey{from, encl}] = e
+	c.mu.Unlock()
+}
+
+// Stats returns (hits, misses) since creation.
+func (c *EnvCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -102,7 +102,10 @@ type LitterBox struct {
 	trusted *Env
 	byEncl  map[int]EnvID  // enclosure ID → environment
 	verif   map[int]uint64 // enclosure ID → expected call-site token
-	inter   map[[2]EnvID]EnvID
+	inter   map[[2]EnvID]*interEntry
+
+	// cpus maps *hw.Clock → *CPUState for worker CPUs (see domain.go).
+	cpus sync.Map
 
 	// Meta-package clustering results (for introspection and LB_MPK).
 	metaPkgs  [][]string
@@ -128,7 +131,7 @@ func Init(cfg Config) (*LitterBox, error) {
 		envs:    make(map[EnvID]*Env),
 		byEncl:  make(map[int]EnvID),
 		verif:   make(map[int]uint64),
-		inter:   make(map[[2]EnvID]EnvID),
+		inter:   make(map[[2]EnvID]*interEntry),
 	}
 
 	if err := lb.validateSections(); err != nil {
@@ -370,19 +373,42 @@ func (lb *LitterBox) Aborted() (*Fault, bool) {
 	return lb.fault.Load(), true
 }
 
-// RaiseFault records a protection violation and aborts the program.
+// RaiseFault records a protection violation and aborts the faulting
+// CPU's domain when one is bound (a worker CPU under the engine), or
+// the whole program otherwise — the paper's single-core semantics.
 func (lb *LitterBox) RaiseFault(cpu *hw.CPU, f *Fault) *Fault {
 	cpu.Counters.Faults.Add(1)
 	lb.record("fault", f.Env, "%s %s", f.Op, f.Detail)
+	if d := lb.DomainFor(cpu); d != nil {
+		d.faults.Add(1)
+		d.fault.CompareAndSwap(nil, f)
+		d.aborted.Store(true)
+		return f
+	}
 	lb.fault.CompareAndSwap(nil, f)
 	lb.aborted.Store(true)
 	return f
+}
+
+// interEntry is one lazily materialised intersection environment. The
+// creator publishes env/err and closes ready; concurrent workers that
+// hit the cache entry wait on ready before touching the environment, so
+// no worker can observe an Env whose backend state (PKRU, page table)
+// has not been created yet.
+type interEntry struct {
+	ready chan struct{}
+	env   *Env
+	err   error
 }
 
 // targetEnv resolves the environment a switch into enclosure env `to`
 // enters from `from`: the intersection, materialised lazily and cached.
 // Entering can only restrict; returning to the caller's environment is
 // always permitted because Epilog restores the saved `from`.
+//
+// lb.mu is released before backend.CreateEnv runs — the MPK backend
+// re-enters the LitterBox (MetaPackages) while deriving the PKRU — so
+// the entry's ready channel carries the happens-before edge instead.
 func (lb *LitterBox) targetEnv(from, to *Env) (*Env, error) {
 	if from.Trusted {
 		return to, nil
@@ -395,22 +421,30 @@ func (lb *LitterBox) targetEnv(from, to *Env) (*Env, error) {
 	if to.MoreRestrictiveThan(from) {
 		return to, nil
 	}
-	lb.mu.Lock()
 	key := [2]EnvID{from.ID, to.ID}
-	if id, ok := lb.inter[key]; ok {
-		e := lb.envs[id]
+	lb.mu.Lock()
+	if ent, ok := lb.inter[key]; ok {
 		lb.mu.Unlock()
-		return e, nil
+		<-ent.ready
+		return ent.env, ent.err
 	}
+	ent := &interEntry{ready: make(chan struct{})}
+	lb.inter[key] = ent
 	e := intersect(from, to)
 	e.ID = lb.nextEnv
 	lb.nextEnv++
-	lb.envs[e.ID] = e
-	lb.inter[key] = e.ID
 	lb.mu.Unlock()
+
 	if err := lb.backend.CreateEnv(e); err != nil {
+		ent.err = err
+		close(ent.ready)
 		return nil, err
 	}
+	lb.mu.Lock()
+	lb.envs[e.ID] = e
+	lb.mu.Unlock()
+	ent.env = e
+	close(ent.ready)
 	return e, nil
 }
 
@@ -418,16 +452,32 @@ func (lb *LitterBox) targetEnv(from, to *Env) (*Env, error) {
 // verifying the call-site token against the .verif specification. It
 // returns the environment now in force (the intersection when nested).
 func (lb *LitterBox) Prolog(cpu *hw.CPU, from *Env, enclID int, token uint64) (*Env, error) {
-	if lb.aborted.Load() {
+	return lb.PrologWith(cpu, from, enclID, token, nil)
+}
+
+// PrologWith is Prolog with a per-worker environment cache: once a
+// (from, enclosure) pair has been resolved, subsequent entries on the
+// same worker skip the program-wide tables entirely.
+func (lb *LitterBox) PrologWith(cpu *hw.CPU, from *Env, enclID int, token uint64, cache *EnvCache) (*Env, error) {
+	if _, dead := lb.AbortedOn(cpu); dead {
 		return nil, ErrAborted
 	}
-	enclEnv, err := lb.EnvForEnclosure(enclID)
-	if err != nil {
-		return nil, err
+	var target *Env
+	if cache != nil {
+		target = cache.lookup(from.ID, enclID)
 	}
-	target, err := lb.targetEnv(from, enclEnv)
-	if err != nil {
-		return nil, err
+	if target == nil {
+		enclEnv, err := lb.EnvForEnclosure(enclID)
+		if err != nil {
+			return nil, err
+		}
+		target, err = lb.targetEnv(from, enclEnv)
+		if err != nil {
+			return nil, err
+		}
+		if cache != nil {
+			cache.store(from.ID, enclID, target)
+		}
 	}
 	verify := func() error {
 		if lb.verif[enclID] != token {
@@ -489,7 +539,7 @@ func (lb *LitterBox) Execute(cpu *hw.CPU, from, to *Env) error {
 
 // CheckRead enforces the memory view on a data read.
 func (lb *LitterBox) CheckRead(cpu *hw.CPU, env *Env, addr mem.Addr, size uint64) error {
-	if lb.aborted.Load() {
+	if _, dead := lb.AbortedOn(cpu); dead {
 		return ErrAborted
 	}
 	if err := lb.backend.CheckAccess(cpu, addr, size, false); err != nil {
@@ -500,7 +550,7 @@ func (lb *LitterBox) CheckRead(cpu *hw.CPU, env *Env, addr mem.Addr, size uint64
 
 // CheckWrite enforces the memory view on a data write.
 func (lb *LitterBox) CheckWrite(cpu *hw.CPU, env *Env, addr mem.Addr, size uint64) error {
-	if lb.aborted.Load() {
+	if _, dead := lb.AbortedOn(cpu); dead {
 		return ErrAborted
 	}
 	if err := lb.backend.CheckAccess(cpu, addr, size, true); err != nil {
@@ -511,7 +561,7 @@ func (lb *LitterBox) CheckWrite(cpu *hw.CPU, env *Env, addr mem.Addr, size uint6
 
 // CheckExec enforces execute rights for a call into pkg at entry.
 func (lb *LitterBox) CheckExec(cpu *hw.CPU, env *Env, pkg string, entry mem.Addr) error {
-	if lb.aborted.Load() {
+	if _, dead := lb.AbortedOn(cpu); dead {
 		return ErrAborted
 	}
 	if !env.CanExec(pkg) {
@@ -526,7 +576,7 @@ func (lb *LitterBox) CheckExec(cpu *hw.CPU, env *Env, pkg string, entry mem.Addr
 // FilterSyscall performs a system call under env's filter; a rejected
 // call faults and aborts the program (§4.2).
 func (lb *LitterBox) FilterSyscall(cpu *hw.CPU, env *Env, nr kernel.Nr, args [6]uint64) (uint64, kernel.Errno, error) {
-	if lb.aborted.Load() {
+	if _, dead := lb.AbortedOn(cpu); dead {
 		return 0, kernel.ESECCOMP, ErrAborted
 	}
 	ret, errno := lb.backend.Syscall(cpu, env, nr, args)
@@ -545,7 +595,7 @@ func (lb *LitterBox) FilterSyscall(cpu *hw.CPU, env *Env, nr kernel.Nr, args [6]
 // collector — issues the call there, and switches back. The switches
 // are free when the task already runs trusted.
 func (lb *LitterBox) RuntimeSyscall(cpu *hw.CPU, cur *Env, nr kernel.Nr, args [6]uint64) (uint64, kernel.Errno, error) {
-	if lb.aborted.Load() {
+	if _, dead := lb.AbortedOn(cpu); dead {
 		return 0, kernel.ESECCOMP, ErrAborted
 	}
 	if err := lb.Execute(cpu, cur, lb.trusted); err != nil {

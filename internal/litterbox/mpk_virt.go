@@ -229,7 +229,7 @@ func (b *MPKBackend) retagMeta(cpu *hw.CPU, metas [][]string, meta, key int) err
 		if !members[sec.Pkg] {
 			continue
 		}
-		b.lb.Clock.Advance(hw.CostPkeyMprotect)
+		cpu.Clock.Advance(hw.CostPkeyMprotect)
 		cpu.Counters.PkeyMprotects.Add(1)
 		if errno := b.unit.PkeyMprotect(sec.Base, sec.Size, sec.Perm, key); errno != kernel.OK {
 			return fmt.Errorf("litterbox/mpk: retag %s -> key %d: %v", sec, key, errno)
@@ -240,6 +240,8 @@ func (b *MPKBackend) retagMeta(cpu *hw.CPU, metas [][]string, meta, key int) err
 
 // Remaps reports how many libmpk eviction slow paths have run.
 func (b *MPKBackend) Remaps() int64 {
+	b.stateMu.RLock()
+	defer b.stateMu.RUnlock()
 	if b.virt == nil {
 		return 0
 	}

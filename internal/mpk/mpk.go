@@ -148,7 +148,7 @@ func (u *Unit) CheckAccess(cpu *hw.CPU, addr mem.Addr, size uint64, write bool) 
 		return nil
 	}
 	pkru := cpu.PeekPKRU()
-	u.clock.Advance(hw.CostPTWalk)
+	cpu.Clock.Advance(hw.CostPTWalk)
 	cpu.Counters.PTWalks.Add(1)
 	u.mu.Lock()
 	defer u.mu.Unlock()

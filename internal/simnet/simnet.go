@@ -143,6 +143,7 @@ func Pair() (*Conn, *Conn) {
 type Listener struct {
 	addr   Addr
 	net    *Net
+	group  *shardGroup // non-nil when part of a ListenShards group
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []*Conn
@@ -169,7 +170,9 @@ func (l *Listener) Accept() (*Conn, error) {
 	return c, nil
 }
 
-// Close stops the listener and releases its address.
+// Close stops the listener and releases its address. For a sharded
+// listener only this shard stops; the address stays bound until the
+// last shard in the group closes.
 func (l *Listener) Close() error {
 	l.mu.Lock()
 	if l.closed {
@@ -181,7 +184,14 @@ func (l *Listener) Close() error {
 	l.mu.Unlock()
 
 	l.net.mu.Lock()
-	delete(l.net.listeners, l.addr)
+	if l.group != nil {
+		l.group.open--
+		if l.group.open == 0 {
+			delete(l.net.shards, l.addr)
+		}
+	} else {
+		delete(l.net.listeners, l.addr)
+	}
 	l.net.mu.Unlock()
 	return nil
 }
@@ -197,10 +207,21 @@ func (l *Listener) enqueue(c *Conn) error {
 	return nil
 }
 
+// shardGroup is a set of listeners sharing one address, the way
+// SO_REUSEPORT lets multiple sockets bind the same port and the kernel
+// spreads incoming connections across them. Dial round-robins over the
+// still-open shards.
+type shardGroup struct {
+	ls   []*Listener
+	next int
+	open int
+}
+
 // Net is one simulated network namespace.
 type Net struct {
 	mu        sync.Mutex
 	listeners map[Addr]*Listener
+	shards    map[Addr]*shardGroup
 	nextPort  uint16
 	// connectLog records every successful connect destination, letting
 	// the attack tests assert on exfiltration attempts.
@@ -209,7 +230,11 @@ type Net struct {
 
 // New returns an empty network.
 func New() *Net {
-	return &Net{listeners: make(map[Addr]*Listener), nextPort: 40000}
+	return &Net{
+		listeners: make(map[Addr]*Listener),
+		shards:    make(map[Addr]*shardGroup),
+		nextPort:  40000,
+	}
 }
 
 // Listen binds a listener to addr. A zero port picks an ephemeral one.
@@ -222,10 +247,43 @@ func (n *Net) Listen(addr Addr) (*Listener, error) {
 	if _, ok := n.listeners[addr]; ok {
 		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
 	}
+	if _, ok := n.shards[addr]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
+	}
 	l := &Listener{addr: addr, net: n}
 	l.cond = sync.NewCond(&l.mu)
 	n.listeners[addr] = l
 	return l, nil
+}
+
+// ListenShards binds count listeners to the same address, SO_REUSEPORT
+// style: each shard has its own accept queue and Dial spreads incoming
+// connections round-robin over the open shards. A multi-core server
+// gives each worker its own shard so accepts never contend on one
+// queue. A zero port picks an ephemeral one shared by the whole group.
+func (n *Net) ListenShards(addr Addr, count int) ([]*Listener, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("simnet: ListenShards count %d < 1", count)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if addr.Port == 0 {
+		addr.Port = n.ephemeralLocked()
+	}
+	if _, ok := n.listeners[addr]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
+	}
+	if _, ok := n.shards[addr]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
+	}
+	g := &shardGroup{open: count}
+	for i := 0; i < count; i++ {
+		l := &Listener{addr: addr, net: n, group: g}
+		l.cond = sync.NewCond(&l.mu)
+		g.ls = append(g.ls, l)
+	}
+	n.shards[addr] = g
+	return append([]*Listener(nil), g.ls...), nil
 }
 
 func (n *Net) ephemeralLocked() uint16 {
@@ -242,6 +300,12 @@ func (n *Net) ephemeralLocked() uint16 {
 				break
 			}
 		}
+		for a := range n.shards {
+			if a.Port == p {
+				inUse = true
+				break
+			}
+		}
 		if !inUse {
 			return p
 		}
@@ -249,9 +313,25 @@ func (n *Net) ephemeralLocked() uint16 {
 }
 
 // Dial connects from local (host only; port is ephemeral) to remote.
+// A sharded address picks a shard round-robin, skipping closed ones.
 func (n *Net) Dial(localHost uint32, remote Addr) (*Conn, error) {
 	n.mu.Lock()
 	l, ok := n.listeners[remote]
+	if !ok {
+		if g, sok := n.shards[remote]; sok {
+			for range g.ls {
+				cand := g.ls[g.next%len(g.ls)]
+				g.next++
+				cand.mu.Lock()
+				open := !cand.closed
+				cand.mu.Unlock()
+				if open {
+					l, ok = cand, true
+					break
+				}
+			}
+		}
+	}
 	if !ok {
 		n.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrConnRefused, remote)

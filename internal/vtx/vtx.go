@@ -135,7 +135,7 @@ func (m *Machine) CheckAccess(cpu *hw.CPU, addr mem.Addr, size uint64, write boo
 	if size == 0 {
 		return nil
 	}
-	m.clock.Advance(hw.CostPTWalk)
+	cpu.Clock.Advance(hw.CostPTWalk)
 	cpu.Counters.PTWalks.Add(1)
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -157,7 +157,7 @@ func (m *Machine) CheckAccess(cpu *hw.CPU, addr mem.Addr, size uint64, write boo
 // CheckExec validates an instruction fetch at addr under the active
 // table. LB_VTX enforces execute rights in the page tables, unlike MPK.
 func (m *Machine) CheckExec(cpu *hw.CPU, addr mem.Addr) error {
-	m.clock.Advance(hw.CostPTWalk)
+	cpu.Clock.Advance(hw.CostPTWalk)
 	cpu.Counters.PTWalks.Add(1)
 	m.mu.Lock()
 	defer m.mu.Unlock()
