@@ -8,11 +8,20 @@
 //	enclose -layout                         # dump the linked image (Figure 4)
 //	enclose -keys                           # show meta-package key assignment
 //	enclose -spec scenarios/figure1.json    # run a declarative scenario
+//
+// The audit subcommand runs the wiki application under empty policies
+// in audit mode (violations are recorded and allowed through, the
+// SECCOMP_RET_LOG workflow), derives the minimal policy each enclosure
+// needs, and re-runs the workload enforcing the derived literals:
+//
+//	enclose audit                           # derive wiki policies on every backend
+//	enclose audit -backend mpk -jsonl t.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/litterbox-project/enclosure"
@@ -23,6 +32,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "audit" {
+		runAudit(os.Args[2:])
+		return
+	}
 	backendName := flag.String("backend", "mpk", "baseline|mpk|vtx|cheri")
 	demo := flag.String("demo", "invert", "invert|tamper|steal|exfiltrate")
 	layout := flag.Bool("layout", false, "dump the linked executable image (Figure 4)")
@@ -114,6 +127,45 @@ func main() {
 	}
 	fmt.Println("completed without faults")
 	printTrace(tr)
+}
+
+// runAudit implements the audit subcommand: observe, derive, enforce.
+func runAudit(args []string) {
+	fs := flag.NewFlagSet("enclose audit", flag.ExitOnError)
+	backendName := fs.String("backend", "all", "all|baseline|mpk|vtx|cheri")
+	jsonl := fs.String("jsonl", "", "also stream the audit phase's trace events to this file as JSON lines")
+	fs.Parse(args)
+
+	kinds := bench.ProjectionBackends
+	if *backendName != "all" {
+		kind, ok := map[string]enclosure.Backend{
+			"baseline": enclosure.Baseline, "mpk": enclosure.MPK,
+			"vtx": enclosure.VTX, "cheri": enclosure.CHERI,
+		}[*backendName]
+		if !ok {
+			fatal(fmt.Errorf("unknown backend %q", *backendName))
+		}
+		kinds = []enclosure.Backend{kind}
+	}
+
+	var sink io.Writer
+	if *jsonl != "" {
+		f, err := os.Create(*jsonl)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		sink = f
+	}
+
+	fmt.Println("auditing the wiki under empty policies, deriving minimal literals, re-running enforced:")
+	for _, kind := range kinds {
+		out, err := bench.RunWikiAuditTo(kind, sink)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	}
 }
 
 func printTrace(tr *litterbox.Trace) {

@@ -12,6 +12,7 @@
 //	enclosebench -all         # everything above
 //	enclosebench -table 2 -projections   # adds the LB_CHERI column
 //	enclosebench -json results.json      # machine-readable everything
+//	enclosebench -table scale -json -    # scale sweep only, with trace snapshot
 package main
 
 import (
@@ -45,7 +46,14 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		results, err := bench.CollectResults(*iters)
+		var results *bench.Results
+		var err error
+		if *table == "scale" {
+			// Scale-only smoke run: the sweep with a merged event trace.
+			results, err = bench.CollectScaleResults()
+		} else {
+			results, err = bench.CollectResults(*iters)
+		}
 		if err != nil {
 			fail(err)
 		}

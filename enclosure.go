@@ -43,6 +43,7 @@ import (
 	"github.com/litterbox-project/enclosure/internal/core"
 	"github.com/litterbox-project/enclosure/internal/kernel"
 	"github.com/litterbox-project/enclosure/internal/litterbox"
+	"github.com/litterbox-project/enclosure/internal/obs"
 )
 
 // Core types, re-exported.
@@ -76,10 +77,28 @@ type (
 	Fault = litterbox.Fault
 	// Policy is the structured form of an enclosure policy literal.
 	Policy = litterbox.Policy
+	// PolicyBuilder assembles a policy fluently (see NewPolicy).
+	PolicyBuilder = core.PolicyBuilder
 	// Sysno is a simulated system-call number.
 	Sysno = kernel.Nr
 	// Errno is a simulated kernel error number.
 	Errno = kernel.Errno
+)
+
+// Observability types, re-exported from the obs layer.
+type (
+	// Option configures a Builder (WithTracer, WithAudit, ...).
+	Option = core.Option
+	// Trace is the structured event collector WithTracer attaches: a
+	// bounded ring of recent events plus running aggregates.
+	Trace = obs.Trace
+	// Event is one traced enforcement event.
+	Event = obs.Event
+	// Snapshot is a trace's point-in-time, JSON-stable summary.
+	Snapshot = obs.Snapshot
+	// Audit records policy violations and observed behaviour in audit
+	// mode, and derives minimal policies from them.
+	Audit = obs.Audit
 )
 
 // Backend kinds.
@@ -136,8 +155,37 @@ const (
 	OAppend = kernel.OAppend
 )
 
-// New returns a program builder targeting the given backend.
-func New(backend Backend) *Builder { return core.NewBuilder(backend) }
+// New returns a program builder targeting the given backend. Options
+// configure observability and defaults:
+//
+//	tr := enclosure.NewTrace(1024)
+//	b := enclosure.New(enclosure.MPK, enclosure.WithTracer(tr), enclosure.WithAudit())
+//
+// New(backend) with no options behaves exactly as before the options
+// were introduced.
+func New(backend Backend, opts ...Option) *Builder { return core.NewBuilder(backend, opts...) }
+
+// NewTrace returns an event collector retaining a bounded window of
+// recent events — the last capacity per emission buffer — plus
+// aggregates over all of them; pass it to WithTracer.
+func NewTrace(capacity int) *Trace { return obs.New(capacity) }
+
+// WithTracer attaches an event trace to the program under
+// construction. Tracing is host-side and never advances virtual time.
+func WithTracer(tr *Trace) Option { return core.WithTracer(tr) }
+
+// WithAudit runs the program in audit mode: policy violations are
+// recorded and allowed through instead of faulting, and the recorder
+// can derive the minimal policy covering what each enclosure actually
+// did (Program.Audit().Derive). Integrity checks still fault.
+func WithAudit() Option { return core.WithAudit() }
+
+// WithEngineWorkers sets the default engine worker count for the
+// program.
+func WithEngineWorkers(n int) Option { return core.WithEngineWorkers(n) }
+
+// WithAddressSpaceSize overrides the simulated address-space capacity.
+func WithAddressSpaceSize(bytes uint64) Option { return core.WithAddressSpaceSize(bytes) }
 
 // DefaultHostIP returns the simulated program's own network address
 // (10.0.0.1); external drivers dial simulated listeners with it.
@@ -152,8 +200,16 @@ func DefaultHostIP() uint32 { return core.DefaultHostIP }
 // "secrets:R; sys:none" or "sys:net,io; connect:10.0.0.2".
 func ParsePolicy(s string) (Policy, error) { return core.ParsePolicy(s) }
 
+// NewPolicy returns a fluent policy builder whose String() renders the
+// canonical literal ParsePolicy accepts:
+//
+//	enclosure.NewPolicy().Read("secrets").Sys("net", "io").ConnectNone().String()
+func NewPolicy() *PolicyBuilder { return core.NewPolicy() }
+
 // AsFault extracts the protection fault from an error returned by
-// Program.Run or Handle.Join, if there is one.
+// Program.Run, Handle.Join, or an engine's serve loop, if there is
+// one. Joined errors (errors.Join trees, as a multi-worker shutdown
+// returns) are traversed.
 func AsFault(err error) (*Fault, bool) {
 	var f *Fault
 	if errors.As(err, &f) {

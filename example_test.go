@@ -94,5 +94,5 @@ func ExampleAsFault() {
 func ExampleParsePolicy() {
 	p, _ := enclosure.ParsePolicy("secrets:R; sys:net,io; connect:10.0.0.2")
 	fmt.Println(p.String())
-	// Output: secrets:R; sys:net,io; connect:0xa000002
+	// Output: secrets:R; sys:net,io; connect:10.0.0.2
 }

@@ -28,7 +28,7 @@ const Pkg = "github.com/valyala/fasthttp"
 // Policy is the server enclosure's policy: socket operations plus
 // descriptor I/O, nothing else — no files, no memory management, no
 // process control.
-const Policy = "sys:net,io"
+var Policy = core.NewPolicy().Sys("net", "io").String()
 
 // Modelled per-request service costs (ns): FastHTTP's zero-allocation
 // parsing makes its service time markedly smaller than net/http's

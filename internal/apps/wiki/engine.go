@@ -1,6 +1,7 @@
 package wiki
 
 import (
+	"errors"
 	"sync"
 
 	"github.com/litterbox-project/enclosure/internal/core"
@@ -23,8 +24,9 @@ type wikiWorker struct {
 // the ○B enclosure wrapping mux's ServeConn; proxy must be the ○C
 // enclosure wrapping pq's Proxy. Each worker gets its own glue and
 // proxy tasks (and so its own database connection). The returned stop
-// function shuts the per-worker pipelines down and returns their first
-// error; call it after the accept loop and engine are drained.
+// function shuts the per-worker pipelines down and returns every
+// worker error joined (errors.As and AsFault see through the join);
+// call it after the accept loop and engine are drained.
 func ServeEngine(e *engine.Engine, port uint16, server, proxy *core.Enclosure) (*engine.Server, func() error, error) {
 	var mu sync.Mutex
 	workers := make(map[*core.WorkerCtx]*wikiWorker)
@@ -62,17 +64,12 @@ func ServeEngine(e *engine.Engine, port uint16, server, proxy *core.Enclosure) (
 	stop := func() error {
 		mu.Lock()
 		defer mu.Unlock()
-		var first error
+		var errs []error
 		for _, w := range workers {
 			close(w.reqs) // glue exits and closes queries; the proxy drains and exits
-			if err := w.glue.Join(); err != nil && first == nil {
-				first = err
-			}
-			if err := w.proxy.Join(); err != nil && first == nil {
-				first = err
-			}
+			errs = append(errs, w.glue.Join(), w.proxy.Join())
 		}
-		return first
+		return errors.Join(errs...)
 	}
 	return srv, stop, nil
 }

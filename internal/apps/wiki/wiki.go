@@ -34,13 +34,13 @@ const (
 )
 
 // Enclosure policies.
-const (
+var (
 	// PolicyServer allows ○B its own socket operations but no connects,
 	// no files, and no other services.
-	PolicyServer = "sys:net,io; connect:none"
+	PolicyServer = core.NewPolicy().Sys("net", "io").ConnectNone().String()
 	// PolicyProxy allows ○C socket operations but connect(2) only
 	// toward the Postgres server (the §6.5 argument-filter extension).
-	PolicyProxy = "sys:net,io; connect:10.0.0.2"
+	PolicyProxy = core.NewPolicy().Sys("net", "io").AllowConnect("10.0.0.2").String()
 )
 
 // Modelled service costs (ns).

@@ -44,10 +44,11 @@ func RunVirtKeysAblation(enclosures int) (AblationResult, error) {
 				},
 			},
 		})
-		policy := "sys:none"
+		pb := core.NewPolicy().Sys()
 		if i > 0 {
-			policy = fmt.Sprintf("%s:R; sys:none", pkg(i-1))
+			pb.Read(pkg(i - 1))
 		}
+		policy := pb.String()
 		b.Enclosure(fmt.Sprintf("e%02d", i), "main", policy,
 			func(t *core.Task, args ...core.Value) ([]core.Value, error) {
 				return t.Call(pkg(i), "Touch")

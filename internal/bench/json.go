@@ -5,6 +5,8 @@ import (
 	"fmt"
 
 	"github.com/litterbox-project/enclosure/internal/attacks"
+	"github.com/litterbox-project/enclosure/internal/core"
+	"github.com/litterbox-project/enclosure/internal/obs"
 )
 
 // Results is the machine-readable form of a full evaluation run,
@@ -18,6 +20,11 @@ type Results struct {
 	Python   []PythonEntry     `json:"python"`
 	Security []SecurityEntry   `json:"security"`
 	Paper    map[string]string `json:"paper_reference"`
+
+	// Trace is the merged observability snapshot of the run when it was
+	// traced (enclosebench -table scale -json): per-kind, per-syscall,
+	// and per-worker aggregates over every traced program.
+	Trace *obs.Snapshot `json:"trace,omitempty"`
 }
 
 // MicroEntry is one Table 1 cell.
@@ -130,6 +137,27 @@ func CollectResults(microIters int) (*Results, error) {
 	}
 	_ = attacks.Report{} // keep the attacks dependency explicit
 	return out, nil
+}
+
+// CollectScaleResults runs only the scaling sweep with a shared event
+// trace attached to every cell's program and returns the entries plus
+// the merged trace snapshot — the fast machine-readable smoke run CI
+// uses (`enclosebench -table scale -json -`).
+func CollectScaleResults() (*Results, error) {
+	tr := obs.New(1024)
+	entries, err := RunScale(core.WithTracer(tr))
+	if err != nil {
+		return nil, err
+	}
+	snap := tr.Snapshot()
+	return &Results{
+		Scale: entries,
+		Trace: &snap,
+		Paper: map[string]string{
+			"title": "Enclosure: Language-Based Restriction of Untrusted Libraries",
+			"venue": "ASPLOS 2021",
+		},
+	}, nil
 }
 
 // MarshalResults renders the results as indented JSON.

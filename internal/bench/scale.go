@@ -51,14 +51,14 @@ type ScaleEntry struct {
 // generator is closed-loop with 2×workers concurrent host clients —
 // enough in-flight connections to keep every run queue non-empty
 // without overflowing the admission bound.
-func scaleCell(app string, kind core.BackendKind, workers int) (ScaleEntry, error) {
+func scaleCell(app string, kind core.BackendKind, workers int, opts ...core.Option) (ScaleEntry, error) {
 	switch app {
 	case "HTTP":
-		return scaleHTTP(kind, workers)
+		return scaleHTTP(kind, workers, opts...)
 	case "FastHTTP":
-		return scaleFastHTTP(kind, workers)
+		return scaleFastHTTP(kind, workers, opts...)
 	case "wiki":
-		return scaleWiki(kind, workers)
+		return scaleWiki(kind, workers, opts...)
 	}
 	return ScaleEntry{}, fmt.Errorf("bench: unknown scale app %q", app)
 }
@@ -114,8 +114,8 @@ func measure(app string, kind core.BackendKind, e *engine.Engine, srv *engine.Se
 
 // scaleHTTP runs net/http with the enclosed request handler across the
 // engine's workers.
-func scaleHTTP(kind core.BackendKind, workers int) (ScaleEntry, error) {
-	b := core.NewBuilder(kind)
+func scaleHTTP(kind core.BackendKind, workers int, opts ...core.Option) (ScaleEntry, error) {
+	b := core.NewBuilder(kind, opts...)
 	b.Package(core.PackageSpec{
 		Name:    "main",
 		Imports: []string{httpserv.Pkg, httpserv.HandlerPkg},
@@ -159,8 +159,8 @@ func scaleHTTP(kind core.BackendKind, workers int) (ScaleEntry, error) {
 
 // scaleFastHTTP runs the enclosed FastHTTP server across the engine's
 // workers, entering the server enclosure per accepted connection.
-func scaleFastHTTP(kind core.BackendKind, workers int) (ScaleEntry, error) {
-	b := core.NewBuilder(kind)
+func scaleFastHTTP(kind core.BackendKind, workers int, opts ...core.Option) (ScaleEntry, error) {
+	b := core.NewBuilder(kind, opts...)
 	b.Package(core.PackageSpec{
 		Name:    "main",
 		Imports: []string{fasthttp.Pkg},
@@ -213,8 +213,8 @@ func scaleFastHTTP(kind core.BackendKind, workers int) (ScaleEntry, error) {
 // scaleWiki runs the two-enclosure wiki across the engine's workers:
 // each worker owns a ○B buffer set, a glue task, and a ○C db-proxy
 // task with its own database connection.
-func scaleWiki(kind core.BackendKind, workers int) (ScaleEntry, error) {
-	b := core.NewBuilder(kind)
+func scaleWiki(kind core.BackendKind, workers int, opts ...core.Option) (ScaleEntry, error) {
+	b := core.NewBuilder(kind, opts...)
 	b.Package(core.PackageSpec{
 		Name:    "main",
 		Imports: []string{wiki.MuxPkg, wiki.PqPkg},
@@ -278,14 +278,15 @@ func scaleWiki(kind core.BackendKind, workers int) (ScaleEntry, error) {
 
 // RunScale sweeps the full scaling matrix: every app × backend ×
 // worker count, with speedups computed against each pair's one-worker
-// cell.
-func RunScale() ([]ScaleEntry, error) {
+// cell. Options apply to every cell's program — pass
+// core.WithTracer(tr) to collect one merged trace over the sweep.
+func RunScale(opts ...core.Option) ([]ScaleEntry, error) {
 	var out []ScaleEntry
 	base := make(map[string]float64) // app/backend → 1-worker reqs/s
 	for _, app := range ScaleApps {
 		for _, kind := range ScaleBackends {
 			for _, w := range ScaleWorkerCounts {
-				entry, err := scaleCell(app, kind, w)
+				entry, err := scaleCell(app, kind, w, opts...)
 				if err != nil {
 					return nil, fmt.Errorf("bench: scale %s/%s/%d workers: %w", app, kind, w, err)
 				}

@@ -11,6 +11,7 @@ import (
 	"github.com/litterbox-project/enclosure/internal/litterbox"
 	"github.com/litterbox-project/enclosure/internal/mem"
 	"github.com/litterbox-project/enclosure/internal/mpk"
+	"github.com/litterbox-project/enclosure/internal/obs"
 	"github.com/litterbox-project/enclosure/internal/pkggraph"
 	"github.com/litterbox-project/enclosure/internal/vtx"
 )
@@ -72,14 +73,26 @@ type Builder struct {
 	decls      []declInput
 	pwPolicies [][2]string // program-wide policies: {package, policy}
 	built      bool
+
+	// Observability configuration (see options.go).
+	tracer        *obs.Trace
+	audit         *obs.Audit
+	engineWorkers int
 }
 
-// NewBuilder returns a program builder targeting the given backend.
-func NewBuilder(backend BackendKind) *Builder {
-	return &Builder{backend: backend}
+// NewBuilder returns a program builder targeting the given backend,
+// configured by the given options.
+func NewBuilder(backend BackendKind, opts ...Option) *Builder {
+	b := &Builder{backend: backend}
+	for _, opt := range opts {
+		opt(b)
+	}
+	return b
 }
 
 // SetAddressSpaceSize overrides the simulated address-space capacity.
+//
+// Deprecated: pass WithAddressSpaceSize to NewBuilder instead.
 func (b *Builder) SetAddressSpaceSize(bytes uint64) *Builder {
 	b.spaceCap = bytes
 	return b
@@ -280,24 +293,27 @@ func (b *Builder) Build() (*Program, error) {
 		Kernel:  k,
 		Proc:    proc,
 		Backend: backend,
+		Trace:   b.tracer,
+		Audit:   b.audit,
 	})
 	if err != nil {
 		return nil, err
 	}
 
 	prog := &Program{
-		kind:     b.backend,
-		graph:    graph,
-		image:    img,
-		space:    space,
-		clock:    clock,
-		counters: counters,
-		kernel:   k,
-		proc:     proc,
-		lb:       lb,
-		funcs:    funcs,
-		encls:    make(map[string]*Enclosure),
-		pw:       pw,
+		kind:          b.backend,
+		graph:         graph,
+		image:         img,
+		space:         space,
+		clock:         clock,
+		counters:      counters,
+		kernel:        k,
+		proc:          proc,
+		lb:            lb,
+		funcs:         funcs,
+		encls:         make(map[string]*Enclosure),
+		pw:            pw,
+		engineWorkers: b.engineWorkers,
 	}
 	prog.runtimeCPU = prog.newCPU()
 

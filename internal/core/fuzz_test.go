@@ -34,8 +34,22 @@ func FuzzParsePolicy(f *testing.F) {
 		if err != nil {
 			t.Fatalf("canonical form %q rejected: %v", p.String(), err)
 		}
-		if q.Cats != p.Cats || len(q.Mods) != len(p.Mods) {
+		if q.Cats != p.Cats || len(q.Mods) != len(p.Mods) || len(q.ConnectAllow) != len(p.ConnectAllow) {
 			t.Fatalf("round trip changed policy: %v vs %v", p, q)
+		}
+		for k, v := range p.Mods {
+			if q.Mods[k] != v {
+				t.Fatalf("round trip changed %s: %v vs %v", k, v, q.Mods[k])
+			}
+		}
+		for i, h := range p.ConnectAllow {
+			if q.ConnectAllow[i] != h {
+				t.Fatalf("round trip changed host %d: %#x vs %#x", i, h, q.ConnectAllow[i])
+			}
+		}
+		// The canonical form is a fixed point: rendering is idempotent.
+		if q.String() != p.String() {
+			t.Fatalf("canonical form is not a fixed point: %q vs %q", p.String(), q.String())
 		}
 	})
 }

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+)
+
+// PolicyBuilder assembles a policy fluently instead of by string
+// concatenation, with the same build-time validation ParsePolicy gives
+// literals:
+//
+//	core.NewPolicy().Read("secrets").Sys("net", "io").ConnectNone().String()
+//
+// yields "secrets:R; sys:net,io; connect:none". String renders the
+// canonical literal (it panics on an invalid build, the
+// regexp.MustCompile idiom for policies fixed at compile time); Policy
+// returns the structured form with the error. Builders round-trip:
+// ParsePolicy(b.String()) equals b.Policy().
+type PolicyBuilder struct {
+	mods    []string // insertion-ordered package names
+	modOf   map[string]litterbox.AccessMod
+	cats    kernel.Category
+	hosts   []uint32
+	haveSys bool
+	err     error
+}
+
+// NewPolicy returns an empty policy builder: no modifiers, no system
+// calls (the paper's default), no connect restriction.
+func NewPolicy() *PolicyBuilder {
+	return &PolicyBuilder{modOf: make(map[string]litterbox.AccessMod)}
+}
+
+func (b *PolicyBuilder) setMod(mod litterbox.AccessMod, pkgs []string) *PolicyBuilder {
+	for _, pkg := range pkgs {
+		if pkg == "" || pkg == "sys" || pkg == "connect" {
+			b.fail(fmt.Errorf("%w: %q cannot name a package modifier", ErrBadPolicy, pkg))
+			continue
+		}
+		if _, dup := b.modOf[pkg]; dup {
+			b.fail(fmt.Errorf("%w: duplicate modifier for %q", ErrBadPolicy, pkg))
+			continue
+		}
+		b.mods = append(b.mods, pkg)
+		b.modOf[pkg] = mod
+	}
+	return b
+}
+
+func (b *PolicyBuilder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Unmap removes the packages from the enclosure's memory view (U).
+func (b *PolicyBuilder) Unmap(pkgs ...string) *PolicyBuilder {
+	return b.setMod(litterbox.ModU, pkgs)
+}
+
+// Read grants read-only access to the packages' data (R).
+func (b *PolicyBuilder) Read(pkgs ...string) *PolicyBuilder {
+	return b.setMod(litterbox.ModR, pkgs)
+}
+
+// ReadWrite grants read-write access to the packages' data (RW).
+func (b *PolicyBuilder) ReadWrite(pkgs ...string) *PolicyBuilder {
+	return b.setMod(litterbox.ModRW, pkgs)
+}
+
+// Invoke additionally allows calling the packages' functions (RWX).
+func (b *PolicyBuilder) Invoke(pkgs ...string) *PolicyBuilder {
+	return b.setMod(litterbox.ModRWX, pkgs)
+}
+
+// Sys permits the named system-call categories ("net", "io", ...), or
+// all of them with "all". Calling Sys() with no arguments states the
+// default explicitly: no system calls.
+func (b *PolicyBuilder) Sys(cats ...string) *PolicyBuilder {
+	if b.haveSys {
+		b.fail(fmt.Errorf("%w: Sys called twice", ErrBadPolicy))
+		return b
+	}
+	b.haveSys = true
+	c, err := parseSysFilter(strings.Join(cats, ","))
+	if err != nil {
+		b.fail(err)
+		return b
+	}
+	b.cats = c
+	return b
+}
+
+// AllowConnect narrows connect(2) to the given destination hosts
+// (dotted quads, e.g. "10.0.0.2").
+func (b *PolicyBuilder) AllowConnect(hosts ...string) *PolicyBuilder {
+	if b.hosts != nil {
+		b.fail(fmt.Errorf("%w: connect allowlist set twice", ErrBadPolicy))
+		return b
+	}
+	hs, err := parseHosts(strings.Join(hosts, ","))
+	if err != nil {
+		b.fail(err)
+		return b
+	}
+	b.hosts = hs
+	return b
+}
+
+// ConnectNone blocks every connect(2) destination while keeping the
+// rest of the net category (socket, bind, accept, ...) available — the
+// allowlist holding only the unroutable host 0.
+func (b *PolicyBuilder) ConnectNone() *PolicyBuilder {
+	return b.AllowConnect("none")
+}
+
+// Policy returns the structured policy, or the first error a fluent
+// call recorded.
+func (b *PolicyBuilder) Policy() (litterbox.Policy, error) {
+	if b.err != nil {
+		return litterbox.Policy{}, b.err
+	}
+	p := litterbox.Policy{Mods: make(map[string]litterbox.AccessMod, len(b.modOf))}
+	for pkg, mod := range b.modOf {
+		p.Mods[pkg] = mod
+	}
+	p.Cats = b.cats
+	p.ConnectAllow = append([]uint32(nil), b.hosts...)
+	return p, nil
+}
+
+// String renders the policy in canonical literal syntax, panicking on
+// an invalid build. ParsePolicy accepts the result and yields the same
+// structured policy.
+func (b *PolicyBuilder) String() string {
+	p, err := b.Policy()
+	if err != nil {
+		panic(fmt.Sprintf("core: invalid policy: %v", err))
+	}
+	return p.String()
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+)
+
+// TestPolicyBuilderRendersCanonicalLiterals: the fluent builder and the
+// hand-written literal syntax are interchangeable — same string, same
+// structure back through ParsePolicy.
+func TestPolicyBuilderRendersCanonicalLiterals(t *testing.T) {
+	cases := []struct {
+		name    string
+		build   func() *PolicyBuilder
+		literal string
+	}{
+		{"default", func() *PolicyBuilder { return NewPolicy() }, "sys:none"},
+		{"explicit none", func() *PolicyBuilder { return NewPolicy().Sys() }, "sys:none"},
+		{"read-only secret", func() *PolicyBuilder { return NewPolicy().Read("secrets") }, "secrets:R; sys:none"},
+		{"all mods", func() *PolicyBuilder {
+			return NewPolicy().Unmap("tmp").Read("secrets").ReadWrite("buf").Invoke("img")
+		}, "buf:RW; img:RWX; secrets:R; tmp:U; sys:none"},
+		{"net io", func() *PolicyBuilder { return NewPolicy().Sys("net", "io") }, "sys:net,io"},
+		{"sys all", func() *PolicyBuilder { return NewPolicy().Sys("all") }, "sys:all"},
+		{"connect pinned", func() *PolicyBuilder {
+			return NewPolicy().Sys("net").AllowConnect("10.0.0.2", "10.0.0.7")
+		}, "sys:net; connect:10.0.0.2,10.0.0.7"},
+		{"connect none", func() *PolicyBuilder { return NewPolicy().Sys("net", "io").ConnectNone() }, "sys:net,io; connect:none"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.build().String()
+			if got != tc.literal {
+				t.Fatalf("String() = %q, want %q", got, tc.literal)
+			}
+			// Round trip: the rendered literal parses back to the same
+			// structure the builder produced.
+			built, err := tc.build().Policy()
+			if err != nil {
+				t.Fatal(err)
+			}
+			parsed, err := ParsePolicy(got)
+			if err != nil {
+				t.Fatalf("ParsePolicy(%q): %v", got, err)
+			}
+			if parsed.Cats != built.Cats || len(parsed.Mods) != len(built.Mods) || len(parsed.ConnectAllow) != len(built.ConnectAllow) {
+				t.Fatalf("round trip mismatch: built %+v, parsed %+v", built, parsed)
+			}
+			for k, v := range built.Mods {
+				if parsed.Mods[k] != v {
+					t.Errorf("mod %s: built %v, parsed %v", k, v, parsed.Mods[k])
+				}
+			}
+			for i, h := range built.ConnectAllow {
+				if parsed.ConnectAllow[i] != h {
+					t.Errorf("host %d: built %#x, parsed %#x", i, h, parsed.ConnectAllow[i])
+				}
+			}
+		})
+	}
+}
+
+func TestPolicyBuilderStructure(t *testing.T) {
+	p, err := NewPolicy().Read("a").Invoke("b").Sys("net", "file").AllowConnect("10.0.0.2").Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mods["a"] != litterbox.ModR || p.Mods["b"] != litterbox.ModRWX {
+		t.Errorf("mods = %v", p.Mods)
+	}
+	if p.Cats != kernel.CatNet|kernel.CatFile {
+		t.Errorf("cats = %v", p.Cats)
+	}
+	if len(p.ConnectAllow) != 1 || p.ConnectAllow[0] != 0x0A000002 {
+		t.Errorf("connect = %v", p.ConnectAllow)
+	}
+}
+
+func TestPolicyBuilderErrors(t *testing.T) {
+	cases := map[string]*PolicyBuilder{
+		"duplicate modifier":  NewPolicy().Read("a").ReadWrite("a"),
+		"reserved sys":        NewPolicy().Read("sys"),
+		"reserved connect":    NewPolicy().ReadWrite("connect"),
+		"empty package":       NewPolicy().Read(""),
+		"unknown category":    NewPolicy().Sys("turbo"),
+		"sys twice":           NewPolicy().Sys("net").Sys("io"),
+		"bad host":            NewPolicy().AllowConnect("10.0.0"),
+		"connect twice":       NewPolicy().ConnectNone().AllowConnect("10.0.0.2"),
+		"error sticks around": NewPolicy().Sys("turbo").Read("fine"),
+	}
+	for name, b := range cases {
+		if _, err := b.Policy(); !errors.Is(err, ErrBadPolicy) {
+			t.Errorf("%s: Policy() = %v, want ErrBadPolicy", name, err)
+		}
+	}
+}
+
+func TestPolicyBuilderStringPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("String() on an invalid builder did not panic")
+		}
+	}()
+	_ = NewPolicy().Sys("turbo").String()
+}
+
+// TestPolicyBuilderMatchesWikiLiterals pins the builder-produced app
+// policies to the exact literals the paper's Figure 5 discussion uses.
+func TestPolicyBuilderMatchesWikiLiterals(t *testing.T) {
+	if got := NewPolicy().Sys("net", "io").ConnectNone().String(); got != "sys:net,io; connect:none" {
+		t.Errorf("server policy = %q", got)
+	}
+	if got := NewPolicy().Sys("net", "io").AllowConnect("10.0.0.2").String(); got != "sys:net,io; connect:10.0.0.2" {
+		t.Errorf("proxy policy = %q", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"github.com/litterbox-project/enclosure/internal/linker"
 	"github.com/litterbox-project/enclosure/internal/litterbox"
 	"github.com/litterbox-project/enclosure/internal/mem"
+	"github.com/litterbox-project/enclosure/internal/obs"
 	"github.com/litterbox-project/enclosure/internal/pkggraph"
 	"github.com/litterbox-project/enclosure/internal/simfs"
 	"github.com/litterbox-project/enclosure/internal/simnet"
@@ -30,6 +31,8 @@ type Program struct {
 	funcs    map[string]map[string]Func
 	encls    map[string]*Enclosure
 	pw       map[string]string // program-wide policies: package -> wrapper enclosure
+
+	engineWorkers int
 
 	runtimeCPU *hw.CPU
 
@@ -113,6 +116,19 @@ func (p *Program) Heap() *alloc.Heap { return p.heap }
 
 // LitterBox exposes the enforcement framework (for tests and tools).
 func (p *Program) LitterBox() *litterbox.LitterBox { return p.lb }
+
+// Tracer returns the observability trace attached via WithTracer, or
+// nil when the program is untraced.
+func (p *Program) Tracer() *obs.Trace { return p.lb.Tracer() }
+
+// Audit returns the audit recorder attached via WithAudit, or nil when
+// the program enforces its policies.
+func (p *Program) Audit() *obs.Audit { return p.lb.Audit() }
+
+// DefaultEngineWorkers returns the worker count set via
+// WithEngineWorkers (zero when unset: the engine picks its own
+// default).
+func (p *Program) DefaultEngineWorkers() int { return p.engineWorkers }
 
 // Graph returns the package-dependence graph.
 func (p *Program) Graph() *pkggraph.Graph { return p.graph }

@@ -255,7 +255,7 @@ func (t *Task) Syscall(nr kernel.Nr, args ...uint64) (uint64, kernel.Errno) {
 	t.checkAlive()
 	var a [6]uint64
 	copy(a[:], args)
-	ret, errno, err := t.prog.lb.FilterSyscall(t.cpu, t.env, nr, a)
+	ret, errno, err := t.prog.lb.FilterSyscallFrom(t.cpu, t.env, t.CurrentPkg(), nr, a)
 	if err != nil {
 		t.fail(err)
 	}
@@ -271,6 +271,7 @@ func (t *Task) RuntimeSyscall(nr kernel.Nr, args ...uint64) (uint64, kernel.Errn
 	t.checkAlive()
 	var a [6]uint64
 	copy(a[:], args)
+	t.cpu.Pkg = t.CurrentPkg()
 	ret, errno, err := t.prog.lb.RuntimeSyscall(t.cpu, t.env, nr, a)
 	if err != nil {
 		t.fail(err)

@@ -40,7 +40,7 @@ func (p *Program) NewWorker(name string) *WorkerCtx {
 		domain:   &litterbox.FaultDomain{},
 		cache:    litterbox.NewEnvCache(),
 	}
-	p.lb.BindWorker(w.clock, &litterbox.CPUState{Proc: w.proc, Domain: w.domain})
+	p.lb.BindWorker(w.clock, &litterbox.CPUState{Proc: w.proc, Domain: w.domain, Name: name})
 	return w
 }
 

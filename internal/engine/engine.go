@@ -83,6 +83,9 @@ type worker struct {
 // prog is shared.
 func New(prog *core.Program, opts Opts) *Engine {
 	if opts.Workers <= 0 {
+		opts.Workers = prog.DefaultEngineWorkers()
+	}
+	if opts.Workers <= 0 {
 		opts.Workers = 1
 	}
 	if opts.QueueDepth <= 0 {

@@ -6,6 +6,7 @@ import (
 
 	"github.com/litterbox-project/enclosure/internal/hw"
 	"github.com/litterbox-project/enclosure/internal/litterbox"
+	"github.com/litterbox-project/enclosure/internal/obs"
 )
 
 // WorkerMetrics is one worker's cumulative execution statistics.
@@ -102,6 +103,18 @@ func ElapsedNs(before, after []WorkerMetrics) int64 {
 		}
 	}
 	return max
+}
+
+// TraceSnapshot returns the observability snapshot of the program's
+// trace — per-worker events from every engine CPU merged into the one
+// shared collector, with per-kind, per-syscall, and per-worker
+// aggregates. ok is false when the program is untraced.
+func (e *Engine) TraceSnapshot() (obs.Snapshot, bool) {
+	tr := e.prog.Tracer()
+	if tr == nil {
+		return obs.Snapshot{}, false
+	}
+	return tr.Snapshot(), true
 }
 
 // Fault returns the fault currently aborting worker i's domain, if any

@@ -100,6 +100,12 @@ type CPU struct {
 	Clock    *Clock
 	Counters *Counters
 
+	// Pkg is observability metadata, not architectural state: the
+	// package whose code is currently issuing system calls on this CPU.
+	// The language frontend maintains it and the kernel's event tracer
+	// reads it; only the CPU's owning goroutine touches it.
+	Pkg string
+
 	pkru atomic.Uint32
 	cr3  atomic.Int64 // identifier of the active page table (LB_VTX)
 	mode atomic.Uint32

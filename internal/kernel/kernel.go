@@ -3,9 +3,11 @@ package kernel
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"github.com/litterbox-project/enclosure/internal/hw"
 	"github.com/litterbox-project/enclosure/internal/mem"
+	"github.com/litterbox-project/enclosure/internal/obs"
 	"github.com/litterbox-project/enclosure/internal/seccomp"
 	"github.com/litterbox-project/enclosure/internal/simfs"
 	"github.com/litterbox-project/enclosure/internal/simnet"
@@ -37,6 +39,51 @@ type Kernel struct {
 	rng    uint64
 	spans  map[mem.Addr]*mem.Section
 	nspan  int
+
+	// trace holds a *TraceSource; atomic so the syscall hot path reads
+	// it without taking the kernel lock.
+	trace atomic.Value
+}
+
+// TraceSource resolves the tracer and attribution for one dispatched
+// system call: the active obs.Trace (nil disables tracing), the
+// enforcement backend's name, and the worker the cpu is bound to.
+// LitterBox installs one at Init so the kernel can stamp every syscall
+// event with context only the enforcement layer knows.
+type TraceSource func(cpu *hw.CPU) (*obs.Trace, string, string)
+
+// SetTraceSource installs (or clears) the syscall event tracer hook.
+func (k *Kernel) SetTraceSource(src TraceSource) {
+	k.trace.Store(&src)
+}
+
+// emitSyscall records one dispatched syscall: number, name, caller
+// package (from the CPU's attribution field, "runtime" when unset),
+// the filter verdict, and the virtual time the call charged. Host-side
+// only — it never advances the clock.
+func (k *Kernel) emitSyscall(cpu *hw.CPU, nr Nr, errno Errno, verdict string, start int64) {
+	srcp, _ := k.trace.Load().(*TraceSource)
+	if srcp == nil || *srcp == nil {
+		return
+	}
+	tr, backend, worker := (*srcp)(cpu)
+	if tr == nil {
+		return
+	}
+	pkg := cpu.Pkg
+	if pkg == "" {
+		pkg = "runtime"
+	}
+	detail := ""
+	if errno != OK {
+		detail = errno.Error()
+	}
+	now := cpu.Clock.Now()
+	tr.Emit(obs.Event{
+		At: now, Kind: obs.KindSyscall, Backend: backend, Worker: worker,
+		Pkg: pkg, Sys: nr.Name(), Sysno: uint32(nr), Verdict: verdict,
+		Cost: now - start, Detail: detail,
+	})
 }
 
 // New returns a kernel over the given address space and clock with fresh
@@ -171,6 +218,7 @@ const maxIO = 1 << 20
 // kernel; in single-core programs the CPU clock is the program clock, so
 // billing is unchanged.
 func (k *Kernel) Invoke(p *Proc, cpu *hw.CPU, nr Nr, args [6]uint64) (uint64, Errno) {
+	start := cpu.Clock.Now()
 	cpu.Clock.Advance(hw.CostSyscall)
 	cpu.Counters.Syscalls.Add(1)
 
@@ -191,19 +239,26 @@ func (k *Kernel) Invoke(p *Proc, cpu *hw.CPU, nr Nr, args [6]uint64) (uint64, Er
 			return 0, EINVAL
 		}
 		if seccomp.ActionOf(verdict) != seccomp.RetAllow {
+			// The enforcement layer reports the denial (it knows whether
+			// this is a fault or an audited violation).
 			return 0, ESECCOMP
 		}
 	}
-	return k.dispatch(p, cpu, nr, args)
+	ret, errno := k.dispatch(p, cpu, nr, args)
+	k.emitSyscall(cpu, nr, errno, obs.VerdictAllow, start)
+	return ret, errno
 }
 
 // InvokeUnfiltered executes a system call bypassing the BPF filter — the
 // LB_VTX host side, which filters in the guest kernel before the
 // hypercall (§5.3), and trusted runtime paths use this entry point.
 func (k *Kernel) InvokeUnfiltered(p *Proc, cpu *hw.CPU, nr Nr, args [6]uint64) (uint64, Errno) {
+	start := cpu.Clock.Now()
 	cpu.Clock.Advance(hw.CostSyscall)
 	cpu.Counters.Syscalls.Add(1)
-	return k.dispatch(p, cpu, nr, args)
+	ret, errno := k.dispatch(p, cpu, nr, args)
+	k.emitSyscall(cpu, nr, errno, obs.VerdictAllow, start)
+	return ret, errno
 }
 
 func (k *Kernel) dispatch(p *Proc, cpu *hw.CPU, nr Nr, args [6]uint64) (uint64, Errno) {

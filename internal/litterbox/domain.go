@@ -50,6 +50,9 @@ func (d *FaultDomain) Reset() {
 type CPUState struct {
 	Proc   *kernel.Proc
 	Domain *FaultDomain
+	// Name identifies the worker in trace events ("cpu0"); empty for
+	// the single-core main context.
+	Name string
 }
 
 // BindWorker associates per-worker state with a worker clock. The
@@ -81,6 +84,18 @@ func (lb *LitterBox) DomainFor(cpu *hw.CPU) *FaultDomain {
 		return st.Domain
 	}
 	return nil
+}
+
+// workerName resolves the trace-attribution name of the worker bound to
+// cpu ("" for the single-core main context).
+func (lb *LitterBox) workerName(cpu *hw.CPU) string {
+	if cpu == nil {
+		return ""
+	}
+	if st := lb.stateFor(cpu); st != nil {
+		return st.Name
+	}
+	return ""
 }
 
 // AbortedOn reports whether execution on cpu must stop: its domain

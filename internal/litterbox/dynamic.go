@@ -6,6 +6,7 @@ import (
 	"github.com/litterbox-project/enclosure/internal/hw"
 	"github.com/litterbox-project/enclosure/internal/kernel"
 	"github.com/litterbox-project/enclosure/internal/mem"
+	"github.com/litterbox-project/enclosure/internal/obs"
 	"github.com/litterbox-project/enclosure/internal/pkggraph"
 	"github.com/litterbox-project/enclosure/internal/seccomp"
 )
@@ -66,7 +67,7 @@ func (lb *LitterBox) AddDynamicPackage(cpu *hw.CPU, p *pkggraph.Package, secs []
 	if err := dm.MapDynamicPackage(cpu, p.Name, secs, visibleTo); err != nil {
 		return err
 	}
-	lb.record("import", nil, "dynamic package %s (+%d sections)", p.Name, len(secs))
+	lb.emit(cpu, obs.Event{Kind: obs.KindInit, Detail: fmt.Sprintf("dynamic package %s (+%d sections)", p.Name, len(secs))})
 	return nil
 }
 

@@ -42,7 +42,7 @@ func TestPolicyCloneAndString(t *testing.T) {
 		t.Fatal("Clone shares state")
 	}
 	s := p.String()
-	if s != "a:R; b:RWX; sys:net,io; connect:0xa000002" {
+	if s != "a:R; b:RWX; sys:net,io; connect:10.0.0.2" {
 		t.Fatalf("Policy.String = %q", s)
 	}
 }

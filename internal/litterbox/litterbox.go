@@ -10,6 +10,7 @@ import (
 	"github.com/litterbox-project/enclosure/internal/kernel"
 	"github.com/litterbox-project/enclosure/internal/linker"
 	"github.com/litterbox-project/enclosure/internal/mem"
+	"github.com/litterbox-project/enclosure/internal/obs"
 	"github.com/litterbox-project/enclosure/internal/pkggraph"
 )
 
@@ -83,6 +84,18 @@ type Config struct {
 	Kernel  *kernel.Kernel
 	Proc    *kernel.Proc
 	Backend Backend
+
+	// Trace, when non-nil, receives a structured event for every
+	// enforcement operation. Tracing is host-side observability: it
+	// charges nothing to the simulated program.
+	Trace *obs.Trace
+	// Audit, when non-nil, switches the program into observe-don't-
+	// enforce mode: policy violations are recorded into it (and traced
+	// as "violation" events) instead of faulting, and the recorder can
+	// afterwards derive the minimal policy the run actually needed.
+	// Call-site (token) verification still faults — audit mode relaxes
+	// policies, never the integrity of the switch mechanism.
+	Audit *obs.Audit
 }
 
 // LitterBox is one program's enforcement state.
@@ -114,6 +127,10 @@ type LitterBox struct {
 	aborted atomic.Bool
 	fault   atomic.Pointer[Fault]
 	trace   atomic.Value // *Trace, nil when disabled
+	audit   *obs.Audit   // nil when enforcing
+
+	// enclName maps enclosure IDs to names for event attribution.
+	enclName map[int]string
 }
 
 // Init validates the image, computes every enclosure's memory view,
@@ -121,17 +138,22 @@ type LitterBox struct {
 func Init(cfg Config) (*LitterBox, error) {
 	img := cfg.Image
 	lb := &LitterBox{
-		Image:   img,
-		Space:   img.Space,
-		Clock:   cfg.Clock,
-		Kernel:  cfg.Kernel,
-		Proc:    cfg.Proc,
-		backend: cfg.Backend,
-		graph:   img.Graph,
-		envs:    make(map[EnvID]*Env),
-		byEncl:  make(map[int]EnvID),
-		verif:   make(map[int]uint64),
-		inter:   make(map[[2]EnvID]*interEntry),
+		Image:    img,
+		Space:    img.Space,
+		Clock:    cfg.Clock,
+		Kernel:   cfg.Kernel,
+		Proc:     cfg.Proc,
+		backend:  cfg.Backend,
+		graph:    img.Graph,
+		envs:     make(map[EnvID]*Env),
+		byEncl:   make(map[int]EnvID),
+		verif:    make(map[int]uint64),
+		inter:    make(map[[2]EnvID]*interEntry),
+		audit:    cfg.Audit,
+		enclName: make(map[int]string),
+	}
+	if cfg.Trace != nil {
+		lb.trace.Store(cfg.Trace)
 	}
 
 	if err := lb.validateSections(); err != nil {
@@ -170,6 +192,7 @@ func Init(cfg Config) (*LitterBox, error) {
 		lb.nextEnv++
 		lb.envs[env.ID] = env
 		lb.byEncl[spec.ID] = env.ID
+		lb.enclName[spec.ID] = spec.Name
 	}
 
 	// Cluster packages across all memory views into meta-packages.
@@ -178,6 +201,22 @@ func Init(cfg Config) (*LitterBox, error) {
 	if err := lb.backend.Setup(lb); err != nil {
 		return nil, err
 	}
+
+	// The kernel traces syscall dispatch itself (it knows the verdict
+	// and the virtual time spent); LitterBox supplies the tracer and the
+	// backend/worker attribution it cannot know.
+	lb.Kernel.SetTraceSource(func(cpu *hw.CPU) (*obs.Trace, string, string) {
+		tr, _ := lb.trace.Load().(*obs.Trace)
+		if tr == nil {
+			return nil, "", ""
+		}
+		return tr, lb.backend.Name(), lb.workerName(cpu)
+	})
+
+	lb.emit(nil, obs.Event{
+		Kind:   obs.KindInit,
+		Detail: fmt.Sprintf("%d environments, %d meta-packages", len(lb.envs), len(lb.metaPkgs)),
+	})
 	return lb, nil
 }
 
@@ -378,7 +417,7 @@ func (lb *LitterBox) Aborted() (*Fault, bool) {
 // the whole program otherwise — the paper's single-core semantics.
 func (lb *LitterBox) RaiseFault(cpu *hw.CPU, f *Fault) *Fault {
 	cpu.Counters.Faults.Add(1)
-	lb.record("fault", f.Env, "%s %s", f.Op, f.Detail)
+	lb.emit(cpu, obs.Event{Kind: obs.KindFault, Env: envName(f.Env), Detail: f.Op + " " + f.Detail})
 	if d := lb.DomainFor(cpu); d != nil {
 		d.faults.Add(1)
 		d.fault.CompareAndSwap(nil, f)
@@ -485,11 +524,17 @@ func (lb *LitterBox) PrologWith(cpu *hw.CPU, from *Env, enclID int, token uint64
 		}
 		return nil
 	}
+	start := cpu.Clock.Now()
 	if err := lb.backend.Switch(cpu, from, target, verify); err != nil {
 		return nil, lb.RaiseFault(cpu, &Fault{Env: from, Op: "switch", Detail: err.Error(), Cause: err})
 	}
 	cpu.Counters.Switches.Add(1)
-	lb.record("prolog", target, "entered enclosure #%d", enclID)
+	if lb.tracing() {
+		lb.emit(cpu, obs.Event{
+			Kind: obs.KindProlog, Env: envName(target), Encl: lb.enclName[enclID],
+			Cost: cpu.Clock.Now() - start,
+		})
+	}
 	return target, nil
 }
 
@@ -501,11 +546,17 @@ func (lb *LitterBox) Epilog(cpu *hw.CPU, cur, back *Env, enclID int, token uint6
 		}
 		return nil
 	}
+	start := cpu.Clock.Now()
 	if err := lb.backend.Switch(cpu, cur, back, verify); err != nil {
 		return lb.RaiseFault(cpu, &Fault{Env: cur, Op: "switch", Detail: err.Error(), Cause: err})
 	}
 	cpu.Counters.Switches.Add(1)
-	lb.record("epilog", back, "returned from enclosure #%d", enclID)
+	if lb.tracing() {
+		lb.emit(cpu, obs.Event{
+			Kind: obs.KindEpilog, Env: envName(back), Encl: lb.enclName[enclID],
+			Cost: cpu.Clock.Now() - start,
+		})
+	}
 	return nil
 }
 
@@ -529,12 +580,39 @@ func (lb *LitterBox) Execute(cpu *hw.CPU, from, to *Env) error {
 	if from == to {
 		return nil
 	}
+	start := cpu.Clock.Now()
 	if err := lb.backend.Switch(cpu, from, to, nil); err != nil {
 		return lb.RaiseFault(cpu, &Fault{Env: from, Op: "switch", Detail: err.Error(), Cause: err})
 	}
 	cpu.Counters.Switches.Add(1)
-	lb.record("execute", to, "scheduler resume")
+	if lb.tracing() {
+		lb.emit(cpu, obs.Event{
+			Kind: obs.KindExecute, Env: envName(to),
+			Cost: cpu.Clock.Now() - start, Detail: "scheduler resume",
+		})
+	}
 	return nil
+}
+
+// auditAccess records a denied memory access instead of faulting: the
+// owning package and required access level go into the audit recorder,
+// and a "violation" event into the trace. Returns true when the access
+// should proceed (audit mode is on).
+func (lb *LitterBox) auditAccess(cpu *hw.CPU, env *Env, op string, addr mem.Addr, pkg string, level int, cause error) bool {
+	if lb.audit == nil || env == nil || env.Trusted {
+		return false
+	}
+	if pkg == "" {
+		if sec := lb.Space.SectionAt(addr); sec != nil {
+			pkg = sec.Pkg
+		}
+	}
+	lb.audit.RecordAccess(envName(env), pkg, level)
+	lb.emit(cpu, obs.Event{
+		Kind: obs.KindViolation, Env: envName(env), Pkg: pkg,
+		Verdict: obs.VerdictAudit, Detail: fmt.Sprintf("%s %v", op, cause),
+	})
+	return true
 }
 
 // CheckRead enforces the memory view on a data read.
@@ -543,6 +621,9 @@ func (lb *LitterBox) CheckRead(cpu *hw.CPU, env *Env, addr mem.Addr, size uint64
 		return ErrAborted
 	}
 	if err := lb.backend.CheckAccess(cpu, addr, size, false); err != nil {
+		if lb.auditAccess(cpu, env, "read", addr, "", obs.NeedRead, err) {
+			return nil
+		}
 		return lb.RaiseFault(cpu, &Fault{Env: env, Op: "read", Detail: fmt.Sprintf("%s+%d: %v", addr, size, err), Cause: err})
 	}
 	return nil
@@ -554,6 +635,9 @@ func (lb *LitterBox) CheckWrite(cpu *hw.CPU, env *Env, addr mem.Addr, size uint6
 		return ErrAborted
 	}
 	if err := lb.backend.CheckAccess(cpu, addr, size, true); err != nil {
+		if lb.auditAccess(cpu, env, "write", addr, "", obs.NeedWrite, err) {
+			return nil
+		}
 		return lb.RaiseFault(cpu, &Fault{Env: env, Op: "write", Detail: fmt.Sprintf("%s+%d: %v", addr, size, err), Cause: err})
 	}
 	return nil
@@ -565,9 +649,15 @@ func (lb *LitterBox) CheckExec(cpu *hw.CPU, env *Env, pkg string, entry mem.Addr
 		return ErrAborted
 	}
 	if !env.CanExec(pkg) {
+		if lb.auditAccess(cpu, env, "exec", entry, pkg, obs.NeedExec, fmt.Errorf("call into %s", pkg)) {
+			return nil
+		}
 		return lb.RaiseFault(cpu, &Fault{Env: env, Op: "exec", Detail: fmt.Sprintf("call into %s at %s", pkg, entry)})
 	}
 	if err := lb.backend.CheckExec(cpu, env, pkg, entry); err != nil {
+		if lb.auditAccess(cpu, env, "exec", entry, pkg, obs.NeedExec, err) {
+			return nil
+		}
 		return lb.RaiseFault(cpu, &Fault{Env: env, Op: "exec", Detail: err.Error(), Cause: err})
 	}
 	return nil
@@ -576,15 +666,51 @@ func (lb *LitterBox) CheckExec(cpu *hw.CPU, env *Env, pkg string, entry mem.Addr
 // FilterSyscall performs a system call under env's filter; a rejected
 // call faults and aborts the program (§4.2).
 func (lb *LitterBox) FilterSyscall(cpu *hw.CPU, env *Env, nr kernel.Nr, args [6]uint64) (uint64, kernel.Errno, error) {
+	return lb.FilterSyscallFrom(cpu, env, "", nr, args)
+}
+
+// FilterSyscallFrom is FilterSyscall with the calling package recorded
+// for event attribution — the "caller package" column of every traced
+// syscall. In audit mode a filtered call is recorded as a violation and
+// then dispatched anyway (bypassing the filter the way SECCOMP_RET_LOG
+// logs instead of trapping), so the run proceeds and the recorder
+// learns what the policy must grant.
+func (lb *LitterBox) FilterSyscallFrom(cpu *hw.CPU, env *Env, callerPkg string, nr kernel.Nr, args [6]uint64) (uint64, kernel.Errno, error) {
 	if _, dead := lb.AbortedOn(cpu); dead {
 		return 0, kernel.ESECCOMP, ErrAborted
 	}
+	if callerPkg != "" {
+		cpu.Pkg = callerPkg
+	}
+	if lb.audit != nil && env != nil && !env.Trusted {
+		// Record usage whether or not the filter would allow it: the
+		// derived SysFilter must cover the workload's full footprint.
+		lb.audit.RecordSys(envName(env), kernel.CategoryOf(nr).String(), false)
+		if nr == kernel.NrConnect {
+			lb.audit.RecordConnect(envName(env), uint32(args[1]))
+		}
+	}
 	ret, errno := lb.backend.Syscall(cpu, env, nr, args)
 	if errno == kernel.ESECCOMP {
+		if lb.audit != nil && env != nil && !env.Trusted {
+			lb.audit.RecordSys(envName(env), kernel.CategoryOf(nr).String(), true)
+			lb.emit(cpu, obs.Event{
+				Kind: obs.KindViolation, Env: envName(env), Pkg: callerPkg,
+				Sys: nr.Name(), Sysno: uint32(nr), Verdict: obs.VerdictAudit,
+			})
+			// Dispatch directly: the VTX and CHERI backends filter before
+			// reaching the kernel, so the uniform audit path re-enters it
+			// below the filter.
+			ret, errno = lb.Kernel.InvokeUnfiltered(lb.ProcFor(cpu), cpu, nr, args)
+			return ret, errno, nil
+		}
+		lb.emit(cpu, obs.Event{
+			Kind: obs.KindSyscall, Env: envName(env), Pkg: callerPkg,
+			Sys: nr.Name(), Sysno: uint32(nr), Verdict: obs.VerdictDeny,
+		})
 		f := lb.RaiseFault(cpu, &Fault{Env: env, Op: "syscall", Detail: nr.Name()})
 		return 0, errno, f
 	}
-	lb.record("syscall", env, "%s -> %v", nr.Name(), errno)
 	return ret, errno, nil
 }
 
@@ -614,11 +740,17 @@ func (lb *LitterBox) Transfer(cpu *hw.CPU, sec *mem.Section, toPkg string) error
 	if sec.Kind != mem.KindHeap {
 		return fmt.Errorf("litterbox: transfer of non-heap section %s", sec)
 	}
+	start := cpu.Clock.Now()
 	if err := lb.backend.Transfer(cpu, sec, toPkg); err != nil {
 		return err
 	}
 	cpu.Counters.Transfers.Add(1)
-	lb.record("transfer", nil, "%s -> %s", sec.Name, toPkg)
+	if lb.tracing() {
+		lb.emit(cpu, obs.Event{
+			Kind: obs.KindTransfer, Pkg: toPkg,
+			Cost: cpu.Clock.Now() - start, Detail: sec.Name + " -> " + toPkg,
+		})
+	}
 	lb.Space.SetOwner(sec, toPkg)
 	return nil
 }

@@ -109,13 +109,24 @@ func (p Policy) String() string {
 	}
 	parts = append(parts, "sys:"+p.Cats.String())
 	if len(p.ConnectAllow) > 0 {
-		hosts := make([]string, len(p.ConnectAllow))
-		for i, h := range p.ConnectAllow {
-			hosts[i] = fmt.Sprintf("%#x", h)
-		}
-		parts = append(parts, "connect:"+strings.Join(hosts, ","))
+		parts = append(parts, "connect:"+FormatHosts(p.ConnectAllow))
 	}
 	return strings.Join(parts, "; ")
+}
+
+// FormatHosts renders a connect allowlist in the literal syntax the
+// frontend parser accepts: dotted quads, or "none" for the allowlist
+// holding only the unroutable host 0 (so String round-trips through
+// the parser).
+func FormatHosts(hosts []uint32) string {
+	if len(hosts) == 1 && hosts[0] == 0 {
+		return "none"
+	}
+	out := make([]string, len(hosts))
+	for i, h := range hosts {
+		out[i] = fmt.Sprintf("%d.%d.%d.%d", h>>24&0xff, h>>16&0xff, h>>8&0xff, h&0xff)
+	}
+	return strings.Join(out, ",")
 }
 
 // EnclosureSpec is one enclosure as handed to Init: identity from the

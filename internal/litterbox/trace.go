@@ -1,97 +1,83 @@
 package litterbox
 
 import (
-	"fmt"
-	"strings"
-	"sync"
+	"github.com/litterbox-project/enclosure/internal/hw"
+	"github.com/litterbox-project/enclosure/internal/obs"
 )
 
-// TraceEvent is one recorded enforcement event, stamped with virtual
-// time. Tracing is host-side observability: it charges nothing to the
-// simulated program.
-type TraceEvent struct {
-	At     int64  // virtual nanoseconds
-	Kind   string // "prolog", "epilog", "execute", "syscall", "transfer", "fault"
-	Env    string // environment name in force
-	Detail string
-}
+// Trace and TraceEvent are the observability layer's collector and
+// event, re-exported under their historical names: LitterBox threads
+// every enforcement event (the six API calls plus faults and audited
+// violations) through one obs.Trace shared by all workers.
+type (
+	Trace      = obs.Trace
+	TraceEvent = obs.Event
+)
 
-// String renders the event as one trace line.
-func (e TraceEvent) String() string {
-	return fmt.Sprintf("%10dns %-8s %-14s %s", e.At, e.Kind, e.Env, e.Detail)
-}
-
-// Trace is a bounded ring buffer of enforcement events.
-type Trace struct {
-	mu     sync.Mutex
-	events []TraceEvent
-	next   int
-	full   bool
-}
-
-// EnableTrace starts recording the last capacity enforcement events.
+// EnableTrace starts recording enforcement events — a bounded window
+// of recent ones verbatim plus running aggregates over all of them —
+// and returns the trace.
 func (lb *LitterBox) EnableTrace(capacity int) *Trace {
-	if capacity <= 0 {
-		capacity = 256
-	}
-	tr := &Trace{events: make([]TraceEvent, capacity)}
+	tr := obs.New(capacity)
 	lb.trace.Store(tr)
 	return tr
+}
+
+// SetTracer attaches an existing trace (nil detaches).
+func (lb *LitterBox) SetTracer(tr *Trace) {
+	lb.trace.Store(tr)
 }
 
 // DisableTrace stops recording.
 func (lb *LitterBox) DisableTrace() { lb.trace.Store((*Trace)(nil)) }
 
-// record appends an event if tracing is enabled.
-func (lb *LitterBox) record(kind string, env *Env, format string, args ...any) {
+// Tracer returns the attached trace, or nil when tracing is disabled.
+func (lb *LitterBox) Tracer() *Trace {
+	tr, _ := lb.trace.Load().(*Trace)
+	return tr
+}
+
+// tracing is the hot-path guard: callers check it before building an
+// Event so an untraced run never pays for event construction, and a
+// traced one skips it exactly once per emit.
+func (lb *LitterBox) tracing() bool {
+	tr, _ := lb.trace.Load().(*Trace)
+	return tr != nil
+}
+
+// Audit returns the attached audit recorder, or nil when enforcing.
+func (lb *LitterBox) Audit() *obs.Audit { return lb.audit }
+
+// envName renders an environment's trace name.
+func envName(env *Env) string {
+	if env == nil {
+		return ""
+	}
+	if env.Trusted {
+		return "trusted"
+	}
+	return env.Name
+}
+
+// emit stamps and records one event: virtual time from the emitting
+// CPU's clock (the program clock when cpu is nil), the backend name,
+// and the worker bound to the CPU. Tracing is host-side — nothing here
+// advances the virtual clock.
+func (lb *LitterBox) emit(cpu *hw.CPU, e obs.Event) {
 	tr, _ := lb.trace.Load().(*Trace)
 	if tr == nil {
 		return
 	}
-	name := "?"
-	if env != nil {
-		if env.Trusted {
-			name = "trusted"
+	if e.At == 0 {
+		if cpu != nil {
+			e.At = cpu.Clock.Now()
 		} else {
-			name = env.Name
+			e.At = lb.Clock.Now()
 		}
 	}
-	tr.mu.Lock()
-	tr.events[tr.next] = TraceEvent{
-		At:     lb.Clock.Now(),
-		Kind:   kind,
-		Env:    name,
-		Detail: fmt.Sprintf(format, args...),
+	e.Backend = lb.backend.Name()
+	if e.Worker == "" {
+		e.Worker = lb.workerName(cpu)
 	}
-	tr.next++
-	if tr.next == len(tr.events) {
-		tr.next = 0
-		tr.full = true
-	}
-	tr.mu.Unlock()
-}
-
-// Events returns the recorded events, oldest first.
-func (t *Trace) Events() []TraceEvent {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if !t.full {
-		out := make([]TraceEvent, t.next)
-		copy(out, t.events[:t.next])
-		return out
-	}
-	out := make([]TraceEvent, 0, len(t.events))
-	out = append(out, t.events[t.next:]...)
-	out = append(out, t.events[:t.next]...)
-	return out
-}
-
-// String renders the whole trace.
-func (t *Trace) String() string {
-	var sb strings.Builder
-	for _, e := range t.Events() {
-		sb.WriteString(e.String())
-		sb.WriteByte('\n')
-	}
-	return sb.String()
+	tr.Emit(e)
 }

@@ -1,0 +1,27 @@
+package obs
+
+import "testing"
+
+// The Emit benchmarks pin the single-stream hot-path cost of recording
+// one event — the number the "low-overhead" claim rests on. Run with
+// `go test ./internal/obs -bench Emit`.
+
+func BenchmarkEmitSyscall(b *testing.B) {
+	tr := New(1024)
+	e := Event{At: 1, Kind: KindSyscall, Backend: "mpk", Worker: "cpu3", Env: "srv", Pkg: "lib", Sys: "read", Sysno: 1, Verdict: VerdictAllow, Cost: 500}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.At++
+		tr.Emit(e)
+	}
+}
+
+func BenchmarkEmitProlog(b *testing.B) {
+	tr := New(1024)
+	e := Event{At: 1, Kind: KindProlog, Backend: "mpk", Worker: "cpu3", Env: "srv", Encl: "demo", Cost: 139}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.At++
+		tr.Emit(e)
+	}
+}
