@@ -16,6 +16,13 @@
 //
 //	enclose audit                           # derive wiki policies on every backend
 //	enclose audit -backend mpk -jsonl t.jsonl
+//
+// The probe subcommand runs the adversarial probe engine: seeded random
+// enclosure programs executed on all four backends under a differential
+// oracle, with any divergence shrunk to a minimal reproducer:
+//
+//	enclose probe -n 500                    # sweep 500 traces
+//	enclose probe -seed 0xec705e            # replay one trace deterministically
 package main
 
 import (
@@ -34,6 +41,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "audit" {
 		runAudit(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "probe" {
+		runProbe(os.Args[2:])
 		return
 	}
 	backendName := flag.String("backend", "mpk", "baseline|mpk|vtx|cheri")

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/litterbox-project/enclosure/internal/probe"
+)
+
+// runProbe implements the probe subcommand: a seeded adversarial sweep
+// across all four backends under the differential oracle. A divergence
+// is shrunk to a minimal reproducer and the process exits non-zero; the
+// printed seed replays the exact trace.
+func runProbe(args []string) {
+	fs := flag.NewFlagSet("enclose probe", flag.ExitOnError)
+	seed := fs.Uint64("seed", 0xEC705E, "base seed; the same seed always replays the same traces")
+	n := fs.Int("n", 1, "number of traces to sweep from the seed")
+	ops := fs.Int("ops", 40, "operations per trace")
+	fs.Parse(args)
+
+	fmt.Printf("probing %d trace(s) from seed %#x (%d ops each) on baseline/mpk/vtx/cheri\n", *n, *seed, *ops)
+	stats, div, err := probe.Sweep(*seed, *n, *ops)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  %d traces, %d ops executed (%d skipped), %d faults provoked\n",
+		stats.Traces, stats.Ops, stats.Skipped, stats.Faults)
+	fmt.Printf("  %d traces with dynamic imports, %d with fault injections (%d errno, %d transfer)\n",
+		stats.DynImportTraces, stats.InjectionTraces, stats.InjectedErrnos, stats.InjectedTransfers)
+	if div == nil {
+		fmt.Println("  no divergences: all four backends agree with each other and the model")
+		return
+	}
+
+	fmt.Printf("\n%s\n", div)
+	shrunk, sdiv := probe.Shrink(probe.Gen(div.Seed, *ops))
+	if sdiv != nil {
+		fmt.Printf("\nminimal reproducer (%d ops, seed %#x):\n", len(shrunk.Ops), shrunk.Seed)
+		for i, op := range shrunk.Ops {
+			fmt.Printf("  %2d: %s\n", i, op.String())
+		}
+		fmt.Printf("\n%s\n", sdiv)
+	}
+	os.Exit(1)
+}

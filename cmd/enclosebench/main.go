@@ -4,6 +4,7 @@
 //	enclosebench -table 1     # micro-benchmarks (call/transfer/syscall)
 //	enclosebench -table 2     # bild, HTTP, FastHTTP + TCB study
 //	enclosebench -table scale # multi-core engine scaling sweep
+//	enclosebench -table probe # adversarial differential probe sweep
 //	enclosebench -figure 4    # linked executable image layout
 //	enclosebench -figure 5    # wiki web-app with two enclosures
 //	enclosebench -python      # §6.4 CPython frontend experiments
@@ -28,7 +29,7 @@ import (
 func benchKind(i int) core.BackendKind { return core.BackendKind(i) }
 
 func main() {
-	table := flag.String("table", "", "regenerate a table: 1, 2, or scale")
+	table := flag.String("table", "", "regenerate a table: 1, 2, scale, or probe")
 	figure := flag.Int("figure", 0, "regenerate Figure N (4 or 5)")
 	python := flag.Bool("python", false, "run the §6.4 Python experiments")
 	security := flag.Bool("security", false, "run the §6.5 attack scenarios")
@@ -107,6 +108,17 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(bench.RenderScaleTable(entries))
+	}
+	if *all || *table == "probe" {
+		ran = true
+		result, err := bench.RunProbeBench(200, 40)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.RenderProbeTable(result))
+		if result.Divergences > 0 {
+			fail(fmt.Errorf("differential probe found %d divergence(s)", result.Divergences))
+		}
 	}
 	if *all || *figure == 4 {
 		ran = true

@@ -106,6 +106,11 @@ type CPU struct {
 	// reads it; only the CPU's owning goroutine touches it.
 	Pkg string
 
+	// Inj, when non-nil, scripts transient faults into this CPU's
+	// execution (see Injector). Production programs leave it nil; the
+	// probe engine arms it to check fault containment.
+	Inj *Injector
+
 	pkru atomic.Uint32
 	cr3  atomic.Int64 // identifier of the active page table (LB_VTX)
 	mode atomic.Uint32
@@ -132,6 +137,9 @@ func (c *CPU) PKRU() PKRU {
 func (c *CPU) WritePKRU(v PKRU) {
 	c.Clock.Advance(CostWRPKRU)
 	c.Counters.WRPKRUWrites.Add(1)
+	if c.Inj != nil {
+		v = c.Inj.corruptPKRU(v)
+	}
 	c.pkru.Store(uint32(v))
 }
 

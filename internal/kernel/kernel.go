@@ -125,11 +125,30 @@ type Proc struct {
 	PID    uint32
 	HostIP uint32
 
-	mu     sync.Mutex
-	fds    map[int]*fdEntry
-	nextFD int
-	exited bool
-	code   int
+	mu       sync.Mutex
+	fds      map[int]*fdEntry
+	nextFD   int
+	exited   bool
+	code     int
+	nonBlock bool
+}
+
+// SetNonBlocking switches the process's descriptor I/O between the
+// default blocking semantics and O_NONBLOCK-style semantics, where a
+// read, recv, or accept that would have to wait returns EAGAIN instead.
+// Single-threaded harnesses (the adversarial probe engine) run their
+// processes non-blocking so no generated trace can wedge the sweep on a
+// data-less pipe or an empty accept backlog.
+func (p *Proc) SetNonBlocking(v bool) {
+	p.mu.Lock()
+	p.nonBlock = v
+	p.mu.Unlock()
+}
+
+func (p *Proc) nonBlocking() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.nonBlock
 }
 
 type fdEntry struct {
@@ -244,6 +263,10 @@ func (k *Kernel) Invoke(p *Proc, cpu *hw.CPU, nr Nr, args [6]uint64) (uint64, Er
 			return 0, ESECCOMP
 		}
 	}
+	if e, ok := injectedErrno(cpu); ok {
+		k.emitSyscall(cpu, nr, e, obs.VerdictAllow, start)
+		return 0, e
+	}
 	ret, errno := k.dispatch(p, cpu, nr, args)
 	k.emitSyscall(cpu, nr, errno, obs.VerdictAllow, start)
 	return ret, errno
@@ -256,9 +279,26 @@ func (k *Kernel) InvokeUnfiltered(p *Proc, cpu *hw.CPU, nr Nr, args [6]uint64) (
 	start := cpu.Clock.Now()
 	cpu.Clock.Advance(hw.CostSyscall)
 	cpu.Counters.Syscalls.Add(1)
+	if e, ok := injectedErrno(cpu); ok {
+		k.emitSyscall(cpu, nr, e, obs.VerdictAllow, start)
+		return 0, e
+	}
 	ret, errno := k.dispatch(p, cpu, nr, args)
 	k.emitSyscall(cpu, nr, errno, obs.VerdictAllow, start)
 	return ret, errno
+}
+
+// injectedErrno consults the CPU's fault injector (internal/hw) after
+// the filter decided but before the handler runs: an armed transient
+// errno replaces the dispatch, the way a real kernel's fault-injection
+// framework (failslab, fail_make_request) turns one call into an error
+// without touching kernel state.
+func injectedErrno(cpu *hw.CPU) (Errno, bool) {
+	if cpu.Inj == nil {
+		return OK, false
+	}
+	e, ok := cpu.Inj.SyscallErrno()
+	return Errno(e), ok
 }
 
 func (k *Kernel) dispatch(p *Proc, cpu *hw.CPU, nr Nr, args [6]uint64) (uint64, Errno) {
@@ -388,7 +428,14 @@ func (k *Kernel) sysRead(p *Proc, fd int, buf mem.Addr, n uint64) (uint64, Errno
 			return 0, OK // POSIX: read at EOF returns 0
 		}
 	case e.conn != nil:
-		got, err = e.conn.Read(tmp)
+		if p.nonBlocking() {
+			got, err = e.conn.TryRead(tmp)
+			if err == simnet.ErrWouldBlock {
+				return 0, EAGAIN
+			}
+		} else {
+			got, err = e.conn.Read(tmp)
+		}
 		if err != nil && got == 0 {
 			return 0, OK // closed stream reads as EOF
 		}
@@ -544,7 +591,16 @@ func (k *Kernel) sysAccept(p *Proc, fd int) (uint64, Errno) {
 	if e.ln == nil {
 		return 0, ENOTSOCK
 	}
-	c, err := e.ln.Accept()
+	var c *simnet.Conn
+	var err error
+	if p.nonBlocking() {
+		c, err = e.ln.TryAccept()
+		if err == simnet.ErrWouldBlock {
+			return 0, EAGAIN
+		}
+	} else {
+		c, err = e.ln.Accept()
+	}
 	if err != nil {
 		return 0, EBADF
 	}

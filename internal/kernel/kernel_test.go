@@ -446,6 +446,57 @@ func TestPipe(t *testing.T) {
 	}
 }
 
+func TestNonBlockingIO(t *testing.T) {
+	w := newWorld(t)
+	w.p.SetNonBlocking(true)
+
+	// Empty pipe: read returns EAGAIN instead of blocking.
+	packed, errno := w.sys(NrPipe)
+	if errno != OK {
+		t.Fatal(errno)
+	}
+	rfd, wfd := packed>>32, packed&0xFFFFFFFF
+	out := uint64(w.buf.Base) + 128
+	if _, errno := w.sys(NrRead, rfd, out, 16); errno != EAGAIN {
+		t.Fatalf("read on empty pipe: %v, want EAGAIN", errno)
+	}
+
+	// With data buffered the same read succeeds.
+	msgA, msgN := w.putString(t, 0, "nonblock")
+	if n, errno := w.sys(NrWrite, wfd, msgA, msgN); errno != OK || n != msgN {
+		t.Fatalf("pipe write: %d %v", n, errno)
+	}
+	if n, errno := w.sys(NrRead, rfd, out, 64); errno != OK || n != msgN {
+		t.Fatalf("pipe read: %d %v", n, errno)
+	}
+
+	// A closed peer still reads as EOF, not EAGAIN.
+	if _, errno := w.sys(NrClose, wfd); errno != OK {
+		t.Fatal(errno)
+	}
+	if n, errno := w.sys(NrRead, rfd, out, 16); errno != OK || n != 0 {
+		t.Fatalf("read after close: %d %v, want EOF", n, errno)
+	}
+
+	// Empty backlog: accept returns EAGAIN; after a dial it succeeds.
+	s, _ := w.sys(NrSocket)
+	if _, errno := w.sys(NrBind, s, uint64(w.p.HostIP), 80); errno != OK {
+		t.Fatalf("bind: %v", errno)
+	}
+	if _, errno := w.sys(NrListen, s); errno != OK {
+		t.Fatalf("listen: %v", errno)
+	}
+	if _, errno := w.sys(NrAccept, s); errno != EAGAIN {
+		t.Fatalf("accept on empty backlog: %v, want EAGAIN", errno)
+	}
+	if _, err := w.k.Net.Dial(simnet.HostIP(10, 0, 0, 2), simnet.Addr{Host: w.p.HostIP, Port: 80}); err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if fd, errno := w.sys(NrAccept, s); errno != OK || fd == 0 {
+		t.Fatalf("accept with queued conn: %d %v", fd, errno)
+	}
+}
+
 func TestConnectFlow(t *testing.T) {
 	w := newWorld(t)
 	ln, err := w.k.Net.Listen(simnet.Addr{Host: 7, Port: 7})

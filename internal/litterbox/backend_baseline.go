@@ -47,6 +47,9 @@ func (b *BaselineBackend) CheckExec(cpu *hw.CPU, env *Env, pkg string, entry mem
 // Transfer implements Backend: ownership changes cost nothing without
 // hardware page state to update (Table 1's baseline transfer row is 0).
 func (b *BaselineBackend) Transfer(cpu *hw.CPU, sec *mem.Section, toPkg string) error {
+	if transferInterrupted(cpu) {
+		return ErrInjectedTransfer
+	}
 	return nil
 }
 

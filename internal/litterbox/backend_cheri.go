@@ -69,7 +69,10 @@ func (b *CHERIBackend) CreateEnv(env *Env) error {
 
 func (b *CHERIBackend) rightsIn(env *Env, sec *mem.Section) mem.Perm {
 	mod := env.ModOf(sec.Pkg)
-	if sec.Pkg == kernel.HeapOwner && !env.Trusted {
+	if sec.Pkg == kernel.HeapOwner {
+		// Pooled spans are invisible everywhere, trusted included — this
+		// mirrors MPK, where the pool shares super's key that even the
+		// trusted PKRU denies.
 		mod = ModU
 	}
 	return sectionRights(mod, sec.Kind) & sec.Perm
@@ -109,13 +112,19 @@ func (b *CHERIBackend) CheckExec(cpu *hw.CPU, env *Env, pkg string, entry mem.Ad
 // everywhere, then re-derive them under the new owner.
 func (b *CHERIBackend) Transfer(cpu *hw.CPU, sec *mem.Section, toPkg string) error {
 	cpu.Clock.Advance(hw.CostCapUpdate)
-	for _, env := range b.lb.EnvsSnapshot() {
+	envs := b.lb.EnvsSnapshot()
+	for i, env := range envs {
+		// One injector consultation per transfer, mid-loop (see the VTX
+		// backend): an interruption leaves earlier tables updated.
+		if i == len(envs)-1 && transferInterrupted(cpu) {
+			return ErrInjectedTransfer
+		}
 		if err := b.unit.RevokeRange(env.Table, sec.Base, sec.Size); err != nil {
 			return err
 		}
 		mod := env.ModOf(toPkg)
-		if toPkg == kernel.HeapOwner && !env.Trusted {
-			mod = ModU
+		if toPkg == kernel.HeapOwner {
+			mod = ModU // pooled spans are invisible everywhere (see rightsIn)
 		}
 		rights := sectionRights(mod, sec.Kind) & sec.Perm
 		if rights == mem.PermNone {
@@ -135,7 +144,7 @@ func (b *CHERIBackend) Syscall(cpu *hw.CPU, env *Env, nr kernel.Nr, args [6]uint
 	if !env.AllowsSyscall(nr) {
 		return 0, kernel.ESECCOMP
 	}
-	if nr == kernel.NrConnect && !env.Trusted && len(env.ConnectAllow) > 0 {
+	if nr == kernel.NrConnect && !env.Trusted && env.ConnectAllow != nil {
 		host := uint32(args[1])
 		ok := false
 		for _, h := range env.ConnectAllow {

@@ -3,6 +3,7 @@ package litterbox
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -36,6 +37,19 @@ type MPKBackend struct {
 	keyOf     map[string]int // package → protection key
 	superKey  int
 	virt      *virtState // non-nil when keys are virtualised
+
+	// colorBySig disambiguates environments that share a memory view —
+	// and so would share a PKRU value — but disagree on syscall policy
+	// (categories or connect allowlist). Because the seccomp filter is
+	// indexed by PKRU alone, such aliases would otherwise intersect
+	// their syscall masks and deny calls the other backends allow. The
+	// fix encodes a per-(base PKRU, policy signature) "color" into the
+	// rights bits of spare protection keys: keys allocated to no
+	// meta-package tag no pages, so their PKRU bits are architecturally
+	// inert for memory access yet still distinguish filter rows —
+	// exactly how real PKU sandboxes burn a key as a domain tag.
+	// Guarded by stateMu with keyByMeta (spare-key set derives from it).
+	colorBySig map[pkruColorKey]int
 
 	mu    sync.Mutex
 	rules map[uint32]seccomp.EnvRule // PKRU value → syscall rule
@@ -152,8 +166,102 @@ func (b *MPKBackend) derivePKRU(env *Env, metas [][]string) {
 			pkru = pkru.WithKey(k, true, true)
 		}
 		pkru = pkru.WithKey(b.superKey, false, false)
+	} else {
+		pkru = b.colorize(env, pkru)
 	}
 	env.PKRU = pkru
+}
+
+// pkruColorKey identifies one (base PKRU, syscall-policy signature)
+// combination needing its own filter row.
+type pkruColorKey struct {
+	base uint32
+	sig  string
+}
+
+// policySig canonically renders the parts of an environment's policy
+// the seccomp filter enforces but the PKRU does not encode.
+func policySig(env *Env) string {
+	s := fmt.Sprintf("c%04x", uint16(env.Cats))
+	if env.ConnectAllow != nil {
+		hosts := cloneHosts(env.ConnectAllow)
+		sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+		s += ";ca"
+		for _, h := range hosts {
+			s += fmt.Sprintf(":%08x", h)
+		}
+	}
+	return s
+}
+
+// spareKeysLocked returns the protection keys allocated to no
+// meta-package (candidates for color bits), ascending. Key 0 — the
+// default key of untracked pages — is never spare. Empty under key
+// virtualisation, which claims every key.
+func (b *MPKBackend) spareKeysLocked() []int {
+	if b.virt != nil {
+		return nil
+	}
+	used := make(map[int]bool, len(b.keyByMeta))
+	for _, k := range b.keyByMeta {
+		used[k] = true
+	}
+	var spares []int
+	for k := 1; k < hw.NumKeys; k++ {
+		if !used[k] {
+			spares = append(spares, k)
+		}
+	}
+	return spares
+}
+
+// colorDigitBits maps a base-4 color digit to the 2-bit PKRU pattern of
+// one spare key. Digit 0 is AD — the pattern hw.PKRUAllDenied already
+// holds — so color 0 leaves the base PKRU bit-identical to the
+// uncolored derivation.
+var colorDigitBits = [4]uint32{0b01, 0b10, 0b00, 0b11}
+
+// colorize returns base with env's color encoded into the spare keys.
+// Distinct policy signatures over the same base receive distinct colors
+// (and so distinct PKRU values and filter rows); when the spare keys
+// cannot encode another color the base is returned unchanged and the
+// aliased rows fall back to the conservative mask intersection.
+func (b *MPKBackend) colorize(env *Env, base hw.PKRU) hw.PKRU {
+	spares := b.spareKeysLocked()
+	if len(spares) == 0 {
+		return base
+	}
+	if b.colorBySig == nil {
+		b.colorBySig = make(map[pkruColorKey]int)
+	}
+	key := pkruColorKey{base: uint32(base), sig: policySig(env)}
+	color, ok := b.colorBySig[key]
+	if !ok {
+		color = 0
+		for k := range b.colorBySig {
+			if k.base == key.base {
+				color++
+			}
+		}
+		max := 1
+		for range spares {
+			if max > 1<<20 {
+				break
+			}
+			max *= 4
+		}
+		if color >= max {
+			return base
+		}
+		b.colorBySig[key] = color
+	}
+	v := uint32(base)
+	for _, k := range spares {
+		v &^= 0b11 << (2 * uint(k))
+		v |= colorDigitBits[color&3] << (2 * uint(k))
+		color >>= 2
+	}
+	return hw.PKRU(v)
 }
 
 // addRule registers env's syscall mask under its PKRU value. Two
@@ -173,13 +281,23 @@ func (b *MPKBackend) addRule(env *Env) {
 		}
 	}
 	rule := seccomp.EnvRule{PKRU: uint32(env.PKRU), Allowed: nrs}
-	if env.Cats.Has(kernel.CatNet) && len(env.ConnectAllow) > 0 {
+	if env.Cats.Has(kernel.CatNet) && env.ConnectAllow != nil {
+		// nil means unrestricted; a non-nil (even empty) allowlist
+		// engages the connect argument check.
 		rule.ConnectNr = uint32(kernel.NrConnect)
-		rule.ConnectAllow = append([]uint32(nil), env.ConnectAllow...)
+		rule.ConnectAllow = cloneHosts(env.ConnectAllow)
 	}
 	if prev, ok := b.rules[rule.PKRU]; ok {
+		// PKRU aliases are rare post-colorize (only color exhaustion or
+		// virtualised keys): intersect toward the conservative mask.
 		rule.Allowed = intersectNrs(prev.Allowed, rule.Allowed)
-		if len(prev.ConnectAllow) > 0 {
+		switch {
+		case prev.ConnectNr != 0 && rule.ConnectNr != 0:
+			rule.ConnectAllow = intersectNrs(prev.ConnectAllow, rule.ConnectAllow)
+			if rule.ConnectAllow == nil {
+				rule.ConnectAllow = []uint32{}
+			}
+		case prev.ConnectNr != 0:
 			rule.ConnectNr = prev.ConnectNr
 			rule.ConnectAllow = prev.ConnectAllow
 		}
@@ -263,17 +381,25 @@ func (b *MPKBackend) CheckAccess(cpu *hw.CPU, addr mem.Addr, size uint64, write 
 	return b.unit.CheckAccess(cpu, addr, size, write)
 }
 
-// CheckExec implements Backend. MPK protects data accesses only; the
-// fetch-side restriction is enforced at the language level (the view
-// check the runtime already performed) plus the WRPKRU scan, so there is
-// nothing further to do here — faithfully mirroring the hardware.
+// CheckExec implements Backend. MPK protects data accesses only, so the
+// fetch-side restriction is enforced at the language level: the compiler
+// inserts a view check at every cross-package call site (plus the WRPKRU
+// scan that keeps untrusted code from forging these gates). That call
+// gate lives here, not in the runtime's common path — VT-x and CHERI
+// check the fetch in hardware, and the baseline runs uninstrumented.
 func (b *MPKBackend) CheckExec(cpu *hw.CPU, env *Env, pkg string, entry mem.Addr) error {
+	if !env.CanExec(pkg) {
+		return fmt.Errorf("litterbox/mpk: call gate: %s at %s not executable in this view", pkg, entry)
+	}
 	return nil
 }
 
 // Transfer implements Backend: one pkey_mprotect retags the span with
 // the destination arena's key (Table 1: 1002ns end to end).
 func (b *MPKBackend) Transfer(cpu *hw.CPU, sec *mem.Section, toPkg string) error {
+	if transferInterrupted(cpu) {
+		return ErrInjectedTransfer
+	}
 	b.stateMu.RLock()
 	key := b.currentKeyOf(toPkg)
 	b.stateMu.RUnlock()

@@ -69,8 +69,11 @@ func (b *VTXBackend) CreateEnv(env *Env) error {
 // rightsIn computes the page rights env grants on a section.
 func (b *VTXBackend) rightsIn(env *Env, sec *mem.Section) mem.Perm {
 	mod := env.ModOf(sec.Pkg)
-	if sec.Pkg == kernel.HeapOwner && !env.Trusted {
-		mod = ModU // pooled spans belong to no view
+	if sec.Pkg == kernel.HeapOwner {
+		// Pooled spans belong to no view, trusted included — under MPK the
+		// pool shares super's key, which even the trusted PKRU denies, so
+		// the page-table backends must match or the backends diverge.
+		mod = ModU
 	}
 	rights := sectionRights(mod, sec.Kind)
 	if rights == mem.PermNone {
@@ -114,11 +117,18 @@ func (b *VTXBackend) CheckExec(cpu *hw.CPU, env *Env, pkg string, entry mem.Addr
 // visibility (Table 1: 158ns — cheaper than MPK's pkey_mprotect).
 func (b *VTXBackend) Transfer(cpu *hw.CPU, sec *mem.Section, toPkg string) error {
 	cpu.Clock.Advance(hw.CostEPTToggle)
-	for _, env := range b.lb.EnvsSnapshot() {
+	envs := b.lb.EnvsSnapshot()
+	for i, env := range envs {
+		// Consult the fault injector once per transfer, positioned so an
+		// interruption strikes after some tables were already updated —
+		// the partial-failure case LitterBox's rollback must repair.
+		if i == len(envs)-1 && transferInterrupted(cpu) {
+			return ErrInjectedTransfer
+		}
 		// Compute rights as if the section were owned by toPkg.
 		mod := env.ModOf(toPkg)
-		if toPkg == kernel.HeapOwner && !env.Trusted {
-			mod = ModU
+		if toPkg == kernel.HeapOwner {
+			mod = ModU // pooled spans are invisible everywhere (see rightsIn)
 		}
 		rights := sectionRights(mod, sec.Kind) & sec.Perm
 		if rights == mem.PermNone {
@@ -144,7 +154,7 @@ func (b *VTXBackend) Syscall(cpu *hw.CPU, env *Env, nr kernel.Nr, args [6]uint64
 	if !env.AllowsSyscall(nr) {
 		return 0, kernel.ESECCOMP
 	}
-	if nr == kernel.NrConnect && !env.Trusted && len(env.ConnectAllow) > 0 {
+	if nr == kernel.NrConnect && !env.Trusted && env.ConnectAllow != nil {
 		host := uint32(args[1])
 		ok := false
 		for _, h := range env.ConnectAllow {

@@ -116,8 +116,15 @@ func (lb *LitterBox) AbortedOn(cpu *hw.CPU) (*Fault, bool) {
 // the hot path touches no shared mutable state. The mutex is
 // worker-local — only tasks pinned to the same worker contend on it.
 type EnvCache struct {
-	mu     sync.Mutex
-	m      map[envCacheKey]*Env
+	mu sync.Mutex
+	m  map[envCacheKey]*Env
+	// epoch is the LitterBox view epoch the entries were resolved
+	// under; a dynamic import moves the program's epoch and the next
+	// lookup flushes the map. Without this, a worker that cached a
+	// (from, enclosure) target before an import would keep entering the
+	// pre-import environment — resolution and enforcement disagreeing
+	// about the view.
+	epoch  uint64
 	hits   atomic.Int64
 	misses atomic.Int64
 }
@@ -132,8 +139,12 @@ func NewEnvCache() *EnvCache {
 	return &EnvCache{m: make(map[envCacheKey]*Env)}
 }
 
-func (c *EnvCache) lookup(from EnvID, encl int) *Env {
+func (c *EnvCache) lookup(from EnvID, encl int, epoch uint64) *Env {
 	c.mu.Lock()
+	if c.epoch != epoch {
+		c.m = make(map[envCacheKey]*Env)
+		c.epoch = epoch
+	}
 	e := c.m[envCacheKey{from, encl}]
 	c.mu.Unlock()
 	if e != nil {
@@ -144,9 +155,13 @@ func (c *EnvCache) lookup(from EnvID, encl int) *Env {
 	return e
 }
 
-func (c *EnvCache) store(from EnvID, encl int, e *Env) {
+func (c *EnvCache) store(from EnvID, encl int, e *Env, epoch uint64) {
 	c.mu.Lock()
-	c.m[envCacheKey{from, encl}] = e
+	// Entries resolved under a superseded epoch are stale on arrival: a
+	// dynamic import completed between lookup and store.
+	if c.epoch == epoch {
+		c.m[envCacheKey{from, encl}] = e
+	}
 	c.mu.Unlock()
 }
 

@@ -60,11 +60,39 @@ func (lb *LitterBox) AddDynamicPackage(cpu *hw.CPU, p *pkggraph.Package, secs []
 	}
 	// Track the package in the clustering tables as its own group; the
 	// MPK backend assigns it a fresh key below.
-	lb.pkgToMeta[p.Name] = len(lb.metaPkgs)
+	metaIdx := len(lb.metaPkgs)
+	lb.pkgToMeta[p.Name] = metaIdx
 	lb.metaPkgs = append(lb.metaPkgs, []string{p.Name})
 	lb.mu.Unlock()
 
+	// The views changed shape: per-worker Prolog caches resolved under
+	// the old views must flush (they would otherwise keep entering
+	// pre-import environments). Bumped before the backend maps anything
+	// so no cache refilled mid-import survives it, and regardless of the
+	// mapping's outcome.
+	lb.viewEpoch.Add(1)
+
 	if err := dm.MapDynamicPackage(cpu, p.Name, secs, visibleTo); err != nil {
+		// Roll the views and clustering tables back: the backend created
+		// no enforcement state (MPK frees its key itself), so leaving the
+		// package in any view would advertise access no mechanism backs.
+		lb.mu.Lock()
+		// Truncate only when ours is still the final group — removing an
+		// interior group would renumber every later meta-package. A
+		// retained singleton group is harmless: the package is in no
+		// view, so it derives as unmapped everywhere.
+		if last := len(lb.metaPkgs) - 1; metaIdx == last && len(lb.metaPkgs[last]) == 1 && lb.metaPkgs[last][0] == p.Name {
+			lb.metaPkgs = lb.metaPkgs[:last]
+		}
+		delete(lb.pkgToMeta, p.Name)
+		lb.mu.Unlock()
+		for _, env := range visibleTo {
+			if env.Trusted {
+				continue
+			}
+			env.removeFromView(p.Name)
+		}
+		lb.viewEpoch.Add(1)
 		return err
 	}
 	lb.emit(cpu, obs.Event{Kind: obs.KindInit, Detail: fmt.Sprintf("dynamic package %s (+%d sections)", p.Name, len(secs))})
@@ -135,26 +163,44 @@ func (b *MPKBackend) MapDynamicPackage(cpu *hw.CPU, pkg string, secs []*mem.Sect
 	if errno != kernel.OK {
 		return fmt.Errorf("litterbox/mpk: pkey_alloc for %s: %v", pkg, errno)
 	}
-	b.mu.Lock()
+	// Undo half-applied state on failure: the allocated key goes back to
+	// the pool (tagged pages fall back to the default key) and the
+	// assignment tables forget the package, so a failed import leaves
+	// the key space exactly as it found it.
+	fail := func(err error) error {
+		b.stateMu.Lock()
+		if n := len(b.keyByMeta); n > 0 && b.keyByMeta[n-1] == key {
+			b.keyByMeta = b.keyByMeta[:n-1]
+		}
+		delete(b.keyOf, pkg)
+		b.stateMu.Unlock()
+		b.unit.PkeyFree(key)
+		return err
+	}
+	b.stateMu.Lock()
 	b.keyByMeta = append(b.keyByMeta, key)
 	b.keyOf[pkg] = key
-	b.mu.Unlock()
+	b.stateMu.Unlock()
 	for _, sec := range secs {
 		b.lb.Clock.Advance(hw.CostPkeyMprotect)
 		cpu.Counters.PkeyMprotects.Add(1)
 		if errno := b.unit.PkeyMprotect(sec.Base, sec.Size, sec.Perm, key); errno != kernel.OK {
-			return fmt.Errorf("litterbox/mpk: tagging %s: %v", sec, errno)
+			return fail(fmt.Errorf("litterbox/mpk: tagging %s: %v", sec, errno))
 		}
 	}
 	// Refresh every environment's PKRU (the new key defaults to denied;
-	// trusted and the importers gain it) and re-derive the filter.
+	// trusted and the importers gain it) and re-derive the filter. The
+	// spare-key set shrank, so the color assignment restarts too.
 	b.mu.Lock()
 	b.rules = make(map[uint32]seccomp.EnvRule)
 	b.mu.Unlock()
+	b.stateMu.Lock()
+	b.colorBySig = nil
 	metas := b.lb.MetaPackages()
 	for _, env := range b.lb.EnvsSnapshot() {
 		b.derivePKRU(env, metas)
 		b.addRule(env)
 	}
+	b.stateMu.Unlock()
 	return b.reloadFilter()
 }

@@ -35,7 +35,10 @@ type Env struct {
 	// Cats is the permitted system-call category mask.
 	Cats kernel.Category
 
-	// ConnectAllow optionally narrows connect(2) destinations.
+	// ConnectAllow narrows connect(2) destinations. nil means
+	// unrestricted; a non-nil slice is an allowlist, so the empty
+	// non-nil slice blocks every connect (the result of intersecting
+	// disjoint allowlists). Every filter gate distinguishes the two.
 	ConnectAllow []uint32
 
 	// Trusted marks the distinguished non-enclosed environment.
@@ -65,6 +68,15 @@ func (e *Env) ModOf(pkg string) AccessMod {
 func (e *Env) extendView(pkg string, mod AccessMod) {
 	e.viewMu.Lock()
 	e.View[pkg] = mod
+	e.viewMu.Unlock()
+}
+
+// removeFromView undoes extendView when a dynamic import fails after
+// the view was already extended: enforcement state (keys, tables) was
+// never created, so the view must not advertise the package either.
+func (e *Env) removeFromView(pkg string) {
+	e.viewMu.Lock()
+	delete(e.View, pkg)
 	e.viewMu.Unlock()
 }
 
@@ -165,24 +177,37 @@ func intersect(e, f *Env) *Env {
 		}
 	}
 	switch {
-	case len(e.ConnectAllow) == 0:
-		out.ConnectAllow = append([]uint32(nil), f.ConnectAllow...)
-	case len(f.ConnectAllow) == 0:
-		out.ConnectAllow = append([]uint32(nil), e.ConnectAllow...)
+	case e.ConnectAllow == nil:
+		// Only nil means unrestricted — a non-nil empty list is the
+		// block-everything allowlist and must dominate the intersection,
+		// so the cases test nil-ness, never length.
+		out.ConnectAllow = cloneHosts(f.ConnectAllow)
+	case f.ConnectAllow == nil:
+		out.ConnectAllow = cloneHosts(e.ConnectAllow)
 	default:
 		seen := make(map[uint32]bool, len(e.ConnectAllow))
 		for _, h := range e.ConnectAllow {
 			seen[h] = true
 		}
+		out.ConnectAllow = []uint32{} // non-nil: an empty allowlist blocks all connects
 		for _, h := range f.ConnectAllow {
 			if seen[h] {
 				out.ConnectAllow = append(out.ConnectAllow, h)
 			}
 		}
-		if out.ConnectAllow == nil {
-			out.ConnectAllow = []uint32{} // non-nil: an empty allowlist blocks all connects
-		}
 	}
+	return out
+}
+
+// cloneHosts copies a connect allowlist preserving its nil-ness —
+// append([]uint32(nil), empty...) would collapse the block-everything
+// empty list into the unrestricted nil.
+func cloneHosts(h []uint32) []uint32 {
+	if h == nil {
+		return nil
+	}
+	out := make([]uint32, len(h))
+	copy(out, h)
 	return out
 }
 

@@ -29,7 +29,20 @@ var (
 	ErrSuperGrant  = errors.New("litterbox: policy grants access to litterbox/super")
 	ErrOverlap     = errors.New("litterbox: sections overlap")
 	ErrMisaligned  = errors.New("litterbox: section not page aligned")
+
+	// ErrInjectedTransfer reports a transfer interrupted by an armed
+	// fault injector (hw.Injector.ArmTransferFault). Backend page state
+	// is rolled back before the error propagates.
+	ErrInjectedTransfer = errors.New("litterbox: transfer interrupted by fault injection")
 )
+
+// transferInterrupted consults the CPU's fault injector exactly once
+// per backend Transfer call — the counting contract every backend obeys
+// so an armed interruption fires on the same logical transfer no matter
+// which mechanism enforces it.
+func transferInterrupted(cpu *hw.CPU) bool {
+	return cpu != nil && cpu.Inj != nil && cpu.Inj.TransferFault()
+}
 
 // Fault is a protection violation: an access outside the memory view or
 // a filtered system call. Per the paper it stops the closure and aborts
@@ -123,6 +136,12 @@ type LitterBox struct {
 	// Meta-package clustering results (for introspection and LB_MPK).
 	metaPkgs  [][]string
 	pkgToMeta map[string]int
+
+	// viewEpoch counts view-shape changes (dynamic imports). Per-worker
+	// EnvCaches record the epoch they were filled under and flush when
+	// it moves, so no worker keeps resolving Prolog targets against a
+	// view that has since been extended.
+	viewEpoch atomic.Uint64
 
 	aborted atomic.Bool
 	fault   atomic.Pointer[Fault]
@@ -302,7 +321,7 @@ func (lb *LitterBox) computeView(spec EnclosureSpec) (*Env, error) {
 		Name:         spec.Name,
 		View:         view,
 		Cats:         spec.Policy.Cats,
-		ConnectAllow: append([]uint32(nil), spec.Policy.ConnectAllow...),
+		ConnectAllow: cloneHosts(spec.Policy.ConnectAllow),
 	}, nil
 }
 
@@ -470,16 +489,23 @@ func (lb *LitterBox) targetEnv(from, to *Env) (*Env, error) {
 	ent := &interEntry{ready: make(chan struct{})}
 	lb.inter[key] = ent
 	e := intersect(from, to)
-	e.ID = lb.nextEnv
-	lb.nextEnv++
 	lb.mu.Unlock()
 
 	if err := lb.backend.CreateEnv(e); err != nil {
+		// Drop the entry so the next Prolog of this pair retries: a
+		// transient backend failure (key pressure, table exhaustion) must
+		// not poison the nesting pair forever. The EnvID is only
+		// allocated on success, so none leaks here.
+		lb.mu.Lock()
+		delete(lb.inter, key)
+		lb.mu.Unlock()
 		ent.err = err
 		close(ent.ready)
 		return nil, err
 	}
 	lb.mu.Lock()
+	e.ID = lb.nextEnv
+	lb.nextEnv++
 	lb.envs[e.ID] = e
 	lb.mu.Unlock()
 	ent.env = e
@@ -502,8 +528,9 @@ func (lb *LitterBox) PrologWith(cpu *hw.CPU, from *Env, enclID int, token uint64
 		return nil, ErrAborted
 	}
 	var target *Env
+	epoch := lb.viewEpoch.Load()
 	if cache != nil {
-		target = cache.lookup(from.ID, enclID)
+		target = cache.lookup(from.ID, enclID, epoch)
 	}
 	if target == nil {
 		enclEnv, err := lb.EnvForEnclosure(enclID)
@@ -515,7 +542,7 @@ func (lb *LitterBox) PrologWith(cpu *hw.CPU, from *Env, enclID int, token uint64
 			return nil, err
 		}
 		if cache != nil {
-			cache.store(from.ID, enclID, target)
+			cache.store(from.ID, enclID, target, epoch)
 		}
 	}
 	verify := func() error {
@@ -539,7 +566,13 @@ func (lb *LitterBox) PrologWith(cpu *hw.CPU, from *Env, enclID int, token uint64
 }
 
 // Epilog returns from an enclosure to the caller's saved environment.
+// Like PrologWith it refuses to run on an aborted CPU: a faulted worker
+// must not keep switching environments (and so keep executing) on the
+// way out of its nesting chain.
 func (lb *LitterBox) Epilog(cpu *hw.CPU, cur, back *Env, enclID int, token uint64) error {
+	if _, dead := lb.AbortedOn(cpu); dead {
+		return ErrAborted
+	}
 	verify := func() error {
 		if lb.verif[enclID] != token {
 			return ErrBadToken
@@ -644,15 +677,16 @@ func (lb *LitterBox) CheckWrite(cpu *hw.CPU, env *Env, addr mem.Addr, size uint6
 }
 
 // CheckExec enforces execute rights for a call into pkg at entry.
+// Enforcement is entirely the backend's: VT-x and CHERI check the fetch
+// in hardware, MPK relies on the compiled-in call gates (its backend
+// hook), and the baseline — vanilla, uninstrumented code — checks
+// nothing. The probe engine's differential oracle flushed out the
+// previous shape, where a software view check in this common path made
+// even the no-enforcement baseline raise exec faults (and charged every
+// backend for a check VT-x and CHERI already perform in hardware).
 func (lb *LitterBox) CheckExec(cpu *hw.CPU, env *Env, pkg string, entry mem.Addr) error {
 	if _, dead := lb.AbortedOn(cpu); dead {
 		return ErrAborted
-	}
-	if !env.CanExec(pkg) {
-		if lb.auditAccess(cpu, env, "exec", entry, pkg, obs.NeedExec, fmt.Errorf("call into %s", pkg)) {
-			return nil
-		}
-		return lb.RaiseFault(cpu, &Fault{Env: env, Op: "exec", Detail: fmt.Sprintf("call into %s at %s", pkg, entry)})
 	}
 	if err := lb.backend.CheckExec(cpu, env, pkg, entry); err != nil {
 		if lb.auditAccess(cpu, env, "exec", entry, pkg, obs.NeedExec, err) {
@@ -742,6 +776,14 @@ func (lb *LitterBox) Transfer(cpu *hw.CPU, sec *mem.Section, toPkg string) error
 	}
 	start := cpu.Clock.Now()
 	if err := lb.backend.Transfer(cpu, sec, toPkg); err != nil {
+		// The VTX and CHERI backends update one table per environment; a
+		// mid-loop failure leaves the early tables showing the new owner
+		// and the late ones the old. Re-running the transfer toward the
+		// still-current owner restores every table to a consistent state
+		// before the error propagates.
+		if rbErr := lb.backend.Transfer(cpu, sec, sec.Pkg); rbErr != nil {
+			return errors.Join(err, fmt.Errorf("litterbox: transfer rollback failed: %w", rbErr))
+		}
 		return err
 	}
 	cpu.Counters.Transfers.Add(1)

@@ -1,0 +1,352 @@
+package probe
+
+import (
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+	"github.com/litterbox-project/enclosure/internal/pkggraph"
+)
+
+// Model is the pure-Go reference semantics of the framework: memory
+// views, nesting intersections, syscall filters, span ownership, and
+// the scripted fault injections — everything needed to predict the
+// *class* of each operation's outcome (allowed, protection fault,
+// injected error) without touching any backend. The differential
+// oracle's first layer compares the enforcing backends against each
+// other; this model is the second layer, catching the case where all
+// three agree on a wrong answer.
+//
+// The model is also the authority on which trace operations are
+// executable at all (an Epilog with no enclosure entered, a probe of a
+// module not yet imported): Step reports skip decisions that the
+// executor honours uniformly across worlds, which keeps every
+// subsequence of a trace well-defined — the property shrinking needs.
+type Model struct {
+	spec WorldSpec
+
+	trusted *mEnv
+	base    []*mEnv // one per enclosure, mutated by dynamic imports
+
+	stack     []*mEnv
+	spanOwner []string
+	imported  map[string]bool
+
+	transferArm int
+	// denied records that some filter denial has occurred: from that
+	// point the baseline's kernel state (fd numbering, rng cursor)
+	// legitimately diverges, ending its lockstep comparison window.
+	denied bool
+}
+
+// mEnv mirrors litterbox.Env's policy-visible state.
+type mEnv struct {
+	trusted bool
+	view    map[string]litterbox.AccessMod
+	cats    kernel.Category
+	connect []uint32 // nil = unrestricted; non-nil = allowlist
+}
+
+func (e *mEnv) modOf(pkg string) litterbox.AccessMod {
+	if e.trusted {
+		if pkg == pkggraph.SuperPkg {
+			return litterbox.ModU
+		}
+		return litterbox.ModRWX
+	}
+	return e.view[pkg]
+}
+
+// NewModel computes the reference state for a spec, mirroring
+// LitterBox's view computation: the declaring package, its transitive
+// imports, and litterbox/user at full access, then policy modifiers.
+func NewModel(spec WorldSpec) *Model {
+	m := &Model{
+		spec:     spec,
+		trusted:  &mEnv{trusted: true},
+		imported: map[string]bool{},
+	}
+	for _, es := range spec.Encls {
+		view := map[string]litterbox.AccessMod{
+			pkgName(es.Pkg):  litterbox.ModRWX,
+			pkggraph.UserPkg: litterbox.ModRWX,
+		}
+		for _, d := range transitiveImports(spec.Imports, es.Pkg) {
+			view[pkgName(d)] = litterbox.ModRWX
+		}
+		for p, mod := range es.Mods {
+			if mod == litterbox.ModU {
+				delete(view, pkgName(p))
+				continue
+			}
+			view[pkgName(p)] = mod
+		}
+		m.base = append(m.base, &mEnv{view: view, cats: es.Cats, connect: es.Connect})
+	}
+	m.stack = []*mEnv{m.trusted}
+	for _, o := range spec.SpanOwners {
+		if o < 0 {
+			m.spanOwner = append(m.spanOwner, kernel.HeapOwner)
+		} else {
+			m.spanOwner = append(m.spanOwner, pkgName(o))
+		}
+	}
+	return m
+}
+
+// transitiveImports returns the closure of imports[pkg].
+func transitiveImports(imports [][]int, pkg int) []int {
+	seen := make([]bool, len(imports))
+	var out []int
+	var visit func(int)
+	visit = func(i int) {
+		for _, j := range imports[i] {
+			if !seen[j] {
+				seen[j] = true
+				out = append(out, j)
+				visit(j)
+			}
+		}
+	}
+	visit(pkg)
+	return out
+}
+
+// Outcome classes predicted by the model and observed by the executor.
+const (
+	classOK     = "ok"
+	classFault  = "fault"
+	classInject = "inject"
+	classErr    = "err"
+)
+
+// prediction is the model's verdict on one operation.
+type prediction struct {
+	skip  bool
+	class string
+}
+
+func skipOp() prediction        { return prediction{skip: true} }
+func classed(c string) prediction { return prediction{class: c} }
+
+// Step predicts one operation's outcome class and advances the model
+// state assuming reality agrees (a disagreement stops the trace, so
+// state never runs ahead of a divergence).
+func (m *Model) Step(op Op) prediction {
+	cur := m.stack[len(m.stack)-1]
+	switch op.Kind {
+	case OpProlog:
+		if len(m.stack)-1 >= maxDepth {
+			return skipOp()
+		}
+		if op.BadToken {
+			return classed(classFault)
+		}
+		m.stack = append(m.stack, m.prologTarget(cur, m.base[op.Encl-1]))
+		return classed(classOK)
+
+	case OpEpilog:
+		if len(m.stack) == 1 {
+			return skipOp()
+		}
+		m.stack = m.stack[:len(m.stack)-1]
+		return classed(classOK)
+
+	case OpRead, OpWrite:
+		owner, kind, ok := m.memOwner(op)
+		if !ok {
+			return skipOp()
+		}
+		if m.memAllowed(cur, owner, kind, op.Kind == OpWrite) {
+			return classed(classOK)
+		}
+		return classed(classFault)
+
+	case OpExec:
+		if !m.pkgExists(op.Pkg) {
+			return skipOp()
+		}
+		if cur.modOf(op.Pkg) == litterbox.ModRWX {
+			return classed(classOK)
+		}
+		return classed(classFault)
+
+	case OpSyscall:
+		if m.syscallAllowed(cur, op) {
+			return classed(classOK)
+		}
+		m.denied = true
+		return classed(classFault)
+
+	case OpTransfer:
+		if m.transferArm > 0 {
+			m.transferArm--
+			if m.transferArm == 0 {
+				return classed(classInject) // ownership unchanged: the framework rolled back
+			}
+		}
+		dest := kernel.HeapOwner
+		if op.Pkg != "" {
+			dest = op.Pkg
+		}
+		m.spanOwner[op.Span] = dest
+		return classed(classOK)
+
+	case OpDynImport:
+		if m.imported[op.Pkg] {
+			return skipOp()
+		}
+		m.imported[op.Pkg] = true
+		m.base[op.Encl-1].view[op.Pkg] = litterbox.ModRWX
+		return classed(classOK)
+
+	case OpArmErrno:
+		// The injected errno is uniform across worlds by construction,
+		// so nothing downstream needs predicting.
+		return classed(classOK)
+
+	case OpArmTransfer:
+		m.transferArm = op.N
+		return classed(classOK)
+	}
+	return skipOp()
+}
+
+// Denied reports whether any filter denial has occurred so far — the
+// point after which the baseline's kernel diverges legitimately.
+func (m *Model) Denied() bool { return m.denied }
+
+// memOwner resolves a memory op's owning package and section kind
+// ("rodata", "data", "heap"); ok is false when the target does not
+// exist yet (a module not imported).
+func (m *Model) memOwner(op Op) (owner, kind string, ok bool) {
+	if op.Span >= 0 {
+		return m.spanOwner[op.Span], "heap", true
+	}
+	if !m.pkgExists(op.Pkg) {
+		return "", "", false
+	}
+	kind = "rodata"
+	if op.Sec == 1 {
+		kind = "data"
+	}
+	return op.Pkg, kind, true
+}
+
+func (m *Model) pkgExists(pkg string) bool {
+	if m.imported[pkg] {
+		return true
+	}
+	if pkg == pkggraph.UserPkg || pkg == pkggraph.SuperPkg {
+		return true
+	}
+	for i := 0; i < m.spec.NPkgs; i++ {
+		if pkg == pkgName(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// memAllowed is the reference access verdict: the owner's modifier in
+// the current view, with two global rules — pooled heap spans are
+// visible to no environment (trusted included: the MPK pool shares
+// super's key), and read-only sections never accept writes regardless
+// of modifier.
+func (m *Model) memAllowed(cur *mEnv, owner, kind string, write bool) bool {
+	if owner == kernel.HeapOwner {
+		return false
+	}
+	mod := cur.modOf(owner)
+	if write {
+		return kind != "rodata" && mod >= litterbox.ModRW
+	}
+	return mod >= litterbox.ModR
+}
+
+// syscallAllowed is the reference filter verdict, identical in intent
+// to Env.AllowsSyscall plus the connect-allowlist extension.
+func (m *Model) syscallAllowed(cur *mEnv, op Op) bool {
+	if cur.trusted {
+		return true
+	}
+	cat := kernel.CategoryOf(op.Nr)
+	if cat == kernel.CatNone || !cur.cats.Has(cat) {
+		return false
+	}
+	if op.Nr == kernel.NrConnect && cur.connect != nil {
+		for _, h := range cur.connect {
+			if h == op.Host {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// prologTarget mirrors LitterBox.targetEnv: entering from trusted
+// installs the enclosure's own environment; entering a more restrictive
+// environment installs it directly; anything else installs the
+// intersection.
+func (m *Model) prologTarget(from, to *mEnv) *mEnv {
+	if from.trusted {
+		return to
+	}
+	if moreRestrictive(to, from) {
+		return to
+	}
+	return mIntersect(from, to)
+}
+
+// moreRestrictive mirrors Env.MoreRestrictiveThan.
+func moreRestrictive(e, t *mEnv) bool {
+	if t.trusted {
+		return true
+	}
+	if e.trusted {
+		return false
+	}
+	for pkg, mod := range e.view {
+		if mod > t.modOf(pkg) {
+			return false
+		}
+	}
+	return e.cats&^t.cats == 0
+}
+
+// mIntersect mirrors litterbox's intersect: per-package minimum,
+// category intersection, tighter connect allowlist (nil-ness encodes
+// unrestricted, so intersections of allowlists stay non-nil).
+func mIntersect(e, f *mEnv) *mEnv {
+	if e.trusted {
+		return f
+	}
+	if f.trusted {
+		return e
+	}
+	out := &mEnv{view: map[string]litterbox.AccessMod{}, cats: e.cats & f.cats}
+	for pkg, mod := range e.view {
+		if fm, ok := f.view[pkg]; ok {
+			if min := mod.Min(fm); min > litterbox.ModU {
+				out.view[pkg] = min
+			}
+		}
+	}
+	switch {
+	case e.connect == nil:
+		out.connect = f.connect
+	case f.connect == nil:
+		out.connect = e.connect
+	default:
+		out.connect = []uint32{}
+		seen := map[uint32]bool{}
+		for _, h := range e.connect {
+			seen[h] = true
+		}
+		for _, h := range f.connect {
+			if seen[h] {
+				out.connect = append(out.connect, h)
+			}
+		}
+	}
+	return out
+}

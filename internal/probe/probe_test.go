@@ -1,0 +1,260 @@
+package probe
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/litterbox-project/enclosure/internal/hw"
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+)
+
+// sweepSeed is the fixed CI seed: every divergence it ever flushed out
+// was fixed in place, so the sweep must stay green.
+const sweepSeed = 0xEC705E
+
+// TestProbeSweep is the main differential run: a few hundred seeded
+// traces across all four backends, zero divergences expected, and the
+// interesting trace shapes (dynamic imports, fault injections) must
+// actually occur.
+func TestProbeSweep(t *testing.T) {
+	n := 220
+	if testing.Short() {
+		n = 40
+	}
+	stats, div, err := Sweep(sweepSeed, n, 40)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if div != nil {
+		shrunk, sdiv := Shrink(Gen(div.Seed, 40))
+		t.Fatalf("divergence found:\n%s\n\nshrunk to %d ops:\n%s", div, len(shrunk.Ops), sdiv)
+	}
+	t.Logf("sweep: %d traces, %d ops (%d skipped), %d faults, %d dyn-import traces, %d injection traces",
+		stats.Traces, stats.Ops, stats.Skipped, stats.Faults, stats.DynImportTraces, stats.InjectionTraces)
+	if stats.Faults == 0 {
+		t.Error("sweep provoked no faults: the traces are not adversarial")
+	}
+	if stats.DynImportTraces == 0 {
+		t.Error("sweep exercised no dynamic imports")
+	}
+	if stats.InjectionTraces == 0 {
+		t.Error("sweep exercised no fault injections")
+	}
+}
+
+// TestProbeDeterminism checks the reproducer contract: the same seed
+// replays to the same outcome digest, twice.
+func TestProbeDeterminism(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		tr := Gen(sweepSeed+uint64(i), 40)
+		div1, st1, err1 := RunTrace(tr)
+		div2, st2, err2 := RunTrace(tr)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("seed %#x: %v / %v", tr.Seed, err1, err2)
+		}
+		if (div1 == nil) != (div2 == nil) {
+			t.Fatalf("seed %#x: divergence not reproducible: %v vs %v", tr.Seed, div1, div2)
+		}
+		if st1.Digest != st2.Digest {
+			t.Fatalf("seed %#x: outcome digest differs between runs: %#x vs %#x", tr.Seed, st1.Digest, st2.Digest)
+		}
+	}
+}
+
+// containedSpec is a minimal hand-written world for the targeted
+// fault-injection tests: two packages, one unrestricted enclosure.
+func containedSpec() WorldSpec {
+	return WorldSpec{
+		NPkgs:      2,
+		Imports:    [][]int{{}, {}},
+		Encls:      []EnclSpec{{Pkg: 0, Mods: map[int]litterbox.AccessMod{}, Cats: kernel.CatFile}},
+		SpanOwners: []int{0, -1, 1},
+	}
+}
+
+// TestPKRUCorruptionContained scripts a transient bit-flip into the
+// PKRU write of an enclosure switch and checks the blast radius: the
+// enclosure loses access it should have had (a clean protection fault,
+// counted by the injector), the fault aborts only this worker's domain,
+// and the next environment switch rewrites PKRU and self-heals.
+func TestPKRUCorruptionContained(t *testing.T) {
+	w, err := BuildWorld(containedSpec(), "mpk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpkb := w.LB.Backend().(*litterbox.MPKBackend)
+	key := mpkb.KeyOf("p0")
+	if key < 0 {
+		t.Fatalf("no key for p0")
+	}
+	// Flip the AD bit of p0's key on the next PKRU write — the Prolog
+	// into e1, whose environment must be able to read its own package.
+	w.CPU.Inj.ArmPKRUCorrupt(1, hw.PKRU(1)<<(2*uint(key)))
+
+	env, err := w.LB.PrologWith(w.CPU, w.LB.Trusted(), 1, w.Img.Enclosures[0].Token, w.Cache)
+	if err != nil {
+		t.Fatalf("prolog: %v", err)
+	}
+	addr := w.Img.Layout("p0").Data.Base
+	err = w.LB.CheckRead(w.CPU, env, addr, 4)
+	var f *litterbox.Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("corrupted PKRU: want a clean fault reading own package, got %v", err)
+	}
+	if _, aborted := w.Dom.Aborted(); !aborted {
+		t.Fatal("fault did not abort the worker's domain")
+	}
+	if got := w.CPU.Inj.Fired().PKRUFlips; got != 1 {
+		t.Fatalf("PKRUFlips = %d, want 1", got)
+	}
+	w.Dom.Reset()
+
+	// The next switch rewrites PKRU from the derived value: self-healed.
+	if err := w.LB.Epilog(w.CPU, env, w.LB.Trusted(), 1, w.Img.Enclosures[0].Token); err != nil {
+		t.Fatalf("epilog after reset: %v", err)
+	}
+	env2, err := w.LB.PrologWith(w.CPU, w.LB.Trusted(), 1, w.Img.Enclosures[0].Token, w.Cache)
+	if err != nil {
+		t.Fatalf("re-prolog: %v", err)
+	}
+	if err := w.LB.CheckRead(w.CPU, env2, addr, 4); err != nil {
+		t.Fatalf("read after self-heal: %v", err)
+	}
+}
+
+// TestInjectedErrnoIsTransient scripts one spurious kernel errno and
+// checks it perturbs exactly one call: the n-th dispatched syscall
+// returns the armed errno, the next one succeeds normally.
+func TestInjectedErrnoIsTransient(t *testing.T) {
+	for _, name := range backendNames {
+		t.Run(name, func(t *testing.T) {
+			w, err := BuildWorld(containedSpec(), name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.CPU.Inj.ArmSyscallErrno(1, uint32(kernel.EAGAIN))
+			trusted := w.LB.Trusted()
+			_, errno, err := w.LB.FilterSyscallFrom(w.CPU, trusted, "probe", kernel.NrGetpid, [6]uint64{})
+			if err != nil {
+				t.Fatalf("getpid: %v", err)
+			}
+			if errno != kernel.EAGAIN {
+				t.Fatalf("injected call: errno = %v, want EAGAIN", errno)
+			}
+			_, errno, err = w.LB.FilterSyscallFrom(w.CPU, trusted, "probe", kernel.NrGetpid, [6]uint64{})
+			if err != nil || errno != 0 {
+				t.Fatalf("call after injection: errno=%v err=%v, want clean success", errno, err)
+			}
+		})
+	}
+}
+
+// TestInterruptedTransferRollsBack scripts a transfer interruption and
+// checks the framework's rollback: ownership is unchanged, and the
+// span's visibility still matches the old owner on every backend.
+func TestInterruptedTransferRollsBack(t *testing.T) {
+	for _, name := range backendNames {
+		t.Run(name, func(t *testing.T) {
+			w, err := BuildWorld(containedSpec(), name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			span := w.Spans[0] // owned by p0 at setup
+			w.CPU.Inj.ArmTransferFault(1)
+			err = w.LB.Transfer(w.CPU, span, "p1")
+			if !errors.Is(err, litterbox.ErrInjectedTransfer) {
+				t.Fatalf("transfer: %v, want ErrInjectedTransfer", err)
+			}
+			if span.Pkg != "p0" {
+				t.Fatalf("span owner = %q after interrupted transfer, want p0", span.Pkg)
+			}
+			// The span must still behave as p0's: the enclosure over p0
+			// reads it, and a retried transfer succeeds.
+			env, err := w.LB.PrologWith(w.CPU, w.LB.Trusted(), 1, w.Img.Enclosures[0].Token, w.Cache)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.LB.CheckRead(w.CPU, env, span.Base, 4); err != nil {
+				t.Fatalf("%s: read of rolled-back span from owner enclosure: %v", name, err)
+			}
+			if err := w.LB.Epilog(w.CPU, env, w.LB.Trusted(), 1, w.Img.Enclosures[0].Token); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.LB.Transfer(w.CPU, span, "p1"); err != nil {
+				t.Fatalf("retried transfer: %v", err)
+			}
+			if span.Pkg != "p1" {
+				t.Fatalf("span owner = %q after retry, want p1", span.Pkg)
+			}
+		})
+	}
+}
+
+// TestConcurrentProbeContainment replays disjoint seeded traces from
+// parallel workers, each with its own worlds and fault domains — run
+// under -race in CI, it checks that probe-provoked faults in one
+// worker never leak into another.
+func TestConcurrentProbeContainment(t *testing.T) {
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				tr := Gen(sweepSeed+uint64(1000*i+j), 32)
+				div, _, err := RunTrace(tr)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d seed %#x: %w", i, tr.Seed, err)
+					return
+				}
+				if div != nil {
+					errs <- fmt.Errorf("worker %d: %s", i, div)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestShrinkProducesMinimalReproducer plants a synthetic divergence —
+// a trace whose model is deliberately broken is not constructible from
+// outside, so instead verify the shrinking machinery on a real
+// divergence-free trace: Shrink of a clean trace is the identity.
+func TestShrinkCleanTraceIsIdentity(t *testing.T) {
+	tr := Gen(sweepSeed, 40)
+	out, div := Shrink(tr)
+	if div != nil {
+		t.Fatalf("clean trace diverged: %v", div)
+	}
+	if len(out.Ops) != len(tr.Ops) {
+		t.Fatalf("shrink modified a clean trace: %d -> %d ops", len(tr.Ops), len(out.Ops))
+	}
+}
+
+// FuzzProbe lets the fuzzer drive the seed space directly: any seed
+// that produces a divergence is a bug.
+func FuzzProbe(f *testing.F) {
+	f.Add(uint64(sweepSeed))
+	f.Add(uint64(1))
+	f.Add(uint64(0xDEADBEEF))
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		tr := Gen(seed, 24)
+		div, _, err := RunTrace(tr)
+		if err != nil {
+			t.Fatalf("seed %#x: %v", seed, err)
+		}
+		if div != nil {
+			t.Fatalf("seed %#x diverged:\n%s", seed, div)
+		}
+	})
+}

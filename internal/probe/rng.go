@@ -1,0 +1,45 @@
+// Package probe is the adversarial probe engine: it generates random
+// enclosure programs and traces of hostile operations from a seed,
+// executes every trace on all four backends (baseline, LB_MPK, LB_VTX,
+// LB_CHERI) over bit-identical memory layouts, and reports any
+// divergence in observable behaviour — a fault where another backend
+// allowed the operation, a system call one filter passed and another
+// rejected, a memory verdict the backends disagree on. Because the
+// paper's claim is that the *same* policy is enforced by interchangeable
+// mechanisms (§5.3), any divergence between the enforcing backends is a
+// bug in one of them by definition; a pure-Go reference model of the
+// intended semantics arbitrates which.
+//
+// Everything is deterministic in the seed: the program layout, the
+// policies, the operation trace, and the scripted hardware faults
+// (hw.Injector). A divergence therefore reproduces from its seed alone,
+// and a greedy delta-debugging pass shrinks the trace to a minimal
+// reproducer (see Shrink).
+package probe
+
+// rng is splitmix64: tiny, fast, and with well-distributed low bits, so
+// trace generation can use cheap modulo reductions. The zero seed is
+// valid (splitmix64 has no bad states).
+type rng struct {
+	s uint64
+}
+
+func newRNG(seed uint64) *rng { return &rng{s: seed} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n). n must be positive.
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// pct reports true with probability p/100.
+func (r *rng) pct(p int) bool {
+	return r.intn(100) < p
+}

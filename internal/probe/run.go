@@ -1,0 +1,343 @@
+package probe
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+	"github.com/litterbox-project/enclosure/internal/mem"
+	"github.com/litterbox-project/enclosure/internal/pkggraph"
+)
+
+// Divergence is a cross-backend disagreement flushed out by a trace —
+// the probe engine's bug report. Kind names the oracle layer that
+// fired: "backend" (the enforcing backends disagree among themselves),
+// "baseline" (the no-enforcement world faulted, or its kernel results
+// drifted before any filter denial), or "model" (all backends agree on
+// a verdict class the reference model rejects).
+type Divergence struct {
+	Seed     uint64
+	Index    int
+	Op       Op
+	Kind     string
+	Detail   string
+	Outcomes map[string]string // backend name -> outcome string
+}
+
+func (d *Divergence) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "divergence [%s] at op %d: %s\n  %s\n", d.Kind, d.Index, d.Op.String(), d.Detail)
+	for _, name := range backendNames {
+		fmt.Fprintf(&b, "  %-8s %s\n", name, d.Outcomes[name])
+	}
+	fmt.Fprintf(&b, "  reproduce: enclose probe -seed %d", d.Seed)
+	return b.String()
+}
+
+// TraceStats summarises one trace execution.
+type TraceStats struct {
+	Ops, Skipped      int
+	Faults            int // enforcing-backend faults observed
+	DynImports        int
+	InjectedErrnos    int
+	InjectedTransfers int
+	Digest            uint64 // FNV over all outcomes: determinism witness
+}
+
+// RunTrace builds the four worlds, replays the trace, and applies the
+// differential oracle after every operation. It returns the first
+// divergence (nil if the backends stayed in lockstep) and the stats.
+func RunTrace(tr Trace) (*Divergence, TraceStats, error) {
+	var stats TraceStats
+	worlds, err := BuildWorlds(tr.Spec)
+	if err != nil {
+		return nil, stats, err
+	}
+	model := NewModel(tr.Spec)
+	digest := fnv.New64a()
+
+	for i, op := range tr.Ops {
+		pred := model.Step(op)
+		if pred.skip {
+			stats.Skipped++
+			continue
+		}
+		stats.Ops++
+		deniedBefore := op.Kind == OpSyscall && model.Denied() && pred.class == classOK
+
+		outs := map[string]string{}
+		envs := map[string]*litterbox.Env{}
+		for _, w := range worlds {
+			out, env := execOp(w, op)
+			outs[w.Name], envs[w.Name] = out, env
+			digest.Write([]byte(out))
+		}
+		// A fault aborts the world's domain; reset so the trace continues
+		// uniformly (each op is judged independently).
+		for _, w := range worlds {
+			if _, aborted := w.Dom.Aborted(); aborted {
+				w.Dom.Reset()
+			}
+		}
+
+		report := func(kind, detail string) (*Divergence, TraceStats, error) {
+			stats.Digest = digest.Sum64()
+			return &Divergence{
+				Seed: tr.Seed, Index: i, Op: op,
+				Kind: kind, Detail: detail, Outcomes: outs,
+			}, stats, nil
+		}
+
+		// Layer 1: the enforcing backends must agree exactly.
+		if outs["mpk"] != outs["vtx"] || outs["vtx"] != outs["cheri"] {
+			return report("backend", "enforcing backends disagree")
+		}
+		// Layer 2: the baseline enforces nothing, so it can never fault.
+		if strings.HasPrefix(outs["baseline"], "fault:") {
+			return report("baseline", "no-enforcement baseline raised a fault")
+		}
+		// Layer 3: until the first filter denial desynchronises the
+		// baseline kernel (fd numbering, rng cursor), allowed syscalls
+		// must return bit-identical results in all four worlds.
+		if op.Kind == OpSyscall && pred.class == classOK && !deniedBefore &&
+			outs["baseline"] != outs["mpk"] {
+			return report("baseline", "kernel results drifted before any filter denial")
+		}
+		// Layer 4: the agreed enforcing verdict must match the model.
+		if got := classOf(outs["mpk"]); got != pred.class {
+			return report("model", fmt.Sprintf("model predicted %q, backends produced %q", pred.class, got))
+		}
+
+		if strings.HasPrefix(outs["mpk"], "fault:") {
+			stats.Faults++
+		}
+		switch op.Kind {
+		case OpDynImport:
+			stats.DynImports++
+		case OpProlog:
+			if pred.class == classOK { // a forged token faults: nothing was entered
+				for _, w := range worlds {
+					w.stack = append(w.stack, frame{env: envs[w.Name], encl: op.Encl})
+				}
+			}
+		case OpEpilog:
+			for _, w := range worlds {
+				w.stack = w.stack[:len(w.stack)-1]
+			}
+		}
+	}
+	// Count from the MPK world: after the first filter denial the
+	// baseline's dispatch counter legitimately runs ahead, so its fired
+	// tallies can differ.
+	fired := worlds[1].CPU.Inj.Fired()
+	stats.InjectedErrnos = fired.SyscallErrnos
+	stats.InjectedTransfers = fired.TransferFaults
+	stats.Digest = digest.Sum64()
+	return nil, stats, nil
+}
+
+// classOf maps an observed outcome string to a model class.
+func classOf(out string) string {
+	switch {
+	case strings.HasPrefix(out, "fault:"):
+		return classFault
+	case out == "err:inject":
+		return classInject
+	case out == "ok" || strings.HasPrefix(out, "ret="):
+		return classOK
+	default:
+		return classErr
+	}
+}
+
+// execOp replays one operation in one world and renders the outcome as
+// a canonical string. Returned env is non-nil only for a successful
+// Prolog (the environment the executor must push).
+func execOp(w *World, op Op) (string, *litterbox.Env) {
+	cur := w.top().env
+	switch op.Kind {
+	case OpProlog:
+		token := w.Img.Enclosures[op.Encl-1].Token
+		if op.BadToken {
+			token ^= 0xDEAD
+		}
+		env, err := w.LB.PrologWith(w.CPU, cur, op.Encl, token, w.Cache)
+		return outcome(err, "switch"), env
+
+	case OpEpilog:
+		fr := w.top()
+		back := w.stack[len(w.stack)-2].env
+		err := w.LB.Epilog(w.CPU, fr.env, back, fr.encl, w.Img.Enclosures[fr.encl-1].Token)
+		return outcome(err, "switch"), nil
+
+	case OpRead:
+		return outcome(w.LB.CheckRead(w.CPU, cur, w.targetAddr(op), 4), "read"), nil
+
+	case OpWrite:
+		return outcome(w.LB.CheckWrite(w.CPU, cur, w.targetAddr(op), 4), "write"), nil
+
+	case OpExec:
+		pl := w.Img.Layout(op.Pkg)
+		return outcome(w.LB.CheckExec(w.CPU, cur, op.Pkg, pl.Text.Base), "exec"), nil
+
+	case OpSyscall:
+		ret, errno, err := w.LB.FilterSyscallFrom(w.CPU, cur, "probe", op.Nr, w.argsFor(op))
+		if err != nil {
+			return outcome(err, "syscall"), nil
+		}
+		return fmt.Sprintf("ret=%d errno=%d", ret, errno), nil
+
+	case OpTransfer:
+		dest := kernel.HeapOwner
+		if op.Pkg != "" {
+			dest = op.Pkg
+		}
+		return outcome(w.LB.Transfer(w.CPU, w.Spans[op.Span], dest), "transfer"), nil
+
+	case OpDynImport:
+		return w.dynImport(op), nil
+
+	case OpArmErrno:
+		w.CPU.Inj.ArmSyscallErrno(op.N, op.Errno)
+		return "ok", nil
+
+	case OpArmTransfer:
+		w.CPU.Inj.ArmTransferFault(op.N)
+		return "ok", nil
+	}
+	return "err:unknown-op", nil
+}
+
+// dynImport admits a fresh package mid-trace and makes it visible to
+// the importing enclosure's base environment. The trailing InstallEnv
+// mirrors the documented contract that importers pick new rights up at
+// their next switch: the runtime performs the import, so control
+// re-enters the current environment through a switch, refreshing
+// register state (the MPK PKRU) that in-place table updates do not.
+func (w *World) dynImport(op Op) string {
+	p := &pkggraph.Package{
+		Name:   op.Pkg,
+		Funcs:  []string{"f"},
+		Vars:   map[string]int{"v": 64},
+		Consts: map[string][]byte{"c": []byte("dyn")},
+	}
+	if err := w.Graph.AddIncremental(p); err != nil {
+		return "err:dyn"
+	}
+	pl, err := w.Img.PlaceDynamic(p)
+	if err != nil {
+		return "err:dyn"
+	}
+	env, err := w.LB.EnvForEnclosure(op.Encl)
+	if err != nil {
+		return "err:dyn"
+	}
+	if err := w.LB.AddDynamicPackage(w.CPU, p, pl.Sections(), []*litterbox.Env{env}); err != nil {
+		return "err:dyn"
+	}
+	if err := w.LB.InstallEnv(w.CPU, w.top().env); err != nil {
+		return "err:dyn"
+	}
+	return "ok"
+}
+
+// targetAddr resolves a memory op to a concrete probe address: inside
+// the span, or 8 bytes into the package's rodata/data section.
+func (w *World) targetAddr(op Op) mem.Addr {
+	if op.Span >= 0 {
+		return w.Spans[op.Span].Base + 8
+	}
+	pl := w.Img.Layout(op.Pkg)
+	if op.Sec == 0 {
+		return pl.ROData.Base + 8
+	}
+	return pl.Data.Base + 8
+}
+
+// outcome canonicalises an error from a framework entry point.
+func outcome(err error, opName string) string {
+	var f *litterbox.Fault
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.As(err, &f):
+		return "fault:" + opName
+	case errors.Is(err, litterbox.ErrInjectedTransfer):
+		return "err:inject"
+	case errors.Is(err, litterbox.ErrAborted):
+		return "err:aborted"
+	case errors.Is(err, litterbox.ErrEscalation):
+		return "err:escalation"
+	default:
+		return "err:other"
+	}
+}
+
+// SweepStats aggregates a multi-trace sweep.
+type SweepStats struct {
+	Traces, Ops, Skipped int
+	Faults               int
+	DynImportTraces      int
+	InjectionTraces      int
+	InjectedErrnos       int
+	InjectedTransfers    int
+}
+
+// Sweep runs n independent traces derived from the base seed and
+// returns the first divergence found, if any. Per-trace seeds are
+// decorrelated by the golden-ratio increment so neighbouring sweeps
+// do not share prefixes.
+func Sweep(seed uint64, n, opsPerTrace int) (SweepStats, *Divergence, error) {
+	var stats SweepStats
+	for i := 0; i < n; i++ {
+		tr := Gen(seed+uint64(i)*0x9E3779B97F4A7C15, opsPerTrace)
+		div, ts, err := RunTrace(tr)
+		if err != nil {
+			return stats, nil, fmt.Errorf("probe: trace %d (seed %#x): %w", i, tr.Seed, err)
+		}
+		stats.Traces++
+		stats.Ops += ts.Ops
+		stats.Skipped += ts.Skipped
+		stats.Faults += ts.Faults
+		if ts.DynImports > 0 {
+			stats.DynImportTraces++
+		}
+		if ts.InjectedErrnos > 0 || ts.InjectedTransfers > 0 {
+			stats.InjectionTraces++
+		}
+		stats.InjectedErrnos += ts.InjectedErrnos
+		stats.InjectedTransfers += ts.InjectedTransfers
+		if div != nil {
+			return stats, div, nil
+		}
+	}
+	return stats, nil, nil
+}
+
+// Shrink reduces a diverging trace to a locally minimal reproducer
+// with greedy delta debugging: repeatedly drop chunks of operations,
+// keeping any candidate that still diverges. Because the model decides
+// skips, every subsequence of a trace is a valid trace, so removal can
+// never produce an ill-formed program.
+func Shrink(tr Trace) (Trace, *Divergence) {
+	div, _, err := RunTrace(tr)
+	if div == nil || err != nil {
+		return tr, div
+	}
+	best, bestDiv := tr, div
+	for chunk := len(best.Ops) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start+chunk <= len(best.Ops); {
+			cand := best
+			cand.Ops = append(append([]Op{}, best.Ops[:start]...), best.Ops[start+chunk:]...)
+			if d, _, err := RunTrace(cand); err == nil && d != nil {
+				best, bestDiv = cand, d
+			} else {
+				start += chunk
+			}
+		}
+	}
+	return best, bestDiv
+}

@@ -1,0 +1,237 @@
+package probe
+
+import (
+	"fmt"
+
+	"github.com/litterbox-project/enclosure/internal/cheri"
+	"github.com/litterbox-project/enclosure/internal/hw"
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/linker"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+	"github.com/litterbox-project/enclosure/internal/mem"
+	"github.com/litterbox-project/enclosure/internal/mpk"
+	"github.com/litterbox-project/enclosure/internal/pkggraph"
+	"github.com/litterbox-project/enclosure/internal/vtx"
+)
+
+// World is one backend's instantiation of a WorldSpec: its own graph,
+// address space, kernel, and CPU, with a bound fault domain so a
+// probe-provoked fault aborts this world's trace position rather than a
+// shared program. All four worlds of a trace share the spec, and
+// because construction is deterministic, their section addresses are
+// identical — the property that makes verdicts comparable.
+type World struct {
+	Name  string
+	LB    *litterbox.LitterBox
+	Img   *linker.Image
+	Graph *pkggraph.Graph
+	CPU   *hw.CPU
+	Clock *hw.Clock
+	K     *kernel.Kernel
+	Dom   *litterbox.FaultDomain
+	Cache *litterbox.EnvCache
+	Spans []*mem.Section
+
+	stack []frame
+}
+
+// frame is one entry of the executor's nesting chain: the environment
+// in force and the enclosure whose Prolog entered it (0 = trusted).
+type frame struct {
+	env  *litterbox.Env
+	encl int
+}
+
+// bogusAddr is a never-mapped address used for EFAULT probes.
+const bogusAddr = mem.Addr(1) << 40
+
+// backendNames orders the four worlds; index 0 is the no-enforcement
+// baseline, indices 1..3 the enforcing backends.
+var backendNames = []string{"baseline", "mpk", "vtx", "cheri"}
+
+// BuildWorld instantiates spec under one backend.
+func BuildWorld(spec WorldSpec, name string) (*World, error) {
+	g := pkggraph.New()
+	for i := 0; i < spec.NPkgs; i++ {
+		var imports []string
+		for _, j := range spec.Imports[i] {
+			imports = append(imports, pkgName(j))
+		}
+		if err := g.Add(&pkggraph.Package{
+			Name:    pkgName(i),
+			Imports: imports,
+			Funcs:   []string{"f"},
+			Vars:    map[string]int{"v": 64},
+			Consts:  map[string][]byte{"c": []byte("const")},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.AddReserved(&pkggraph.Package{Name: pkggraph.UserPkg}); err != nil {
+		return nil, err
+	}
+	if err := g.AddReserved(&pkggraph.Package{Name: pkggraph.SuperPkg}); err != nil {
+		return nil, err
+	}
+	if err := g.Seal(); err != nil {
+		return nil, err
+	}
+
+	space := mem.NewAddressSpace(0)
+	var decls []linker.DeclInput
+	for i, es := range spec.Encls {
+		decls = append(decls, linker.DeclInput{
+			Name: fmt.Sprintf("e%d", i+1), Pkg: pkgName(es.Pkg), Policy: "probe",
+		})
+	}
+	img, err := linker.Link(g, decls, space)
+	if err != nil {
+		return nil, err
+	}
+
+	clock := hw.NewClock()
+	k := kernel.New(space, clock)
+	proc := k.NewProc(1, 1, 1)
+	// The probe harness is single-threaded: a blocking read on a
+	// data-less pipe or an accept on an empty backlog would deadlock the
+	// sweep. Non-blocking mode turns those into deterministic EAGAINs,
+	// identically in all four worlds.
+	proc.SetNonBlocking(true)
+
+	var backend litterbox.Backend
+	switch name {
+	case "baseline":
+		backend = litterbox.NewBaseline()
+	case "mpk":
+		backend = litterbox.NewMPK(mpk.NewUnit(space, clock))
+	case "vtx":
+		backend = litterbox.NewVTX(vtx.NewMachine(space, clock))
+	case "cheri":
+		backend = litterbox.NewCHERI(cheri.NewUnit(clock))
+	default:
+		return nil, fmt.Errorf("probe: unknown backend %q", name)
+	}
+
+	var specs []litterbox.EnclosureSpec
+	for i, es := range spec.Encls {
+		pol := litterbox.Policy{
+			Mods: map[string]litterbox.AccessMod{},
+			Cats: es.Cats,
+		}
+		if es.Connect != nil {
+			pol.ConnectAllow = append([]uint32{}, es.Connect...)
+		}
+		for p, m := range es.Mods {
+			pol.Mods[pkgName(p)] = m
+		}
+		specs = append(specs, litterbox.EnclosureSpec{
+			ID: i + 1, Name: fmt.Sprintf("e%d", i+1), Pkg: pkgName(es.Pkg), Policy: pol,
+		})
+	}
+
+	lb, err := litterbox.Init(litterbox.Config{
+		Image: img, Clock: clock, Kernel: k, Proc: proc,
+		Backend: backend, Specs: specs,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	cpu := hw.NewCPU(clock)
+	cpu.Inj = hw.NewInjector()
+	dom := &litterbox.FaultDomain{}
+	lb.BindWorker(clock, &litterbox.CPUState{Proc: proc, Domain: dom, Name: "probe-" + name})
+	if err := lb.InstallEnv(cpu, lb.Trusted()); err != nil {
+		return nil, err
+	}
+
+	w := &World{
+		Name: name, LB: lb, Img: img, Graph: g,
+		CPU: cpu, Clock: clock, K: k, Dom: dom,
+		Cache: litterbox.NewEnvCache(),
+		stack: []frame{{env: lb.Trusted(), encl: 0}},
+	}
+
+	// Pre-map the heap spans, seed each with a file path for the
+	// syscall ops, and transfer every span to its starting owner. The
+	// transfer also materialises backend page state for the span — a
+	// section mapped after Init is otherwise invisible to the page-table
+	// backends while MPK's default key would let trusted touch it.
+	for i := 0; i < NSpans; i++ {
+		sec, err := space.Map(fmt.Sprintf("probe-span-%d", i), kernel.HeapOwner,
+			mem.KindHeap, mem.PageSize, mem.PermR|mem.PermW)
+		if err != nil {
+			return nil, err
+		}
+		if err := space.WriteAt(sec.Base, []byte(fmt.Sprintf("/probe-%d", i))); err != nil {
+			return nil, err
+		}
+		w.Spans = append(w.Spans, sec)
+		owner := kernel.HeapOwner
+		if spec.SpanOwners[i] >= 0 {
+			owner = pkgName(spec.SpanOwners[i])
+		}
+		if err := lb.Transfer(cpu, sec, owner); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// BuildWorlds instantiates the spec under all four backends, baseline
+// first.
+func BuildWorlds(spec WorldSpec) ([]*World, error) {
+	var worlds []*World
+	for _, name := range backendNames {
+		w, err := BuildWorld(spec, name)
+		if err != nil {
+			return nil, fmt.Errorf("probe: building %s world: %w", name, err)
+		}
+		worlds = append(worlds, w)
+	}
+	return worlds, nil
+}
+
+// top returns the current frame.
+func (w *World) top() frame { return w.stack[len(w.stack)-1] }
+
+// bufAddr resolves a symbolic buffer slot to this world's address.
+func (w *World) bufAddr(slot int) mem.Addr {
+	if slot < 0 {
+		return bogusAddr
+	}
+	if slot < len(w.Spans) {
+		return w.Spans[slot].Base
+	}
+	return w.Img.Layout(pkgName(slot-len(w.Spans))).Data.Base
+}
+
+// argsFor assembles the concrete argument vector for a syscall op.
+// Path lengths are fixed at 8 bytes — the length of the "/probe-N"
+// strings seeded into the spans — so opens through a span slot hit real
+// simfs paths while other slots produce deterministic lookup failures.
+func (w *World) argsFor(op Op) [6]uint64 {
+	buf := uint64(w.bufAddr(op.Buf))
+	switch op.Nr {
+	case kernel.NrRead, kernel.NrRecv, kernel.NrWrite, kernel.NrSend:
+		return [6]uint64{uint64(op.FD), buf, op.Len}
+	case kernel.NrOpen:
+		return [6]uint64{buf, 8, uint64(op.Flags)}
+	case kernel.NrUnlink, kernel.NrMkdir, kernel.NrStat:
+		return [6]uint64{buf, 8}
+	case kernel.NrReadDir:
+		return [6]uint64{buf, 8, buf + 128, op.Len}
+	case kernel.NrBind, kernel.NrConnect:
+		return [6]uint64{uint64(op.FD), uint64(op.Host), uint64(op.Port)}
+	case kernel.NrListen, kernel.NrAccept, kernel.NrShutdown, kernel.NrClose, kernel.NrDup:
+		return [6]uint64{uint64(op.FD)}
+	case kernel.NrLseek:
+		return [6]uint64{uint64(op.FD), op.Len, 0}
+	case kernel.NrGetrandom:
+		return [6]uint64{buf, op.Len}
+	case kernel.NrMprotect:
+		return [6]uint64{buf, mem.PageSize, 3}
+	default: // socket, getuid, getpid, pipe: no arguments
+		return [6]uint64{}
+	}
+}

@@ -16,11 +16,12 @@ type EnvRule struct {
 	PKRU uint32
 	// Allowed lists permitted system-call numbers.
 	Allowed []uint32
-	// ConnectNr, if non-zero with ConnectAllow non-empty, enables the
-	// §6.5 extension: connect(2) is permitted only toward the listed
-	// destination hosts (the low 32 bits of args[1] in this kernel's
-	// connect ABI), letting packages like ssh-decorator keep their valid
-	// functionality while being unable to contact an exfiltration server.
+	// ConnectNr, if non-zero, enables the §6.5 extension: connect(2) is
+	// permitted only toward the hosts in ConnectAllow (the low 32 bits
+	// of args[1] in this kernel's connect ABI), letting packages like
+	// ssh-decorator keep their valid functionality while being unable
+	// to contact an exfiltration server. An empty ConnectAllow with
+	// ConnectNr set denies every connect.
 	ConnectNr    uint32
 	ConnectAllow []uint32
 }
@@ -65,7 +66,10 @@ func CompileFilter(rules []EnvRule, defaultAction, denyAction uint32) (*Program,
 func buildEnvBlock(r EnvRule, denyAction uint32) []Insn {
 	var block []Insn
 
-	if r.ConnectNr != 0 && len(r.ConnectAllow) > 0 {
+	// ConnectNr alone engages the argument check: an empty (but
+	// engaged) allowlist emits a block that denies every connect, which
+	// is how an intersection of disjoint allowlists must compile.
+	if r.ConnectNr != 0 {
 		// ld nr; jeq connect, 0, skip; ld arg1; (jeq ip,0,1; ret allow)*; ret deny
 		sub := []Insn{Stmt(OpLdAbsW, OffArgs+8)} // args[1] low word: dest host
 		for _, ip := range r.ConnectAllow {
@@ -83,7 +87,7 @@ func buildEnvBlock(r EnvRule, denyAction uint32) []Insn {
 	allowed := append([]uint32(nil), r.Allowed...)
 	sort.Slice(allowed, func(i, j int) bool { return allowed[i] < allowed[j] })
 	for _, nr := range allowed {
-		if nr == r.ConnectNr && len(r.ConnectAllow) > 0 {
+		if nr == r.ConnectNr && r.ConnectNr != 0 {
 			continue // already handled with argument checks
 		}
 		block = append(block,

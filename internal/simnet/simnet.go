@@ -35,6 +35,7 @@ var (
 	ErrClosed      = errors.New("simnet: use of closed connection")
 	ErrNotListener = errors.New("simnet: socket is not listening")
 	ErrUnreachable = errors.New("simnet: host unreachable")
+	ErrWouldBlock  = errors.New("simnet: operation would block")
 )
 
 const (
@@ -94,6 +95,23 @@ func (s *stream) read(p []byte) (int, error) {
 	return n, nil
 }
 
+// tryRead is the non-blocking read: data if buffered, EOF if closed,
+// ErrWouldBlock otherwise.
+func (s *stream) tryRead(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.buf) == 0 {
+		if s.closed {
+			return 0, ErrClosed
+		}
+		return 0, ErrWouldBlock
+	}
+	n := copy(p, s.buf)
+	s.buf = s.buf[n:]
+	s.cond.Broadcast()
+	return n, nil
+}
+
 func (s *stream) close() {
 	s.mu.Lock()
 	s.closed = true
@@ -116,6 +134,10 @@ func (c *Conn) RemoteAddr() Addr { return c.remote }
 
 // Read receives bytes from the peer, blocking until data or EOF.
 func (c *Conn) Read(p []byte) (int, error) { return c.rd.read(p) }
+
+// TryRead is the O_NONBLOCK Read: it returns ErrWouldBlock instead of
+// waiting when no data is buffered and the peer has not closed.
+func (c *Conn) TryRead(p []byte) (int, error) { return c.rd.tryRead(p) }
 
 // Write sends bytes to the peer.
 func (c *Conn) Write(p []byte) (int, error) { return c.wr.write(p) }
@@ -164,6 +186,22 @@ func (l *Listener) Accept() (*Conn, error) {
 	}
 	if len(l.queue) == 0 {
 		return nil, ErrClosed
+	}
+	c := l.queue[0]
+	l.queue = l.queue[1:]
+	return c, nil
+}
+
+// TryAccept is the O_NONBLOCK Accept: it returns ErrWouldBlock instead
+// of waiting when the backlog is empty and the listener is still open.
+func (l *Listener) TryAccept() (*Conn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.queue) == 0 {
+		if l.closed {
+			return nil, ErrClosed
+		}
+		return nil, ErrWouldBlock
 	}
 	c := l.queue[0]
 	l.queue = l.queue[1:]
