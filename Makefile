@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench tables scale security examples clean
+.PHONY: all build vet test race bench gobench tables scale security examples clean
 
 all: build vet test
 
@@ -18,7 +18,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Benchmark trajectory point (checked into the repo root): the
+# compiled-policy fast-path comparison, the scaling sweep, and the
+# differential probe sweep, as machine-readable JSON.
 bench:
+	$(GO) run ./cmd/enclosebench -trajectory BENCH_5.json
+
+# Host-side Go micro-benchmarks (not checked in).
+gobench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every table and figure of the paper's evaluation (§6).

@@ -17,10 +17,18 @@ func runProbe(args []string) {
 	seed := fs.Uint64("seed", 0xEC705E, "base seed; the same seed always replays the same traces")
 	n := fs.Int("n", 1, "number of traces to sweep from the seed")
 	ops := fs.Int("ops", 40, "operations per trace")
+	fastpath := fs.Bool("fastpath", true, "use the compiled verdict table (false: reference BPF interpreter)")
 	fs.Parse(args)
 
-	fmt.Printf("probing %d trace(s) from seed %#x (%d ops each) on baseline/mpk/vtx/cheri\n", *n, *seed, *ops)
-	stats, div, err := probe.Sweep(*seed, *n, *ops)
+	var configure func(*probe.World)
+	mode := "verdict-table fast path"
+	if !*fastpath {
+		configure = func(w *probe.World) { w.K.SetFastPath(false) }
+		mode = "reference BPF interpreter"
+	}
+	fmt.Printf("probing %d trace(s) from seed %#x (%d ops each) on baseline/mpk/vtx/cheri, %s\n",
+		*n, *seed, *ops, mode)
+	stats, div, err := probe.SweepConfigured(*seed, *n, *ops, configure)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,10 +1,11 @@
 // Command enclosebench regenerates every table and figure of the
 // paper's evaluation (§6) from the simulated implementation:
 //
-//	enclosebench -table 1     # micro-benchmarks (call/transfer/syscall)
-//	enclosebench -table 2     # bild, HTTP, FastHTTP + TCB study
-//	enclosebench -table scale # multi-core engine scaling sweep
-//	enclosebench -table probe # adversarial differential probe sweep
+//	enclosebench -table 1        # micro-benchmarks (call/transfer/syscall)
+//	enclosebench -table 2        # bild, HTTP, FastHTTP + TCB study
+//	enclosebench -table scale    # multi-core engine scaling sweep
+//	enclosebench -table probe    # adversarial differential probe sweep
+//	enclosebench -table fastpath # compiled-policy fast path before/after
 //	enclosebench -figure 4    # linked executable image layout
 //	enclosebench -figure 5    # wiki web-app with two enclosures
 //	enclosebench -python      # §6.4 CPython frontend experiments
@@ -14,6 +15,7 @@
 //	enclosebench -table 2 -projections   # adds the LB_CHERI column
 //	enclosebench -json results.json      # machine-readable everything
 //	enclosebench -table scale -json -    # scale sweep only, with trace snapshot
+//	enclosebench -trajectory BENCH_5.json  # fastpath + scale + probe point
 package main
 
 import (
@@ -29,7 +31,8 @@ import (
 func benchKind(i int) core.BackendKind { return core.BackendKind(i) }
 
 func main() {
-	table := flag.String("table", "", "regenerate a table: 1, 2, scale, or probe")
+	table := flag.String("table", "", "regenerate a table: 1, 2, scale, probe, or fastpath")
+	trajectory := flag.String("trajectory", "", "write the benchmark trajectory point (fastpath + scale + probe) to the given file")
 	figure := flag.Int("figure", 0, "regenerate Figure N (4 or 5)")
 	python := flag.Bool("python", false, "run the §6.4 Python experiments")
 	security := flag.Bool("security", false, "run the §6.5 attack scenarios")
@@ -44,6 +47,25 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "enclosebench:", err)
 		os.Exit(1)
+	}
+
+	if *trajectory != "" {
+		results, err := bench.CollectTrajectoryResults()
+		if err != nil {
+			fail(err)
+		}
+		if results.Probe.Divergences > 0 {
+			fail(fmt.Errorf("differential probe found %d divergence(s)", results.Probe.Divergences))
+		}
+		blob, err := bench.MarshalResults(results)
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*trajectory, blob, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", *trajectory, len(blob))
+		return
 	}
 
 	if *jsonOut != "" {
@@ -119,6 +141,14 @@ func main() {
 		if result.Divergences > 0 {
 			fail(fmt.Errorf("differential probe found %d divergence(s)", result.Divergences))
 		}
+	}
+	if *all || *table == "fastpath" {
+		ran = true
+		result, err := bench.RunFastpath(*iters)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.RenderFastpathTable(result))
 	}
 	if *all || *figure == 4 {
 		ran = true

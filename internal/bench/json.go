@@ -17,6 +17,8 @@ type Results struct {
 	TCB      []TCBRow          `json:"tcb"`
 	Figure5  []MacroEntry      `json:"figure5"`
 	Scale    []ScaleEntry      `json:"scale"`
+	Fastpath *FastpathResult   `json:"fastpath,omitempty"`
+	Probe    *ProbeBenchResult `json:"probe,omitempty"`
 	Python   []PythonEntry     `json:"python"`
 	Security []SecurityEntry   `json:"security"`
 	Paper    map[string]string `json:"paper_reference"`
@@ -112,6 +114,18 @@ func CollectResults(microIters int) (*Results, error) {
 	}
 	out.Scale = scale
 
+	fp, err := RunFastpath(microIters)
+	if err != nil {
+		return nil, err
+	}
+	out.Fastpath = &fp
+
+	pr, err := RunProbeBench(200, 40)
+	if err != nil {
+		return nil, err
+	}
+	out.Probe = &pr
+
 	py, err := PythonExperiments()
 	if err != nil {
 		return nil, err
@@ -141,18 +155,51 @@ func CollectResults(microIters int) (*Results, error) {
 
 // CollectScaleResults runs only the scaling sweep with a shared event
 // trace attached to every cell's program and returns the entries plus
-// the merged trace snapshot — the fast machine-readable smoke run CI
-// uses (`enclosebench -table scale -json -`).
+// the merged trace snapshot and a quick fast-path comparison — the
+// fast machine-readable smoke run CI uses
+// (`enclosebench -table scale -json -`).
 func CollectScaleResults() (*Results, error) {
 	tr := obs.New(1024)
 	entries, err := RunScale(core.WithTracer(tr))
 	if err != nil {
 		return nil, err
 	}
+	fp, err := RunFastpath(50000)
+	if err != nil {
+		return nil, err
+	}
 	snap := tr.Snapshot()
 	return &Results{
-		Scale: entries,
-		Trace: &snap,
+		Scale:    entries,
+		Fastpath: &fp,
+		Trace:    &snap,
+		Paper: map[string]string{
+			"title": "Enclosure: Language-Based Restriction of Untrusted Libraries",
+			"venue": "ASPLOS 2021",
+		},
+	}, nil
+}
+
+// CollectTrajectoryResults assembles the benchmark trajectory point
+// checked into the repo root (BENCH_N.json): the fast-path comparison,
+// the scaling sweep, and the differential probe sweep.
+func CollectTrajectoryResults() (*Results, error) {
+	fp, err := RunFastpath(200000)
+	if err != nil {
+		return nil, err
+	}
+	scale, err := RunScale()
+	if err != nil {
+		return nil, err
+	}
+	pr, err := RunProbeBench(200, 40)
+	if err != nil {
+		return nil, err
+	}
+	return &Results{
+		Fastpath: &fp,
+		Scale:    scale,
+		Probe:    &pr,
 		Paper: map[string]string{
 			"title": "Enclosure: Language-Based Restriction of Untrusted Libraries",
 			"venue": "ASPLOS 2021",

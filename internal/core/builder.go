@@ -78,6 +78,9 @@ type Builder struct {
 	tracer        *obs.Trace
 	audit         *obs.Audit
 	engineWorkers int
+
+	// noTableSharing disables LB_VTX page-table sharing (options.go).
+	noTableSharing bool
 }
 
 // NewBuilder returns a program builder targeting the given backend,
@@ -279,7 +282,11 @@ func (b *Builder) Build() (*Program, error) {
 	case MPK:
 		backend = litterbox.NewMPK(mpk.NewUnit(space, clock))
 	case VTX:
-		backend = litterbox.NewVTX(vtx.NewMachine(space, clock))
+		vb := litterbox.NewVTX(vtx.NewMachine(space, clock))
+		if b.noTableSharing {
+			vb.SetSharing(false)
+		}
+		backend = vb
 	case CHERI:
 		backend = litterbox.NewCHERI(cheri.NewUnit(clock))
 	default:

@@ -28,6 +28,7 @@ type WorkerMetrics struct {
 	ClockNs  int64  `json:"clock_ns"`  // accrued virtual time
 	EnvHits  int64  `json:"env_hits"`  // Prolog cache hits
 	EnvMiss  int64  `json:"env_miss"`  // Prolog cache misses
+	EnvGen   uint64 `json:"env_gen"`   // snapshot view generation the cache entries resolve under
 
 	Counters hw.CounterSnapshot `json:"counters"` // hardware events on this worker
 }
@@ -53,6 +54,7 @@ func (e *Engine) Metrics() []WorkerMetrics {
 			ClockNs:  w.ctx.Clock().Now(),
 			EnvHits:  hits,
 			EnvMiss:  misses,
+			EnvGen:   w.ctx.EnvCache().Generation(),
 			Counters: w.ctx.Counters().Snapshot(),
 		}
 	}

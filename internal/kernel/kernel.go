@@ -33,16 +33,37 @@ type Kernel struct {
 	clock *hw.Clock
 	space *mem.AddressSpace
 
-	mu     sync.Mutex
-	filter *seccomp.Program
-	pkeys  PkeyOps
-	rng    uint64
-	spans  map[mem.Addr]*mem.Section
-	nspan  int
+	mu    sync.Mutex
+	pkeys PkeyOps
+	rng   uint64
+	spans map[mem.Addr]*mem.Section
+	nspan int
+
+	// filter holds the installed policy in both compiled forms; an
+	// atomic pointer so the syscall hot path never takes k.mu. The
+	// pointee is immutable: installs swap the whole state.
+	filter atomic.Pointer[filterState]
+
+	// fastOff disables the verdict-table fast path (zero value = fast
+	// path on whenever a table is installed); crossCheck additionally
+	// runs the BPF interpreter on every fast-path verdict and counts
+	// disagreements — the runtime differential oracle behind the fuzzed
+	// one in internal/seccomp.
+	fastOff      atomic.Bool
+	crossCheck   atomic.Bool
+	divergences  atomic.Int64
+	fastVerdicts atomic.Int64
 
 	// trace holds a *TraceSource; atomic so the syscall hot path reads
 	// it without taking the kernel lock.
 	trace atomic.Value
+}
+
+// filterState pairs the reference BPF program with its O(1) verdict
+// table (nil when the filter was installed interpreter-only).
+type filterState struct {
+	prog  *seccomp.Program
+	table *seccomp.VerdictTable
 }
 
 // TraceSource resolves the tracer and attribution for one dispatched
@@ -99,12 +120,48 @@ func New(space *mem.AddressSpace, clock *hw.Clock) *Kernel {
 	}
 }
 
-// SetSeccompFilter installs (or clears) the BPF system-call filter.
+// SetSeccompFilter installs (or clears) the BPF system-call filter in
+// interpreter-only form; every verdict runs Program.Run.
 func (k *Kernel) SetSeccompFilter(p *seccomp.Program) {
-	k.mu.Lock()
-	k.filter = p
-	k.mu.Unlock()
+	if p == nil {
+		k.filter.Store(nil)
+		return
+	}
+	k.filter.Store(&filterState{prog: p})
 }
+
+// SetCompiledFilter installs both artifact forms of a filter: the BPF
+// program stays the reference, the verdict table answers the hot path
+// in O(1) unless SetFastPath(false) forces interpretation.
+func (k *Kernel) SetCompiledFilter(art *seccomp.Artifacts) {
+	if art == nil {
+		k.filter.Store(nil)
+		return
+	}
+	k.filter.Store(&filterState{prog: art.Prog, table: art.Table})
+}
+
+// SetFastPath enables or disables verdict-table dispatch. The virtual
+// cost model is unaffected either way (CostBPFFilter is charged per
+// filtered call regardless): the toggle only selects which host-side
+// mechanism computes the verdict, so differential runs can compare the
+// two paths bit-for-bit.
+func (k *Kernel) SetFastPath(enabled bool) { k.fastOff.Store(!enabled) }
+
+// FastPathEnabled reports whether verdict tables are consulted.
+func (k *Kernel) FastPathEnabled() bool { return !k.fastOff.Load() }
+
+// SetCrossCheck makes every fast-path verdict also run the BPF
+// interpreter; disagreements are counted (and the interpreter, being
+// the reference, wins).
+func (k *Kernel) SetCrossCheck(enabled bool) { k.crossCheck.Store(enabled) }
+
+// FilterDivergences returns how many cross-checked verdicts disagreed
+// with the reference interpreter (must stay zero).
+func (k *Kernel) FilterDivergences() int64 { return k.divergences.Load() }
+
+// FastVerdicts returns how many verdicts the table answered.
+func (k *Kernel) FastVerdicts() int64 { return k.fastVerdicts.Load() }
 
 // SetPkeyOps wires in the MPK unit's key management.
 func (k *Kernel) SetPkeyOps(ops PkeyOps) {
@@ -241,10 +298,10 @@ func (k *Kernel) Invoke(p *Proc, cpu *hw.CPU, nr Nr, args [6]uint64) (uint64, Er
 	cpu.Clock.Advance(hw.CostSyscall)
 	cpu.Counters.Syscalls.Add(1)
 
-	k.mu.Lock()
-	filter := k.filter
-	k.mu.Unlock()
-	if filter != nil {
+	if fs := k.filter.Load(); fs != nil {
+		// The virtual machine still pays the filter tax per call — the
+		// verdict table changes which host mechanism computes the
+		// verdict, not what the simulated hardware charges.
 		cpu.Clock.Advance(hw.CostBPFFilter)
 		cpu.Counters.BPFRuns.Add(1)
 		d := &seccomp.Data{
@@ -253,7 +310,7 @@ func (k *Kernel) Invoke(p *Proc, cpu *hw.CPU, nr Nr, args [6]uint64) (uint64, Er
 			Args: args,
 			PKRU: uint32(cpu.PeekPKRU()),
 		}
-		verdict, err := filter.Run(d)
+		verdict, err := k.runFilter(fs, d)
 		if err != nil {
 			return 0, EINVAL
 		}
@@ -270,6 +327,29 @@ func (k *Kernel) Invoke(p *Proc, cpu *hw.CPU, nr Nr, args [6]uint64) (uint64, Er
 	ret, errno := k.dispatch(p, cpu, nr, args)
 	k.emitSyscall(cpu, nr, errno, obs.VerdictAllow, start)
 	return ret, errno
+}
+
+// runFilter computes the installed filter's verdict for d: one verdict
+// table load when the fast path is live, the BPF interpreter otherwise.
+// Under cross-check mode both run and the interpreter's answer is
+// authoritative.
+func (k *Kernel) runFilter(fs *filterState, d *seccomp.Data) (uint32, error) {
+	if fs.table == nil || k.fastOff.Load() {
+		return fs.prog.Run(d)
+	}
+	v := fs.table.Verdict(d)
+	k.fastVerdicts.Add(1)
+	if k.crossCheck.Load() && fs.prog != nil {
+		ref, err := fs.prog.Run(d)
+		if err != nil {
+			return 0, err
+		}
+		if ref != v {
+			k.divergences.Add(1)
+			return ref, nil
+		}
+	}
+	return v, nil
 }
 
 // InvokeUnfiltered executes a system call bypassing the BPF filter — the

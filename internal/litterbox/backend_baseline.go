@@ -53,7 +53,10 @@ func (b *BaselineBackend) Transfer(cpu *hw.CPU, sec *mem.Section, toPkg string) 
 	return nil
 }
 
-// Syscall implements Backend: native, unfiltered system calls.
+// Syscall implements Backend: native, unfiltered system calls, by
+// construction rather than by the accident of no filter being
+// installed — this is the unfiltered cost floor the verdict-table
+// fast path is measured against (Table 1's baseline "syscall" row).
 func (b *BaselineBackend) Syscall(cpu *hw.CPU, env *Env, nr kernel.Nr, args [6]uint64) (uint64, kernel.Errno) {
-	return b.lb.Kernel.Invoke(b.lb.ProcFor(cpu), cpu, nr, args)
+	return b.lb.Kernel.InvokeUnfiltered(b.lb.ProcFor(cpu), cpu, nr, args)
 }

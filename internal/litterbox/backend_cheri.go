@@ -144,18 +144,8 @@ func (b *CHERIBackend) Syscall(cpu *hw.CPU, env *Env, nr kernel.Nr, args [6]uint
 	if !env.AllowsSyscall(nr) {
 		return 0, kernel.ESECCOMP
 	}
-	if nr == kernel.NrConnect && !env.Trusted && env.ConnectAllow != nil {
-		host := uint32(args[1])
-		ok := false
-		for _, h := range env.ConnectAllow {
-			if h == host {
-				ok = true
-				break
-			}
-		}
-		if !ok {
-			return 0, kernel.ESECCOMP
-		}
+	if nr == kernel.NrConnect && !env.ConnectAllowed(uint32(args[1])) {
+		return 0, kernel.ESECCOMP
 	}
 	return b.lb.Kernel.InvokeUnfiltered(b.lb.ProcFor(cpu), cpu, nr, args)
 }

@@ -319,7 +319,11 @@ func intersectNrs(a, c []uint32) []uint32 {
 	return out
 }
 
-// reloadFilter recompiles and installs the BPF program.
+// reloadFilter recompiles and installs the filter in both artifact
+// forms. The compile goes through the content-addressed cache, so the
+// incremental installs CreateEnv triggers (one per materialised
+// intersection) and full re-derivations after dynamic imports reuse
+// earlier compilations whenever the effective rule set is unchanged.
 func (b *MPKBackend) reloadFilter() error {
 	b.mu.Lock()
 	rules := make([]seccomp.EnvRule, 0, len(b.rules))
@@ -327,11 +331,11 @@ func (b *MPKBackend) reloadFilter() error {
 		rules = append(rules, r)
 	}
 	b.mu.Unlock()
-	prog, err := seccomp.CompileFilter(rules, seccomp.RetTrap, seccomp.RetTrap)
+	art, err := seccomp.CompileArtifactsCached(rules, seccomp.RetTrap, seccomp.RetTrap)
 	if err != nil {
 		return fmt.Errorf("litterbox/mpk: compiling seccomp filter: %w", err)
 	}
-	b.lb.Kernel.SetSeccompFilter(prog)
+	b.lb.Kernel.SetCompiledFilter(art)
 	return nil
 }
 

@@ -2,6 +2,10 @@ package litterbox
 
 import (
 	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
 
 	"github.com/litterbox-project/enclosure/internal/hw"
 	"github.com/litterbox-project/enclosure/internal/kernel"
@@ -19,11 +23,75 @@ import (
 type VTXBackend struct {
 	machine *vtx.Machine
 	lb      *LitterBox
+
+	// noShare disables content-addressed page-table sharing (the
+	// benchmark's reference path: every environment builds its table
+	// from scratch and transfers walk every table individually).
+	noShare atomic.Bool
+
+	// sigs is the content-addressed registry: canonical memory-view key
+	// → the table handle of the first environment built with that view.
+	// A later environment with an identical view clones the handle
+	// (O(1)) instead of rebuilding, sharing physical storage copy-on-
+	// write. Keys are the full canonical view rendering — never a bare
+	// hash — so colliding views can never alias each other's tables.
+	// The registry stays valid across transfers (a table's content is a
+	// function of the view and the current section owners, and shared
+	// transfers update every sharer) but not across dynamic imports,
+	// which mutate views in place; those clear it.
+	sigMu sync.Mutex
+	sigs  map[string]int
 }
 
 // NewVTX returns an LB_VTX backend over the simulated machine.
 func NewVTX(machine *vtx.Machine) *VTXBackend {
-	return &VTXBackend{machine: machine}
+	return &VTXBackend{machine: machine, sigs: make(map[string]int)}
+}
+
+// SetSharing toggles content-addressed page-table sharing (on by
+// default; the fastpath benchmark's reference arm turns it off).
+func (b *VTXBackend) SetSharing(on bool) {
+	b.noShare.Store(!on)
+	if !on {
+		b.sigMu.Lock()
+		b.sigs = make(map[string]int)
+		b.sigMu.Unlock()
+	}
+}
+
+// SharingEnabled reports whether table sharing is active.
+func (b *VTXBackend) SharingEnabled() bool { return !b.noShare.Load() }
+
+// ShareStats returns (table clones, copy-on-write splits) so far.
+func (b *VTXBackend) ShareStats() (clones, splits int64) { return b.machine.ShareStats() }
+
+// viewKey canonically renders an environment's memory view. Two
+// environments with equal keys have bit-identical page tables at every
+// point in time, whatever transfers have happened since Init: table
+// content is a function of (view, current section owners) only. The
+// key deliberately ignores Cats and ConnectAllow — the syscall filter
+// is not encoded in page tables, so environments differing only there
+// can still share one.
+func viewKey(env *Env) string {
+	if env.Trusted {
+		return "T" // the trusted view is unique by construction
+	}
+	view := env.viewSnapshot()
+	names := make([]string, 0, len(view))
+	for n := range view {
+		if view[n] != ModU {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, n := range names {
+		sb.WriteString(n)
+		sb.WriteByte(0)
+		sb.WriteByte(byte(view[n]))
+		sb.WriteByte(0)
+	}
+	return sb.String()
 }
 
 // Name implements Backend.
@@ -49,21 +117,67 @@ func (b *VTXBackend) Setup(lb *LitterBox) error {
 	return nil
 }
 
-// CreateEnv implements Backend: build the environment's page table from
-// its memory view.
+// CreateEnv implements Backend: resolve the environment's memory view
+// in the content-addressed registry and clone the matching table when
+// one exists (O(1), copy-on-write); otherwise build the table from the
+// view and register it.
 func (b *VTXBackend) CreateEnv(env *Env) error {
-	table := b.machine.CreateTable()
+	if b.noShare.Load() {
+		table, err := b.buildTable(env)
+		if err != nil {
+			return err
+		}
+		env.Table = table
+		return nil
+	}
+	key := viewKey(env)
+	b.sigMu.Lock()
+	src, hit := b.sigs[key]
+	b.sigMu.Unlock()
+	if hit {
+		table, err := b.machine.CloneTable(src)
+		if err != nil {
+			return fmt.Errorf("litterbox/vtx: env %s: %w", env.Name, err)
+		}
+		env.Table = table
+		return nil
+	}
+	table, err := b.buildTable(env)
+	if err != nil {
+		return err
+	}
 	env.Table = table
+	b.sigMu.Lock()
+	// First builder wins if another goroutine raced us here — both built
+	// correct tables, we only lose the sharing opportunity.
+	if _, exists := b.sigs[key]; !exists {
+		b.sigs[key] = table
+	}
+	b.sigMu.Unlock()
+	return nil
+}
+
+// buildTable constructs a fresh page table from the view.
+func (b *VTXBackend) buildTable(env *Env) (int, error) {
+	table := b.machine.CreateTable()
 	for _, sec := range b.lb.Space.Sections() {
 		rights := b.rightsIn(env, sec)
 		if rights == mem.PermNone {
 			continue
 		}
 		if err := b.machine.MapSection(table, sec, rights); err != nil {
-			return fmt.Errorf("litterbox/vtx: env %s: %w", env.Name, err)
+			return 0, fmt.Errorf("litterbox/vtx: env %s: %w", env.Name, err)
 		}
 	}
-	return nil
+	return table, nil
+}
+
+// invalidateSignatures clears the registry; dynamic imports mutate
+// views in place, so registered keys no longer describe their tables.
+func (b *VTXBackend) invalidateSignatures() {
+	b.sigMu.Lock()
+	b.sigs = make(map[string]int)
+	b.sigMu.Unlock()
 }
 
 // rightsIn computes the page rights env grants on a section.
@@ -118,12 +232,31 @@ func (b *VTXBackend) CheckExec(cpu *hw.CPU, env *Env, pkg string, entry mem.Addr
 func (b *VTXBackend) Transfer(cpu *hw.CPU, sec *mem.Section, toPkg string) error {
 	cpu.Clock.Advance(hw.CostEPTToggle)
 	envs := b.lb.EnvsSnapshot()
+	share := !b.noShare.Load()
+	// Environments sharing a physical table need the presence bits
+	// toggled only once: sharing implies identical views, and transfer
+	// rights are a function of the view, so one shared update is exact
+	// for every sharer. done tracks visited physical tables.
+	var done map[int]struct{}
+	if share {
+		done = make(map[int]struct{}, len(envs))
+	}
 	for i, env := range envs {
 		// Consult the fault injector once per transfer, positioned so an
 		// interruption strikes after some tables were already updated —
-		// the partial-failure case LitterBox's rollback must repair.
+		// the partial-failure case LitterBox's rollback must repair. The
+		// consultation happens at the last environment whether or not its
+		// physical table was already toggled, so injected traces are
+		// identical with sharing on and off.
 		if i == len(envs)-1 && transferInterrupted(cpu) {
 			return ErrInjectedTransfer
+		}
+		if share {
+			phys := b.machine.PhysOf(env.Table)
+			if _, seen := done[phys]; seen {
+				continue
+			}
+			done[phys] = struct{}{}
 		}
 		// Compute rights as if the section were owned by toPkg.
 		mod := env.ModOf(toPkg)
@@ -131,13 +264,18 @@ func (b *VTXBackend) Transfer(cpu *hw.CPU, sec *mem.Section, toPkg string) error
 			mod = ModU // pooled spans are invisible everywhere (see rightsIn)
 		}
 		rights := sectionRights(mod, sec.Kind) & sec.Perm
-		if rights == mem.PermNone {
-			if err := b.machine.UnmapSection(env.Table, sec); err != nil {
-				return err
-			}
-			continue
+		var err error
+		switch {
+		case rights == mem.PermNone && share:
+			err = b.machine.UnmapSectionShared(env.Table, sec)
+		case rights == mem.PermNone:
+			err = b.machine.UnmapSection(env.Table, sec)
+		case share:
+			err = b.machine.MapSectionShared(env.Table, sec, rights)
+		default:
+			err = b.machine.MapSection(env.Table, sec, rights)
 		}
-		if err := b.machine.MapSection(env.Table, sec, rights); err != nil {
+		if err != nil {
 			return err
 		}
 	}
@@ -154,18 +292,8 @@ func (b *VTXBackend) Syscall(cpu *hw.CPU, env *Env, nr kernel.Nr, args [6]uint64
 	if !env.AllowsSyscall(nr) {
 		return 0, kernel.ESECCOMP
 	}
-	if nr == kernel.NrConnect && !env.Trusted && env.ConnectAllow != nil {
-		host := uint32(args[1])
-		ok := false
-		for _, h := range env.ConnectAllow {
-			if h == host {
-				ok = true
-				break
-			}
-		}
-		if !ok {
-			return 0, kernel.ESECCOMP
-		}
+	if nr == kernel.NrConnect && !env.ConnectAllowed(uint32(args[1])) {
+		return 0, kernel.ESECCOMP
 	}
 	type result struct {
 		ret   uint64

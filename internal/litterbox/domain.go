@@ -169,3 +169,12 @@ func (c *EnvCache) store(from EnvID, encl int, e *Env, epoch uint64) {
 func (c *EnvCache) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
 }
+
+// Generation returns the snapshot view generation the cache's entries
+// were resolved under — engine metrics surface it per worker, so a
+// worker still answering from a pre-import generation is visible.
+func (c *EnvCache) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}

@@ -70,7 +70,7 @@ func (lb *LitterBox) AddDynamicPackage(cpu *hw.CPU, p *pkggraph.Package, secs []
 	// pre-import environments). Bumped before the backend maps anything
 	// so no cache refilled mid-import survives it, and regardless of the
 	// mapping's outcome.
-	lb.viewEpoch.Add(1)
+	lb.bumpViewGen()
 
 	if err := dm.MapDynamicPackage(cpu, p.Name, secs, visibleTo); err != nil {
 		// Roll the views and clustering tables back: the backend created
@@ -92,7 +92,7 @@ func (lb *LitterBox) AddDynamicPackage(cpu *hw.CPU, p *pkggraph.Package, secs []
 			}
 			env.removeFromView(p.Name)
 		}
-		lb.viewEpoch.Add(1)
+		lb.bumpViewGen()
 		return err
 	}
 	lb.emit(cpu, obs.Event{Kind: obs.KindInit, Detail: fmt.Sprintf("dynamic package %s (+%d sections)", p.Name, len(secs))})
@@ -108,8 +108,15 @@ func (b *BaselineBackend) MapDynamicPackage(cpu *hw.CPU, pkg string, secs []*mem
 
 // --- VT-x: map the sections into the visible tables. ------------------
 
-// MapDynamicPackage implements DynamicMapper.
+// MapDynamicPackage implements DynamicMapper. This is the incremental
+// delta path: only the new sections are mapped into the importing
+// environments' tables — never a full rebuild. MapSection is the
+// copy-on-write form, so an importer sharing a physical table splits
+// off its own copy first; non-importing sharers keep the old view. The
+// import mutates views in place, invalidating the content-addressed
+// registry's keys, so it is cleared.
 func (b *VTXBackend) MapDynamicPackage(cpu *hw.CPU, pkg string, secs []*mem.Section, visibleTo []*Env) error {
+	b.invalidateSignatures()
 	targets := append([]*Env{b.lb.Trusted()}, visibleTo...)
 	for _, env := range targets {
 		mod := ModRWX

@@ -44,6 +44,11 @@ type Env struct {
 	// Trusted marks the distinguished non-enclosed environment.
 	Trusted bool
 
+	// connectSet is the O(1) form of ConnectAllow, built on first use
+	// (ConnectAllow is immutable after construction).
+	connectOnce sync.Once
+	connectSet  map[uint32]struct{}
+
 	// Hardware handles, owned by the backend.
 	PKRU  hw.PKRU // LB_MPK
 	Table int     // LB_VTX page-table id
@@ -108,6 +113,26 @@ func (e *Env) AllowsSyscall(nr kernel.Nr) bool {
 	}
 	cat := kernel.CategoryOf(nr)
 	return cat != kernel.CatNone && e.Cats.Has(cat)
+}
+
+// ConnectAllowed reports whether the environment permits a connect to
+// host: always when ConnectAllow is nil (unrestricted), otherwise by a
+// set-membership test — the guest-side equivalent of the verdict
+// table's connect hash set, replacing the per-call linear scan the VTX
+// and CHERI filters used to run.
+func (e *Env) ConnectAllowed(host uint32) bool {
+	if e.Trusted || e.ConnectAllow == nil {
+		return true
+	}
+	e.connectOnce.Do(func() {
+		m := make(map[uint32]struct{}, len(e.ConnectAllow))
+		for _, h := range e.ConnectAllow {
+			m[h] = struct{}{}
+		}
+		e.connectSet = m
+	})
+	_, ok := e.connectSet[host]
+	return ok
 }
 
 // MoreRestrictiveThan reports whether e grants no right t does not: the

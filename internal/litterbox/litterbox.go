@@ -122,13 +122,19 @@ type LitterBox struct {
 	backend Backend
 	graph   *pkggraph.Graph
 
+	// mu is the env-state *writer* lock: snapshot publication, ID
+	// allocation, and the clustering tables serialise on it. Readers
+	// never take it — they load lb.snap.
 	mu      sync.Mutex
-	envs    map[EnvID]*Env
 	nextEnv EnvID
 	trusted *Env
-	byEncl  map[int]EnvID  // enclosure ID → environment
 	verif   map[int]uint64 // enclosure ID → expected call-site token
-	inter   map[[2]EnvID]*interEntry
+
+	// snap is the atomically-swapped immutable env read-path state
+	// (see snapshot.go); lockedReads reroutes readers through lb.mu
+	// for the contention benchmark's reference measurements.
+	snap        atomic.Pointer[envSnapshot]
+	lockedReads atomic.Bool
 
 	// cpus maps *hw.Clock → *CPUState for worker CPUs (see domain.go).
 	cpus sync.Map
@@ -136,12 +142,6 @@ type LitterBox struct {
 	// Meta-package clustering results (for introspection and LB_MPK).
 	metaPkgs  [][]string
 	pkgToMeta map[string]int
-
-	// viewEpoch counts view-shape changes (dynamic imports). Per-worker
-	// EnvCaches record the epoch they were filled under and flush when
-	// it moves, so no worker keeps resolving Prolog targets against a
-	// view that has since been extended.
-	viewEpoch atomic.Uint64
 
 	aborted atomic.Bool
 	fault   atomic.Pointer[Fault]
@@ -164,12 +164,13 @@ func Init(cfg Config) (*LitterBox, error) {
 		Proc:     cfg.Proc,
 		backend:  cfg.Backend,
 		graph:    img.Graph,
-		envs:     make(map[EnvID]*Env),
-		byEncl:   make(map[int]EnvID),
 		verif:    make(map[int]uint64),
-		inter:    make(map[[2]EnvID]*interEntry),
 		audit:    cfg.Audit,
 		enclName: make(map[int]string),
+	}
+	snap := &envSnapshot{
+		byEncl: make(map[int]EnvID),
+		inter:  make(map[[2]EnvID]*interEntry),
 	}
 	if cfg.Trace != nil {
 		lb.trace.Store(cfg.Trace)
@@ -198,7 +199,7 @@ func Init(cfg Config) (*LitterBox, error) {
 
 	// The trusted environment.
 	lb.trusted = &Env{ID: TrustedEnv, Name: "trusted", Trusted: true, Cats: kernel.CatAll}
-	lb.envs[TrustedEnv] = lb.trusted
+	snap.envs = append(snap.envs, lb.trusted)
 	lb.nextEnv = 1
 
 	// Compute each enclosure's complete memory view.
@@ -209,10 +210,13 @@ func Init(cfg Config) (*LitterBox, error) {
 		}
 		env.ID = lb.nextEnv
 		lb.nextEnv++
-		lb.envs[env.ID] = env
-		lb.byEncl[spec.ID] = env.ID
+		snap.envs = append(snap.envs, env)
+		snap.byEncl[spec.ID] = env.ID
 		lb.enclName[spec.ID] = spec.Name
 	}
+	// Publish before clustering and backend setup: both resolve envs
+	// through the snapshot read path.
+	lb.snap.Store(snap)
 
 	// Cluster packages across all memory views into meta-packages.
 	lb.cluster()
@@ -234,7 +238,7 @@ func Init(cfg Config) (*LitterBox, error) {
 
 	lb.emit(nil, obs.Event{
 		Kind:   obs.KindInit,
-		Detail: fmt.Sprintf("%d environments, %d meta-packages", len(lb.envs), len(lb.metaPkgs)),
+		Detail: fmt.Sprintf("%d environments, %d meta-packages", len(snap.envs), len(lb.metaPkgs)),
 	})
 	return lb, nil
 }
@@ -329,11 +333,12 @@ func (lb *LitterBox) computeView(spec EnclosureSpec) (*Env, error) {
 // across every environment; each group is a meta-package and, under
 // LB_MPK, receives one protection key (§5.3).
 func (lb *LitterBox) cluster() {
+	envs := lb.snap.Load().envs
 	sig := make(map[string]string)
 	for _, name := range lb.graph.Names() {
 		s := ""
-		for id := EnvID(0); id < lb.nextEnv; id++ {
-			s += lb.envs[id].ModOf(name).String() + "|"
+		for _, e := range envs {
+			s += e.ModOf(name).String() + "|"
 		}
 		sig[name] = s
 	}
@@ -385,36 +390,32 @@ func (lb *LitterBox) MetaOf(pkg string) int {
 func (lb *LitterBox) Trusted() *Env { return lb.trusted }
 
 // EnvForEnclosure returns the environment computed for an enclosure ID.
+// Lock-free: it resolves against the current snapshot.
 func (lb *LitterBox) EnvForEnclosure(id int) (*Env, error) {
-	lb.mu.Lock()
-	defer lb.mu.Unlock()
-	eid, ok := lb.byEncl[id]
+	s := lb.readSnap()
+	eid, ok := s.byEncl[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: id=%d", ErrUnknownEncl, id)
 	}
-	return lb.envs[eid], nil
+	return s.envs[eid], nil
 }
 
-// Env returns an environment by its ID.
+// Env returns an environment by its ID. Lock-free.
 func (lb *LitterBox) Env(id EnvID) (*Env, bool) {
-	lb.mu.Lock()
-	defer lb.mu.Unlock()
-	e, ok := lb.envs[id]
-	return e, ok
+	s := lb.readSnap()
+	if id < 0 || int(id) >= len(s.envs) {
+		return nil, false
+	}
+	return s.envs[id], true
 }
 
 // EnvsSnapshot returns all current environments (trusted, per-enclosure,
-// and materialised intersections) in ID order.
+// and materialised intersections) in ID order. The returned slice is
+// the snapshot's own immutable backing array — callers iterate it, they
+// must not mutate it. Lock-free, allocation-free: the VTX and CHERI
+// backends call this on every Transfer.
 func (lb *LitterBox) EnvsSnapshot() []*Env {
-	lb.mu.Lock()
-	defer lb.mu.Unlock()
-	out := make([]*Env, 0, len(lb.envs))
-	for id := EnvID(0); id < lb.nextEnv; id++ {
-		if e, ok := lb.envs[id]; ok {
-			out = append(out, e)
-		}
-	}
-	return out
+	return lb.readSnap().envs
 }
 
 // Backend exposes the active backend (for stats and tests).
@@ -480,14 +481,22 @@ func (lb *LitterBox) targetEnv(from, to *Env) (*Env, error) {
 		return to, nil
 	}
 	key := [2]EnvID{from.ID, to.ID}
+	// Fast path: the entry is usually already in the snapshot, so the
+	// common nested Prolog resolves without the writer lock.
+	if ent, ok := lb.readSnap().inter[key]; ok {
+		<-ent.ready
+		return ent.env, ent.err
+	}
 	lb.mu.Lock()
-	if ent, ok := lb.inter[key]; ok {
+	// Re-check under the writer lock: another worker may have published
+	// the entry between our snapshot load and acquiring mu.
+	if ent, ok := lb.snap.Load().inter[key]; ok {
 		lb.mu.Unlock()
 		<-ent.ready
 		return ent.env, ent.err
 	}
 	ent := &interEntry{ready: make(chan struct{})}
-	lb.inter[key] = ent
+	lb.publishLocked(func(s *envSnapshot) { s.inter[key] = ent })
 	e := intersect(from, to)
 	lb.mu.Unlock()
 
@@ -497,7 +506,7 @@ func (lb *LitterBox) targetEnv(from, to *Env) (*Env, error) {
 		// not poison the nesting pair forever. The EnvID is only
 		// allocated on success, so none leaks here.
 		lb.mu.Lock()
-		delete(lb.inter, key)
+		lb.publishLocked(func(s *envSnapshot) { delete(s.inter, key) })
 		lb.mu.Unlock()
 		ent.err = err
 		close(ent.ready)
@@ -506,7 +515,9 @@ func (lb *LitterBox) targetEnv(from, to *Env) (*Env, error) {
 	lb.mu.Lock()
 	e.ID = lb.nextEnv
 	lb.nextEnv++
-	lb.envs[e.ID] = e
+	// Append keeps the snapshot's envs slice dense: e.ID == the new
+	// index because IDs are allocated in publication order under mu.
+	lb.publishLocked(func(s *envSnapshot) { s.envs = append(s.envs, e) })
 	lb.mu.Unlock()
 	ent.env = e
 	close(ent.ready)
@@ -528,7 +539,7 @@ func (lb *LitterBox) PrologWith(cpu *hw.CPU, from *Env, enclID int, token uint64
 		return nil, ErrAborted
 	}
 	var target *Env
-	epoch := lb.viewEpoch.Load()
+	epoch := lb.readSnap().viewGen
 	if cache != nil {
 		target = cache.lookup(from.ID, enclID, epoch)
 	}

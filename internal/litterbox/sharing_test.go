@@ -1,0 +1,174 @@
+package litterbox_test
+
+// Content-addressed page-table sharing under LB_VTX: environments with
+// identical memory views share one physical table copy-on-write;
+// transfers update sharers once; dynamic imports split the importer
+// off; the sharing and non-sharing paths grant identical rights.
+
+import (
+	"testing"
+
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+	"github.com/litterbox-project/enclosure/internal/mem"
+	"github.com/litterbox-project/enclosure/internal/pkggraph"
+	"github.com/litterbox-project/enclosure/internal/vtx"
+)
+
+// twinEnclosures returns two enclosures with identical memory views
+// (same declaring package, same policy) but different syscall
+// categories — page tables can still share, since they encode only the
+// memory view.
+func twinEnclosures() []litterbox.EnclosureSpec {
+	return []litterbox.EnclosureSpec{
+		{
+			ID: 1, Name: "e1", Pkg: "main",
+			Policy: litterbox.Policy{
+				Mods: map[string]litterbox.AccessMod{"secrets": litterbox.ModR},
+				Cats: kernel.CatProc,
+			},
+		},
+		{
+			ID: 2, Name: "e2", Pkg: "main",
+			Policy: litterbox.Policy{
+				Mods: map[string]litterbox.AccessMod{"secrets": litterbox.ModR},
+				Cats: kernel.CatProc | kernel.CatNet,
+			},
+		},
+	}
+}
+
+func TestVTXIdenticalViewsShareTable(t *testing.T) {
+	f := newFixture(t)
+	machine := vtx.NewMachine(f.space, f.clock)
+	lb := f.initWith(t, litterbox.NewVTX(machine), twinEnclosures()...)
+
+	env1, _ := lb.EnvForEnclosure(1)
+	env2, _ := lb.EnvForEnclosure(2)
+	if env1.Table == env2.Table {
+		t.Fatal("environments share one handle, want distinct handles")
+	}
+	if machine.PhysOf(env1.Table) != machine.PhysOf(env2.Table) {
+		t.Fatal("identical views did not share a physical table")
+	}
+	trusted := lb.Trusted()
+	if machine.PhysOf(trusted.Table) == machine.PhysOf(env1.Table) {
+		t.Fatal("trusted table aliases an enclosure table")
+	}
+	clones, splits := machine.ShareStats()
+	if clones < 1 || splits != 0 {
+		t.Fatalf("stats after Init: clones=%d splits=%d", clones, splits)
+	}
+}
+
+func TestVTXTransferUpdatesSharersOnce(t *testing.T) {
+	f := newFixture(t)
+	machine := vtx.NewMachine(f.space, f.clock)
+	lb := f.initWith(t, litterbox.NewVTX(machine), twinEnclosures()...)
+	env1, _ := lb.EnvForEnclosure(1)
+	env2, _ := lb.EnvForEnclosure(2)
+
+	span, err := f.space.Map("span-1", kernel.HeapOwner, mem.KindHeap, 2*mem.PageSize, mem.PermR|mem.PermW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lb.Transfer(f.cpu, span, "lib"); err != nil {
+		t.Fatal(err)
+	}
+	for _, env := range []*litterbox.Env{env1, env2} {
+		if machine.Mapped(env.Table, span.Base) != mem.PermR|mem.PermW {
+			t.Fatalf("span not RW in %s after transfer", env.Name)
+		}
+	}
+	if machine.PhysOf(env1.Table) != machine.PhysOf(env2.Table) {
+		t.Fatal("transfer split tables with identical views")
+	}
+	if _, splits := machine.ShareStats(); splits != 0 {
+		t.Fatalf("transfer performed %d copy-on-write splits, want 0", splits)
+	}
+	// Back to the pool: unmapped everywhere, still shared.
+	if err := lb.Transfer(f.cpu, span, kernel.HeapOwner); err != nil {
+		t.Fatal(err)
+	}
+	if machine.Mapped(env2.Table, span.Base) != mem.PermNone {
+		t.Fatal("pool span still visible in sharer")
+	}
+}
+
+func TestVTXDynamicImportSplitsImporter(t *testing.T) {
+	f := newFixture(t)
+	machine := vtx.NewMachine(f.space, f.clock)
+	lb := f.initWith(t, litterbox.NewVTX(machine), twinEnclosures()...)
+	env1, _ := lb.EnvForEnclosure(1)
+	env2, _ := lb.EnvForEnclosure(2)
+
+	p := &pkggraph.Package{Name: "dynmod", Funcs: []string{"f"}}
+	if err := lb.Graph().AddIncremental(p); err != nil {
+		t.Fatal(err)
+	}
+	pl, err := f.img.PlaceDynamic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lb.AddDynamicPackage(f.cpu, p, pl.Sections(), []*litterbox.Env{env1}); err != nil {
+		t.Fatal(err)
+	}
+
+	if machine.PhysOf(env1.Table) == machine.PhysOf(env2.Table) {
+		t.Fatal("import did not split the importer off the shared table")
+	}
+	if _, splits := machine.ShareStats(); splits < 1 {
+		t.Fatal("no copy-on-write split recorded")
+	}
+	var sawMapped bool
+	for _, sec := range pl.Sections() {
+		if machine.Mapped(env1.Table, sec.Base) != mem.PermNone {
+			sawMapped = true
+		}
+		if machine.Mapped(env2.Table, sec.Base) != mem.PermNone {
+			t.Fatal("import leaked into the non-importing sharer")
+		}
+	}
+	if !sawMapped {
+		t.Fatal("importer does not see the new package")
+	}
+}
+
+// TestVTXSharingMatchesReferencePath pins that the sharing and
+// non-sharing builds grant bit-identical rights in every environment,
+// before and after a transfer.
+func TestVTXSharingMatchesReferencePath(t *testing.T) {
+	type world struct {
+		f       *fixture
+		machine *vtx.Machine
+		lb      *litterbox.LitterBox
+	}
+	mk := func(share bool) *world {
+		f := newFixture(t)
+		machine := vtx.NewMachine(f.space, f.clock)
+		b := litterbox.NewVTX(machine)
+		b.SetSharing(share)
+		lb := f.initWith(t, b, twinEnclosures()...)
+		span, err := f.space.Map("span-1", kernel.HeapOwner, mem.KindHeap, 2*mem.PageSize, mem.PermR|mem.PermW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lb.Transfer(f.cpu, span, "secrets"); err != nil {
+			t.Fatal(err)
+		}
+		return &world{f: f, machine: machine, lb: lb}
+	}
+	on, off := mk(true), mk(false)
+	if c, _ := off.machine.ShareStats(); c != 0 {
+		t.Fatalf("reference path cloned %d tables", c)
+	}
+	for _, id := range []litterbox.EnvID{0, 1, 2} {
+		envOn, _ := on.lb.Env(id)
+		envOff, _ := off.lb.Env(id)
+		for _, sec := range on.f.space.Sections() {
+			if got, want := on.machine.Mapped(envOn.Table, sec.Base), off.machine.Mapped(envOff.Table, sec.Base); got != want {
+				t.Fatalf("env %d, %s: sharing grants %v, reference %v", id, sec.Name, got, want)
+			}
+		}
+	}
+}

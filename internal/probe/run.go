@@ -51,10 +51,25 @@ type TraceStats struct {
 // differential oracle after every operation. It returns the first
 // divergence (nil if the backends stayed in lockstep) and the stats.
 func RunTrace(tr Trace) (*Divergence, TraceStats, error) {
+	return RunTraceConfigured(tr, nil)
+}
+
+// RunTraceConfigured is RunTrace with a per-world hook applied after
+// construction and before the first operation — the harness for A/B
+// replays of one trace under different host-side execution modes
+// (syscall-verdict fast path on vs off, cross-checked, locked env
+// reads). Configurations must not change verdicts or virtual costs;
+// the digest equality tests pin exactly that.
+func RunTraceConfigured(tr Trace, configure func(*World)) (*Divergence, TraceStats, error) {
 	var stats TraceStats
 	worlds, err := BuildWorlds(tr.Spec)
 	if err != nil {
 		return nil, stats, err
+	}
+	if configure != nil {
+		for _, w := range worlds {
+			configure(w)
+		}
 	}
 	model := NewModel(tr.Spec)
 	digest := fnv.New64a()
@@ -291,10 +306,17 @@ type SweepStats struct {
 // decorrelated by the golden-ratio increment so neighbouring sweeps
 // do not share prefixes.
 func Sweep(seed uint64, n, opsPerTrace int) (SweepStats, *Divergence, error) {
+	return SweepConfigured(seed, n, opsPerTrace, nil)
+}
+
+// SweepConfigured is Sweep with a per-world hook (see
+// RunTraceConfigured) — `enclose probe -fastpath=false` uses it to
+// drive the whole sweep through the reference BPF interpreter.
+func SweepConfigured(seed uint64, n, opsPerTrace int, configure func(*World)) (SweepStats, *Divergence, error) {
 	var stats SweepStats
 	for i := 0; i < n; i++ {
 		tr := Gen(seed+uint64(i)*0x9E3779B97F4A7C15, opsPerTrace)
-		div, ts, err := RunTrace(tr)
+		div, ts, err := RunTraceConfigured(tr, configure)
 		if err != nil {
 			return stats, nil, fmt.Errorf("probe: trace %d (seed %#x): %w", i, tr.Seed, err)
 		}

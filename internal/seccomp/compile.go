@@ -2,7 +2,6 @@ package seccomp
 
 import (
 	"errors"
-	"fmt"
 	"sort"
 )
 
@@ -26,15 +25,31 @@ type EnvRule struct {
 	ConnectAllow []uint32
 }
 
-// ErrBlockTooLarge reports an environment whose dispatch block exceeds
-// the reach of BPF's 8-bit forward jumps.
+// ErrBlockTooLarge is retained for API compatibility. Oversized env
+// blocks are now reached through OpJmpJA trampolines, so CompileFilter
+// no longer returns it; only a block beyond MaxInsns can still fail,
+// surfacing as a Compile validation error.
 var ErrBlockTooLarge = errors.New("seccomp: environment rule block exceeds jump range")
+
+// sortRules returns the deterministic compilation order shared by the
+// BPF program and the verdict table: ascending PKRU, duplicates kept in
+// input order (first one wins the dispatch).
+func sortRules(rules []EnvRule) []EnvRule {
+	sorted := append([]EnvRule(nil), rules...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].PKRU < sorted[j].PKRU })
+	return sorted
+}
 
 // CompileFilter builds one BPF program dispatching on the PKRU value.
 // Syscalls not matched by the current environment's rule return deny;
 // a PKRU value with no rule returns defaultAction (the trusted,
 // non-enclosed environment typically gets RetAllow via its own rule).
 func CompileFilter(rules []EnvRule, defaultAction, denyAction uint32) (*Program, error) {
+	return compileSorted(sortRules(rules), defaultAction, denyAction)
+}
+
+// compileSorted compiles an already-sorted rule slice (see sortRules).
+func compileSorted(sorted []EnvRule, defaultAction, denyAction uint32) (*Program, error) {
 	var insns []Insn
 
 	// Architecture pinning, as every real seccomp policy does.
@@ -44,21 +59,29 @@ func CompileFilter(rules []EnvRule, defaultAction, denyAction uint32) (*Program,
 		Stmt(OpRetK, RetKillProcess),
 	)
 
-	// Deterministic order for reproducible programs.
-	sorted := append([]EnvRule(nil), rules...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].PKRU < sorted[j].PKRU })
-
 	for _, r := range sorted {
 		block := buildEnvBlock(r, denyAction)
-		if len(block) > 250 {
-			return nil, fmt.Errorf("%w: pkru=%#x len=%d", ErrBlockTooLarge, r.PKRU, len(block))
-		}
 		insns = append(insns, Stmt(OpLdAbsW, OffPKRU))
-		insns = append(insns, Jump(OpJeqK, r.PKRU, 0, uint8(len(block))))
+		insns = append(insns, jumpUnless(OpJeqK, r.PKRU, len(block))...)
 		insns = append(insns, block...)
 	}
 	insns = append(insns, Stmt(OpRetK, defaultAction))
 	return Compile(insns)
+}
+
+// jumpUnless emits instructions that skip the next n instructions when
+// the comparison against A fails. Within the 8-bit reach of conditional
+// jumps this is a single jump; beyond it, the condition is inverted and
+// chained through an OpJmpJA trampoline, whose 32-bit K reaches any
+// block Compile accepts.
+func jumpUnless(op uint16, k uint32, n int) []Insn {
+	if n <= 255 {
+		return []Insn{Jump(op, k, 0, uint8(n))}
+	}
+	return []Insn{
+		Jump(op, k, 1, 0),        // match: hop over the trampoline
+		Stmt(OpJmpJA, uint32(n)), // no match: long forward jump
+	}
 }
 
 // buildEnvBlock emits the body run once the PKRU dispatch matched; it
@@ -80,7 +103,7 @@ func buildEnvBlock(r EnvRule, denyAction uint32) []Insn {
 		}
 		sub = append(sub, Stmt(OpRetK, denyAction))
 		block = append(block, Stmt(OpLdAbsW, OffNr))
-		block = append(block, Jump(OpJeqK, r.ConnectNr, 0, uint8(len(sub))))
+		block = append(block, jumpUnless(OpJeqK, r.ConnectNr, len(sub))...)
 		block = append(block, sub...)
 	}
 

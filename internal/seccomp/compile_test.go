@@ -149,14 +149,72 @@ func TestCompileFilterProperty(t *testing.T) {
 	}
 }
 
-func TestCompileFilterBlockTooLarge(t *testing.T) {
+// TestCompileFilterLargeBlockTrampoline is the regression test at the
+// old ErrBlockTooLarge limit: a 100-entry allowlist compiles to a block
+// beyond the 8-bit conditional-jump reach, so the PKRU dispatch must
+// chain through an OpJmpJA trampoline — and still produce the right
+// verdicts on both sides of the jump.
+func TestCompileFilterLargeBlockTrampoline(t *testing.T) {
 	var nrs []uint32
 	for i := uint32(0); i < 100; i++ {
 		nrs = append(nrs, i)
 	}
-	_, err := CompileFilter([]EnvRule{{PKRU: 1, Allowed: nrs}}, RetTrap, RetTrap)
-	if err == nil {
-		t.Fatal("oversized block compiled")
+	rules := []EnvRule{
+		{PKRU: 1, Allowed: nrs},
+		{PKRU: 2, Allowed: []uint32{7}}, // dispatched after the long block
+	}
+	prog, err := CompileFilter(rules, RetTrap, RetErrno)
+	if err != nil {
+		t.Fatalf("oversized block no longer compiles: %v", err)
+	}
+	cases := []struct {
+		pkru, nr, want uint32
+	}{
+		{1, 0, RetAllow},
+		{1, 99, RetAllow},
+		{1, 100, RetErrno}, // inside the matched block, past the list
+		{2, 7, RetAllow},   // trampoline must land exactly on this block
+		{2, 99, RetErrno},
+		{3, 7, RetTrap}, // no rule -> default
+	}
+	for _, c := range cases {
+		got, err := prog.Run(&Data{Nr: c.nr, Arch: AuditArchSim, PKRU: c.pkru})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("pkru=%d nr=%d: %#x, want %#x", c.pkru, c.nr, got, c.want)
+		}
+	}
+}
+
+// TestCompileFilterLargeConnectTrampoline drives the second trampoline
+// site: a connect allowlist long enough that the connect sub-block
+// exceeds the 8-bit skip from the nr comparison.
+func TestCompileFilterLargeConnectTrampoline(t *testing.T) {
+	const nrConnect = 13
+	r := EnvRule{PKRU: 5, Allowed: []uint32{1, nrConnect}, ConnectNr: nrConnect}
+	for i := uint32(0); i < 200; i++ {
+		r.ConnectAllow = append(r.ConnectAllow, 0x0A000000+i)
+	}
+	prog, err := CompileFilter([]EnvRule{r}, RetTrap, RetErrno)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := prog.Run(&Data{Nr: nrConnect, Arch: AuditArchSim, PKRU: 5,
+		Args: [6]uint64{0, 0x0A0000C7}})
+	if ok != RetAllow {
+		t.Fatalf("allow-listed connect: %#x", ok)
+	}
+	bad, _ := prog.Run(&Data{Nr: nrConnect, Arch: AuditArchSim, PKRU: 5,
+		Args: [6]uint64{0, 0x06060606}})
+	if bad != RetErrno {
+		t.Fatalf("exfiltration connect: %#x", bad)
+	}
+	// A non-connect nr must skip the long sub-block onto the allow list.
+	other, _ := prog.Run(&Data{Nr: 1, Arch: AuditArchSim, PKRU: 5})
+	if other != RetAllow {
+		t.Fatalf("non-connect call after long sub-block: %#x", other)
 	}
 }
 

@@ -1,0 +1,104 @@
+package vtx
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/litterbox-project/enclosure/internal/mem"
+)
+
+func TestCloneTableSharesPhysical(t *testing.T) {
+	m, space, _, _ := newMachine(t)
+	a := m.CreateTable()
+	sec, _ := space.Map("d", "p", mem.KindData, 2*mem.PageSize, mem.PermR|mem.PermW)
+	if err := m.MapSection(a, sec, mem.PermR); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := m.CloneTable(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PhysOf(a) != m.PhysOf(b) {
+		t.Fatal("clone does not share the source's physical table")
+	}
+	if m.Mapped(b, sec.Base) != mem.PermR {
+		t.Fatal("clone does not see the source's mappings")
+	}
+	if clones, splits := m.ShareStats(); clones != 1 || splits != 0 {
+		t.Fatalf("stats after clone: clones=%d splits=%d", clones, splits)
+	}
+	if _, err := m.CloneTable(404); !errors.Is(err, ErrNoTable) {
+		t.Fatalf("clone of missing table: %v", err)
+	}
+	if m.PhysOf(404) != -1 {
+		t.Fatal("PhysOf of missing table")
+	}
+}
+
+func TestSharedMapUpdatesAllSharers(t *testing.T) {
+	m, space, _, _ := newMachine(t)
+	a := m.CreateTable()
+	b, _ := m.CloneTable(a)
+	sec, _ := space.Map("d", "p", mem.KindData, mem.PageSize, mem.PermR|mem.PermW)
+
+	if err := m.MapSectionShared(a, sec, mem.PermR|mem.PermW); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mapped(b, sec.Base) != mem.PermR|mem.PermW {
+		t.Fatal("shared map invisible to sharer")
+	}
+	if err := m.UnmapSectionShared(b, sec); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mapped(a, sec.Base) != mem.PermNone {
+		t.Fatal("shared unmap invisible to sharer")
+	}
+	if m.PhysOf(a) != m.PhysOf(b) {
+		t.Fatal("shared ops split the table")
+	}
+}
+
+func TestExclusiveMapCopiesOnWrite(t *testing.T) {
+	m, space, _, _ := newMachine(t)
+	a := m.CreateTable()
+	base, _ := space.Map("base", "p", mem.KindData, mem.PageSize, mem.PermR|mem.PermW)
+	if err := m.MapSection(a, base, mem.PermR); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.CloneTable(a)
+	c, _ := m.CloneTable(a)
+
+	// An exclusive map on b splits it off; a and c stay shared and
+	// unchanged.
+	delta, _ := space.Map("delta", "p", mem.KindData, mem.PageSize, mem.PermR|mem.PermW)
+	if err := m.MapSection(b, delta, mem.PermR|mem.PermW); err != nil {
+		t.Fatal(err)
+	}
+	if m.PhysOf(b) == m.PhysOf(a) {
+		t.Fatal("exclusive map did not split the sharer")
+	}
+	if m.PhysOf(a) != m.PhysOf(c) {
+		t.Fatal("split disturbed the remaining sharers")
+	}
+	if m.Mapped(b, base.Base) != mem.PermR {
+		t.Fatal("split lost the pre-existing mapping")
+	}
+	if m.Mapped(b, delta.Base) != mem.PermR|mem.PermW {
+		t.Fatal("split table missing the new mapping")
+	}
+	if m.Mapped(a, delta.Base) != mem.PermNone || m.Mapped(c, delta.Base) != mem.PermNone {
+		t.Fatal("exclusive map leaked into sharers")
+	}
+	if _, splits := m.ShareStats(); splits != 1 {
+		t.Fatalf("splits = %d, want 1", splits)
+	}
+
+	// With only one reference left, exclusive ops mutate in place.
+	if err := m.UnmapSection(b, delta); err != nil {
+		t.Fatal(err)
+	}
+	if _, splits := m.ShareStats(); splits != 1 {
+		t.Fatalf("splits after sole-owner op = %d, want 1", splits)
+	}
+}

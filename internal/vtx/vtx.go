@@ -50,79 +50,192 @@ func (e *AccessError) Error() string {
 	return fmt.Sprintf("vtx: EPT violation: %s %s in page table %d", op, e.Addr, e.Table)
 }
 
-// PageTable is one execution environment's view: page number → rights.
-// Absent pages are not present (a fault on access).
-type PageTable struct {
-	ID    int
+// physTable is the physical storage of one page table: page number →
+// rights. Several table handles may reference one physical table when
+// their environments' views are identical (content-addressed sharing);
+// refs counts the handles.
+type physTable struct {
+	id    int
 	pages map[uint64]mem.Perm
+	refs  int
 }
 
-// Machine is the per-program virtual machine: a set of page tables, one
-// per execution environment, plus the trusted table with user access to
-// everything except LitterBox's super package.
+// Machine is the per-program virtual machine: a set of page-table
+// handles, one per execution environment, each resolving to shared
+// physical storage; plus the trusted table with user access to
+// everything except LitterBox's super package. The handle→physical
+// indirection is what lets identical views share one table copy-on-
+// write without any environment's published Table id ever changing.
 type Machine struct {
 	space *mem.AddressSpace
 	clock *hw.Clock
 
-	mu     sync.Mutex
-	tables map[int]*PageTable
-	next   int
+	mu      sync.Mutex
+	handles map[int]*physTable
+	next    int
+	nphys   int
+	clones  int64
+	splits  int64
 }
 
 // NewMachine returns a machine with no page tables. The caller (LB_VTX)
 // creates table 0 as the trusted one.
 func NewMachine(space *mem.AddressSpace, clock *hw.Clock) *Machine {
-	return &Machine{space: space, clock: clock, tables: make(map[int]*PageTable)}
+	return &Machine{space: space, clock: clock, handles: make(map[int]*physTable)}
 }
 
-// CreateTable allocates an empty page table and returns its id.
+// CreateTable allocates an empty page table and returns its handle.
 func (m *Machine) CreateTable() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	id := m.next
 	m.next++
-	m.tables[id] = &PageTable{ID: id, pages: make(map[uint64]mem.Perm)}
+	m.handles[id] = m.newPhysLocked()
 	return id
 }
 
-// MapSection installs a section's pages with the given rights.
+func (m *Machine) newPhysLocked() *physTable {
+	pt := &physTable{id: m.nphys, pages: make(map[uint64]mem.Perm), refs: 1}
+	m.nphys++
+	return pt
+}
+
+// CloneTable allocates a new handle sharing src's physical table. The
+// clone costs O(1) — no pages are copied until a copy-on-write split.
+func (m *Machine) CloneTable(src int) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pt, ok := m.handles[src]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoTable, src)
+	}
+	id := m.next
+	m.next++
+	pt.refs++
+	m.handles[id] = pt
+	m.clones++
+	return id, nil
+}
+
+// PhysOf returns the physical-table id a handle resolves to (-1 when
+// the handle is unknown). Handles with equal PhysOf share storage.
+func (m *Machine) PhysOf(table int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if pt, ok := m.handles[table]; ok {
+		return pt.id
+	}
+	return -1
+}
+
+// ShareStats returns (clones created, copy-on-write splits performed).
+func (m *Machine) ShareStats() (clones, splits int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.clones, m.splits
+}
+
+// exclusiveLocked returns the handle's physical table, first splitting
+// it off shared storage (full page copy) when other handles reference
+// it — the copy-on-write fault of a real shared page-table scheme.
+func (m *Machine) exclusiveLocked(table int) (*physTable, error) {
+	pt, ok := m.handles[table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoTable, table)
+	}
+	if pt.refs == 1 {
+		return pt, nil
+	}
+	pt.refs--
+	split := m.newPhysLocked()
+	for p, perm := range pt.pages {
+		split.pages[p] = perm
+	}
+	m.handles[table] = split
+	m.splits++
+	return split, nil
+}
+
+// MapSection installs a section's pages with the given rights in this
+// handle's view only: shared storage is split first (copy-on-write).
 func (m *Machine) MapSection(table int, sec *mem.Section, perm mem.Perm) error {
 	if uint64(sec.End()) >= 1<<PhysAddrBits {
 		return fmt.Errorf("%w: %s", ErrTooHigh, sec)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	pt, ok := m.tables[table]
+	pt, err := m.exclusiveLocked(table)
+	if err != nil {
+		return err
+	}
+	mapPages(pt, sec, perm)
+	return nil
+}
+
+// MapSectionShared installs a section's pages directly in the handle's
+// physical table, updating every handle that shares it. Callers must
+// guarantee the update is correct for all sharers — LB_VTX transfers
+// are, because environments share a physical table only when their
+// views (and so their transfer rights) are identical.
+func (m *Machine) MapSectionShared(table int, sec *mem.Section, perm mem.Perm) error {
+	if uint64(sec.End()) >= 1<<PhysAddrBits {
+		return fmt.Errorf("%w: %s", ErrTooHigh, sec)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pt, ok := m.handles[table]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoTable, table)
 	}
+	mapPages(pt, sec, perm)
+	return nil
+}
+
+func mapPages(pt *physTable, sec *mem.Section, perm mem.Perm) {
 	first, last := sec.Pages()
 	for p := first; p <= last; p++ {
 		pt.pages[p] = perm
 	}
-	return nil
 }
 
-// UnmapSection clears the present bits for a section's pages.
+// UnmapSection clears the present bits for a section's pages in this
+// handle's view only (copy-on-write, like MapSection).
 func (m *Machine) UnmapSection(table int, sec *mem.Section) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	pt, ok := m.tables[table]
+	pt, err := m.exclusiveLocked(table)
+	if err != nil {
+		return err
+	}
+	unmapPages(pt, sec)
+	return nil
+}
+
+// UnmapSectionShared clears the present bits in the shared physical
+// table (see MapSectionShared for the sharing contract).
+func (m *Machine) UnmapSectionShared(table int, sec *mem.Section) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pt, ok := m.handles[table]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoTable, table)
 	}
+	unmapPages(pt, sec)
+	return nil
+}
+
+func unmapPages(pt *physTable, sec *mem.Section) {
 	first, last := sec.Pages()
 	for p := first; p <= last; p++ {
 		delete(pt.pages, p)
 	}
-	return nil
 }
 
 // Mapped reports the rights table grants on addr (PermNone if absent).
 func (m *Machine) Mapped(table int, addr mem.Addr) mem.Perm {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	pt, ok := m.tables[table]
+	pt, ok := m.handles[table]
 	if !ok {
 		return mem.PermNone
 	}
@@ -139,7 +252,7 @@ func (m *Machine) CheckAccess(cpu *hw.CPU, addr mem.Addr, size uint64, write boo
 	cpu.Counters.PTWalks.Add(1)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	pt, ok := m.tables[cpu.CR3()]
+	pt, ok := m.handles[cpu.CR3()]
 	if !ok {
 		return fmt.Errorf("%w: CR3=%d", ErrNoTable, cpu.CR3())
 	}
@@ -148,7 +261,7 @@ func (m *Machine) CheckAccess(cpu *hw.CPU, addr mem.Addr, size uint64, write boo
 	for p := first; p <= last; p++ {
 		perm := pt.pages[p]
 		if !perm.Has(mem.PermR) || (write && !perm.Has(mem.PermW)) {
-			return &AccessError{Addr: addr, Write: write, Table: pt.ID}
+			return &AccessError{Addr: addr, Write: write, Table: cpu.CR3()}
 		}
 	}
 	return nil
@@ -161,12 +274,12 @@ func (m *Machine) CheckExec(cpu *hw.CPU, addr mem.Addr) error {
 	cpu.Counters.PTWalks.Add(1)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	pt, ok := m.tables[cpu.CR3()]
+	pt, ok := m.handles[cpu.CR3()]
 	if !ok {
 		return fmt.Errorf("%w: CR3=%d", ErrNoTable, cpu.CR3())
 	}
 	if !pt.pages[addr.PageNumber()].Has(mem.PermX) {
-		return &AccessError{Addr: addr, Exec: true, Table: pt.ID}
+		return &AccessError{Addr: addr, Exec: true, Table: cpu.CR3()}
 	}
 	return nil
 }
@@ -177,7 +290,7 @@ func (m *Machine) CheckExec(cpu *hw.CPU, addr mem.Addr) error {
 // swaps CR3 to the target table and irets.
 func (m *Machine) GuestSwitch(cpu *hw.CPU, target int, verify func() error) error {
 	m.mu.Lock()
-	_, ok := m.tables[target]
+	_, ok := m.handles[target]
 	m.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoTable, target)
