@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench gobench tables scale security examples clean
+.PHONY: all build vet test race bench gobench tables scale cluster security examples clean
 
 all: build vet test
 
@@ -19,10 +19,11 @@ race:
 	$(GO) test -race ./...
 
 # Benchmark trajectory point (checked into the repo root): the
-# compiled-policy fast-path comparison, the scaling sweep, and the
-# differential probe sweep, as machine-readable JSON.
+# compiled-policy fast-path comparison, the scaling and cluster sweeps,
+# and the differential probe and forced-migration sweeps, as
+# machine-readable JSON.
 bench:
-	$(GO) run ./cmd/enclosebench -trajectory BENCH_5.json
+	$(GO) run ./cmd/enclosebench -trajectory BENCH_6.json
 
 # Host-side Go micro-benchmarks (not checked in).
 gobench:
@@ -35,6 +36,11 @@ tables:
 # Multi-core engine scaling sweep (apps × backends × 1/2/4/8 workers).
 scale:
 	$(GO) run ./cmd/enclosebench -table scale
+
+# Multi-node cluster scaling sweep (apps × backends × 1/2/4/8 nodes)
+# plus the forced-migration digest sweep.
+cluster:
+	$(GO) run ./cmd/enclosebench -table cluster
 
 security:
 	$(GO) run ./cmd/enclosebench -security

@@ -23,6 +23,14 @@
 //
 //	enclose probe -n 500                    # sweep 500 traces
 //	enclose probe -seed 0xec705e            # replay one trace deterministically
+//
+// The cluster subcommand runs N engine nodes behind a consistent-hash
+// load balancer on a simulated network: content-addressed image
+// replication at join, live session migration with policy
+// re-verification, and a graceful drain that drops nothing:
+//
+//	enclose cluster -nodes 4 -requests 400
+//	enclose cluster -backend vtx -sweep 50
 package main
 
 import (
@@ -45,6 +53,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "probe" {
 		runProbe(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "cluster" {
+		runCluster(os.Args[2:])
 		return
 	}
 	backendName := flag.String("backend", "mpk", "baseline|mpk|vtx|cheri")

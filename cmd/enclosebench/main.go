@@ -6,6 +6,7 @@
 //	enclosebench -table scale    # multi-core engine scaling sweep
 //	enclosebench -table probe    # adversarial differential probe sweep
 //	enclosebench -table fastpath # compiled-policy fast path before/after
+//	enclosebench -table cluster  # multi-node cluster scaling + migration sweep
 //	enclosebench -figure 4    # linked executable image layout
 //	enclosebench -figure 5    # wiki web-app with two enclosures
 //	enclosebench -python      # §6.4 CPython frontend experiments
@@ -31,7 +32,7 @@ import (
 func benchKind(i int) core.BackendKind { return core.BackendKind(i) }
 
 func main() {
-	table := flag.String("table", "", "regenerate a table: 1, 2, scale, probe, or fastpath")
+	table := flag.String("table", "", "regenerate a table: 1, 2, scale, probe, fastpath, or cluster")
 	trajectory := flag.String("trajectory", "", "write the benchmark trajectory point (fastpath + scale + probe) to the given file")
 	figure := flag.Int("figure", 0, "regenerate Figure N (4 or 5)")
 	python := flag.Bool("python", false, "run the §6.4 Python experiments")
@@ -74,6 +75,9 @@ func main() {
 		if *table == "scale" {
 			// Scale-only smoke run: the sweep with a merged event trace.
 			results, err = bench.CollectScaleResults()
+		} else if *table == "cluster" {
+			// Cluster-only smoke run: node scaling plus the migration sweep.
+			results, err = bench.CollectClusterResults()
 		} else {
 			results, err = bench.CollectResults(*iters)
 		}
@@ -141,6 +145,20 @@ func main() {
 		if result.Divergences > 0 {
 			fail(fmt.Errorf("differential probe found %d divergence(s)", result.Divergences))
 		}
+	}
+	if *all || *table == "cluster" {
+		ran = true
+		entries, err := bench.RunCluster()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.RenderClusterTable(entries))
+		mig, err := bench.RunClusterMigration(60)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Migration sweep: %d traces, %d world migrations, digests match on all four backends.\n\n",
+			mig.Traces, mig.Migrations)
 	}
 	if *all || *table == "fastpath" {
 		ran = true

@@ -12,16 +12,20 @@ import (
 // Results is the machine-readable form of a full evaluation run,
 // written by `enclosebench -json` for CI-style regression tracking.
 type Results struct {
-	Table1   []MicroEntry      `json:"table1"`
-	Table2   []MacroEntry      `json:"table2"`
-	TCB      []TCBRow          `json:"tcb"`
-	Figure5  []MacroEntry      `json:"figure5"`
-	Scale    []ScaleEntry      `json:"scale"`
-	Fastpath *FastpathResult   `json:"fastpath,omitempty"`
-	Probe    *ProbeBenchResult `json:"probe,omitempty"`
-	Python   []PythonEntry     `json:"python"`
-	Security []SecurityEntry   `json:"security"`
-	Paper    map[string]string `json:"paper_reference"`
+	Table1  []MicroEntry   `json:"table1"`
+	Table2  []MacroEntry   `json:"table2"`
+	TCB     []TCBRow       `json:"tcb"`
+	Figure5 []MacroEntry   `json:"figure5"`
+	Scale   []ScaleEntry   `json:"scale"`
+	Cluster []ClusterEntry `json:"cluster,omitempty"`
+	// ClusterMigration reports the forced-migration probe sweep: its
+	// digests must match the unmigrated sweep on all four backends.
+	ClusterMigration *ClusterMigrationResult `json:"cluster_migration,omitempty"`
+	Fastpath         *FastpathResult         `json:"fastpath,omitempty"`
+	Probe            *ProbeBenchResult       `json:"probe,omitempty"`
+	Python           []PythonEntry           `json:"python"`
+	Security         []SecurityEntry         `json:"security"`
+	Paper            map[string]string       `json:"paper_reference"`
 
 	// Trace is the merged observability snapshot of the run when it was
 	// traced (enclosebench -table scale -json): per-kind, per-syscall,
@@ -114,6 +118,17 @@ func CollectResults(microIters int) (*Results, error) {
 	}
 	out.Scale = scale
 
+	clusterEntries, err := RunCluster()
+	if err != nil {
+		return nil, err
+	}
+	out.Cluster = clusterEntries
+	mig, err := RunClusterMigration(100)
+	if err != nil {
+		return nil, err
+	}
+	out.ClusterMigration = &mig
+
 	fp, err := RunFastpath(microIters)
 	if err != nil {
 		return nil, err
@@ -196,10 +211,44 @@ func CollectTrajectoryResults() (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
+	clusterEntries, err := RunCluster()
+	if err != nil {
+		return nil, err
+	}
+	// The acceptance-grade migration sweep: 300 traces, digests must
+	// match the unmigrated run on all four backends.
+	mig, err := RunClusterMigration(300)
+	if err != nil {
+		return nil, err
+	}
 	return &Results{
-		Fastpath: &fp,
-		Scale:    scale,
-		Probe:    &pr,
+		Fastpath:         &fp,
+		Scale:            scale,
+		Cluster:          clusterEntries,
+		ClusterMigration: &mig,
+		Probe:            &pr,
+		Paper: map[string]string{
+			"title": "Enclosure: Language-Based Restriction of Untrusted Libraries",
+			"venue": "ASPLOS 2021",
+		},
+	}, nil
+}
+
+// CollectClusterResults runs only the cluster scaling sweep plus the
+// migration digest sweep — the machine-readable smoke run CI's schema
+// check drives (`enclosebench -table cluster -json -`).
+func CollectClusterResults() (*Results, error) {
+	entries, err := RunCluster()
+	if err != nil {
+		return nil, err
+	}
+	mig, err := RunClusterMigration(60)
+	if err != nil {
+		return nil, err
+	}
+	return &Results{
+		Cluster:          entries,
+		ClusterMigration: &mig,
 		Paper: map[string]string{
 			"title": "Enclosure: Language-Based Restriction of Untrusted Libraries",
 			"venue": "ASPLOS 2021",

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/litterbox-project/enclosure/internal/core"
+)
+
+// Conservation under membership change: a node leaving mid-load drops
+// zero requests. Every Do returns nil, every job runs exactly once, and
+// the per-node engine counters sum to the offered load — the departing
+// node finishes what it admitted before it stops.
+func TestClusterDrainDropsNothing(t *testing.T) {
+	c := newTestCluster(t, Opts{Nodes: 3, Seed: 17, WorkersPerNode: 2})
+	members := c.Nodes() // hold handles: the departed node's counters still count
+
+	const (
+		clients = 8
+		perC    = 60
+	)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perC; i++ {
+				session := fmt.Sprintf("s%d", (g*perC+i)%24)
+				err := c.Do(session, "req", func(tk *core.Task) error {
+					tk.Compute(2000)
+					time.Sleep(20 * time.Microsecond) // widen the drain window
+					ran.Add(1)
+					return nil
+				})
+				if err != nil {
+					errs <- fmt.Errorf("client %d request %d: %w", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Take a node out while the load is in flight.
+	time.Sleep(2 * time.Millisecond)
+	if err := c.RemoveNode("node1"); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatalf("a request was dropped: %v", err)
+	}
+
+	const total = clients * perC
+	if got := ran.Load(); got != total {
+		t.Fatalf("%d jobs ran, want %d", got, total)
+	}
+	var executed int64
+	for _, n := range members {
+		executed += n.Metrics().Requests
+	}
+	if executed != total {
+		t.Fatalf("engines executed %d requests, want %d: work was dropped or duplicated", executed, total)
+	}
+
+	if c.Size() != 2 {
+		t.Fatalf("cluster size %d after leave, want 2", c.Size())
+	}
+	if gone, _ := c.Node("node1"); gone != nil {
+		t.Fatal("departed node still a member")
+	}
+	if members[1].State() != NodeLeft {
+		t.Fatalf("departed node state %s, want left", members[1].State())
+	}
+	if c.Stats().Leaves != 1 {
+		t.Fatalf("leave counter %d, want 1", c.Stats().Leaves)
+	}
+
+	// The survivors still serve.
+	if err := c.Do("after-leave", "req", func(tk *core.Task) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Removing every node leaves a routable-to-nothing cluster: Do fails
+// with ErrNoNodes rather than hanging or panicking.
+func TestClusterNoNodes(t *testing.T) {
+	c := newTestCluster(t, Opts{Nodes: 1, Seed: 2})
+	if err := c.RemoveNode("node0"); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Do("s", "job", func(tk *core.Task) error { return nil })
+	if err == nil {
+		t.Fatal("Do succeeded with no members")
+	}
+}

@@ -1,0 +1,352 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/litterbox-project/enclosure/internal/core"
+	"github.com/litterbox-project/enclosure/internal/engine"
+	"github.com/litterbox-project/enclosure/internal/simnet"
+)
+
+// NodeState is a node's membership lifecycle position.
+type NodeState int32
+
+// Node lifecycle states.
+const (
+	// NodeJoining: built, replicating the image, not yet routable.
+	NodeJoining NodeState = iota
+	// NodeActive: in the ring, accepting requests.
+	NodeActive
+	// NodeDraining: out of the ring, finishing in-flight requests.
+	NodeDraining
+	// NodeLeft: drained and stopped.
+	NodeLeft
+)
+
+// String renders the state.
+func (s NodeState) String() string {
+	switch s {
+	case NodeJoining:
+		return "joining"
+	case NodeActive:
+		return "active"
+	case NodeDraining:
+		return "draining"
+	case NodeLeft:
+		return "left"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// ctrlPort is every node's control-plane port on the cluster network.
+const ctrlPort = 7100
+
+// Node is one engine node: a full program instance (its own backend,
+// kernel, address space — the node's fault domain boundary), an engine
+// over it, a content-addressed image blob store, and a control-plane
+// server on the cluster network for replication and migration traffic.
+type Node struct {
+	id   string
+	idx  int
+	c    *Cluster
+	prog *core.Program
+	eng  *engine.Engine
+
+	ctrlAddr simnet.Addr
+	ctrlLn   *simnet.Listener
+	ctrlWG   sync.WaitGroup
+
+	// mu guards the lifecycle state and the in-flight count; cond
+	// signals drain waiters on every release.
+	mu       sync.Mutex
+	cond     *sync.Cond
+	state    NodeState
+	inflight int
+
+	pref       atomic.Int64 // round-robin worker affinity for Do
+	routed     atomic.Int64 // requests this node admitted
+	migratedIn atomic.Int64 // sessions migrated onto this node
+
+	stop func() // app stopper installed by Opts.Start
+
+	// store is the node's content-addressed image blob store: digest →
+	// blob. Replication ships only digests the registry lacks.
+	storeMu sync.Mutex
+	store   map[string]blob
+
+	manifest []blobMeta // this node's image manifest, fixed at build
+}
+
+// newNode builds a node around prog: engine, image manifest, and the
+// control server on the cluster network. The node starts in
+// NodeJoining; membership (cluster.AddNode) replicates the image,
+// starts the app, and activates it.
+func newNode(c *Cluster, idx int, prog *core.Program) (*Node, error) {
+	n := &Node{
+		id:   fmt.Sprintf("node%d", idx),
+		idx:  idx,
+		c:    c,
+		prog: prog,
+		eng: engine.New(prog, engine.Opts{
+			Workers:    c.opts.WorkersPerNode,
+			QueueDepth: c.opts.QueueDepth,
+		}),
+		store: make(map[string]blob),
+	}
+	n.cond = sync.NewCond(&n.mu)
+	var err error
+	n.manifest, err = imageManifest(prog)
+	if err != nil {
+		n.eng.Close()
+		return nil, fmt.Errorf("cluster: %s: %w", n.id, err)
+	}
+	// Control endpoint: a distinct host per node on the cluster's
+	// control-plane network, one well-known port.
+	n.ctrlAddr = simnet.Addr{Host: simnet.HostIP(10, 1, 0, byte(idx+1)), Port: ctrlPort}
+	n.ctrlLn, err = c.net.Listen(n.ctrlAddr)
+	if err != nil {
+		n.eng.Close()
+		return nil, fmt.Errorf("cluster: %s: control listen: %w", n.id, err)
+	}
+	n.ctrlWG.Add(1)
+	go n.ctrlServe()
+	return n, nil
+}
+
+// ID returns the node's cluster-wide identifier.
+func (n *Node) ID() string { return n.id }
+
+// Prog returns the node's program instance.
+func (n *Node) Prog() *core.Program { return n.prog }
+
+// Engine returns the node's engine.
+func (n *Node) Engine() *engine.Engine { return n.eng }
+
+// State returns the node's lifecycle state.
+func (n *Node) State() NodeState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state
+}
+
+func (n *Node) setState(s NodeState) {
+	n.mu.Lock()
+	n.state = s
+	n.cond.Broadcast()
+	n.mu.Unlock()
+}
+
+// acquire admits one request if the node is active.
+func (n *Node) acquire() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.state != NodeActive {
+		return false
+	}
+	n.inflight++
+	return true
+}
+
+// release retires one in-flight request and wakes drain waiters.
+func (n *Node) release() {
+	n.mu.Lock()
+	n.inflight--
+	n.cond.Broadcast()
+	n.mu.Unlock()
+}
+
+// Inflight returns the instantaneous in-flight request count.
+func (n *Node) Inflight() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.inflight
+}
+
+// Load is the balancer's least-loaded signal: engine load (queued plus
+// executing jobs) plus requests admitted but not yet retired.
+func (n *Node) Load() int {
+	return n.eng.Load() + n.Inflight()
+}
+
+// Do runs one job synchronously on the node's engine, spreading
+// affinity round-robin over the workers. The typed admission errors
+// pass through: ErrBackpressure and ErrClosed tell the balancer to
+// re-route; any other error is the job's own result.
+func (n *Node) Do(name string, fn engine.Job) error {
+	done := make(chan error, 1)
+	pref := int(n.pref.Add(1) - 1)
+	if err := n.eng.SubmitE(pref, name, fn, func(err error) { done <- err }); err != nil {
+		return err
+	}
+	n.routed.Add(1)
+	return <-done
+}
+
+// drain takes the node out of service without dropping work: refuse
+// new admissions, wait for every in-flight request to retire, stop the
+// app's accept loops, then drain and join the engine (Close executes
+// everything still queued before returning).
+func (n *Node) drain() {
+	n.mu.Lock()
+	if n.state == NodeLeft || n.state == NodeDraining {
+		n.mu.Unlock()
+		return
+	}
+	n.state = NodeDraining
+	for n.inflight > 0 {
+		n.cond.Wait()
+	}
+	n.mu.Unlock()
+	if n.stop != nil {
+		n.stop()
+	}
+	n.eng.Close()
+	n.setState(NodeLeft)
+}
+
+// shutdownCtrl stops the control server.
+func (n *Node) shutdownCtrl() {
+	_ = n.ctrlLn.Close()
+	n.ctrlWG.Wait()
+}
+
+// ctrlMsg is one control-plane message. A request carries Kind plus the
+// kind-specific fields; a response is "ok", "err", or a kind-specific
+// reply. JSON keeps the nil-versus-empty distinction env snapshots
+// depend on.
+type ctrlMsg struct {
+	Kind    string          `json:"kind"`
+	Node    string          `json:"node,omitempty"`
+	Digest  string          `json:"digest,omitempty"`
+	Name    string          `json:"name,omitempty"`
+	Data    []byte          `json:"data,omitempty"`
+	Session string          `json:"session,omitempty"`
+	State   json.RawMessage `json:"state,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// ctrlServe accepts control connections until the listener closes.
+func (n *Node) ctrlServe() {
+	defer n.ctrlWG.Done()
+	for {
+		conn, err := n.ctrlLn.Accept()
+		if err != nil {
+			return
+		}
+		n.ctrlWG.Add(1)
+		go func() {
+			defer n.ctrlWG.Done()
+			n.ctrlConn(simnet.NewMsgConn(conn))
+		}()
+	}
+}
+
+// ctrlConn serves one control connection: strict request/response.
+func (n *Node) ctrlConn(mc *simnet.MsgConn) {
+	defer mc.Close()
+	for {
+		raw, err := mc.Recv()
+		if err != nil {
+			return
+		}
+		var req ctrlMsg
+		if err := json.Unmarshal(raw, &req); err != nil {
+			n.reply(mc, ctrlMsg{Kind: "err", Error: "malformed control message"})
+			return
+		}
+		resp := n.ctrlHandle(req)
+		if !n.reply(mc, resp) {
+			return
+		}
+	}
+}
+
+func (n *Node) reply(mc *simnet.MsgConn, m ctrlMsg) bool {
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return false
+	}
+	return mc.Send(raw) == nil
+}
+
+// ctrlHandle dispatches one control request.
+func (n *Node) ctrlHandle(req ctrlMsg) ctrlMsg {
+	switch req.Kind {
+	case "ping":
+		return ctrlMsg{Kind: "ok", Node: n.id}
+
+	case "manifest":
+		// The registry half of replication: report which blobs this
+		// node's store already holds.
+		data, err := json.Marshal(n.storeManifest())
+		if err != nil {
+			return ctrlMsg{Kind: "err", Error: err.Error()}
+		}
+		return ctrlMsg{Kind: "manifest", Node: n.id, Data: data}
+
+	case "blob":
+		// Content addressing is the integrity check: a shipped blob
+		// must hash to its claimed digest or the store rejects it.
+		if got := blobDigest(req.Data); got != req.Digest {
+			return ctrlMsg{Kind: "err", Error: fmt.Sprintf(
+				"blob %s: content hashes to %s", req.Digest[:12], got[:12])}
+		}
+		n.putBlob(req.Digest, blob{name: req.Name, data: req.Data})
+		return ctrlMsg{Kind: "ok", Node: n.id}
+
+	case "migrate":
+		// Policy re-verification on the target: the shipped env state
+		// must match this node's own program exactly, or resuming the
+		// session here would run it under a diverged policy. Heap spans
+		// are not compared — they are each node's own request history,
+		// not policy (litterbox.VerifyPolicy).
+		var exp stateExportWire
+		if err := json.Unmarshal(req.State, &exp); err != nil {
+			return ctrlMsg{Kind: "err", Error: "malformed env state: " + err.Error()}
+		}
+		if err := n.prog.VerifyEnvPolicy(exp.State); err != nil {
+			return ctrlMsg{Kind: "err", Error: err.Error()}
+		}
+		if err := n.verifyImageDigests(exp.Image); err != nil {
+			return ctrlMsg{Kind: "err", Error: err.Error()}
+		}
+		n.migratedIn.Add(1)
+		return ctrlMsg{Kind: "ok", Node: n.id}
+	}
+	return ctrlMsg{Kind: "err", Error: fmt.Sprintf("unknown control request %q", req.Kind)}
+}
+
+// dialCtrl opens a control connection to peer.
+func (n *Node) dialCtrl(peer *Node) (*simnet.MsgConn, error) {
+	conn, err := n.c.net.Dial(n.ctrlAddr.Host, peer.ctrlAddr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s dialing %s: %w", n.id, peer.id, err)
+	}
+	return simnet.NewMsgConn(conn), nil
+}
+
+// roundTrip sends one request and reads one response.
+func roundTrip(mc *simnet.MsgConn, req ctrlMsg) (ctrlMsg, error) {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return ctrlMsg{}, err
+	}
+	if err := mc.Send(raw); err != nil {
+		return ctrlMsg{}, err
+	}
+	got, err := mc.Recv()
+	if err != nil {
+		return ctrlMsg{}, err
+	}
+	var resp ctrlMsg
+	if err := json.Unmarshal(got, &resp); err != nil {
+		return ctrlMsg{}, err
+	}
+	if resp.Kind == "err" {
+		return resp, fmt.Errorf("cluster: control request %q refused: %s", req.Kind, resp.Error)
+	}
+	return resp, nil
+}

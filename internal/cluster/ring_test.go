@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// Routing is a pure function of (seed, members, key): two rings built
+// the same way agree on every lookup, and rebuilding after a restart
+// reproduces the same routes — the fixed-seed determinism the balancer
+// inherits at equal load.
+func TestRingDeterministic(t *testing.T) {
+	build := func() *Ring {
+		r := NewRing(42, 64)
+		for i := 0; i < 8; i++ {
+			r.Add(fmt.Sprintf("node%d", i))
+		}
+		return r
+	}
+	a, b := build(), build()
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		if got, want := a.Lookup(key, 2), b.Lookup(key, 2); !reflect.DeepEqual(got, want) {
+			t.Fatalf("lookup %q: %v != %v on identical rings", key, got, want)
+		}
+	}
+
+	// A different seed permutes the mapping (statistically: over 500
+	// keys at least one primary owner must move).
+	c := NewRing(43, 64)
+	for i := 0; i < 8; i++ {
+		c.Add(fmt.Sprintf("node%d", i))
+	}
+	moved := 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		if a.Lookup(key, 1)[0] != c.Lookup(key, 1)[0] {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("seed change moved no keys: the seed is not feeding the hash")
+	}
+}
+
+// Insertion order must not matter: the ring sorts points by hash, so
+// the same member set reaches the same routes however it was assembled.
+func TestRingOrderIndependent(t *testing.T) {
+	a, b := NewRing(7, 32), NewRing(7, 32)
+	for i := 0; i < 5; i++ {
+		a.Add(fmt.Sprintf("node%d", i))
+	}
+	for i := 4; i >= 0; i-- {
+		b.Add(fmt.Sprintf("node%d", i))
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if got, want := a.Lookup(key, 3), b.Lookup(key, 3); !reflect.DeepEqual(got, want) {
+			t.Fatalf("lookup %q: %v != %v across insertion orders", key, got, want)
+		}
+	}
+}
+
+// Virtual nodes keep the split roughly even: with 64 points per member
+// no node's share of 4000 keys should collapse or balloon.
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(1, 64)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("node%d", i))
+	}
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Lookup(fmt.Sprintf("s%d", i), 1)[0]]++
+	}
+	for node, c := range counts {
+		if c < keys/10 || c > keys/2 {
+			t.Fatalf("%s owns %d/%d keys: virtual nodes are not smoothing the split (%v)", node, c, keys, counts)
+		}
+	}
+}
+
+// Removing a member moves only its keys: every key whose primary owner
+// survives keeps that owner.
+func TestRingRemoveMovesOnlyOwnedKeys(t *testing.T) {
+	r := NewRing(3, 64)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("node%d", i))
+	}
+	before := map[string]string{}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("s%d", i)
+		before[key] = r.Lookup(key, 1)[0]
+	}
+	r.Remove("node2")
+	for key, owner := range before {
+		now := r.Lookup(key, 1)[0]
+		if owner != "node2" && now != owner {
+			t.Fatalf("key %q moved %s -> %s though its owner stayed", key, owner, now)
+		}
+		if now == "node2" {
+			t.Fatalf("key %q still routes to the removed member", key)
+		}
+	}
+}
+
+// Lookup returns n distinct members, capped at the member count.
+func TestRingLookupDistinct(t *testing.T) {
+	r := NewRing(9, 16)
+	for i := 0; i < 3; i++ {
+		r.Add(fmt.Sprintf("node%d", i))
+	}
+	got := r.Lookup("key", 5)
+	if len(got) != 3 {
+		t.Fatalf("lookup n=5 over 3 members returned %v", got)
+	}
+	seen := map[string]bool{}
+	for _, n := range got {
+		if seen[n] {
+			t.Fatalf("duplicate member %s in %v", n, got)
+		}
+		seen[n] = true
+	}
+	if r.Lookup("key", 0) != nil {
+		t.Fatal("lookup n=0 should return nil")
+	}
+}

@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/litterbox-project/enclosure/internal/probe"
+)
+
+// MigrationSweepStats aggregates a migrated probe sweep.
+type MigrationSweepStats struct {
+	Traces     int `json:"traces"`
+	Ops        int `json:"ops"`
+	Migrations int `json:"migrations"` // world migrations performed (4 per trace)
+	DynImports int `json:"dyn_imports"`
+}
+
+// MigrationSweep is the cluster's end-to-end migration oracle: n probe
+// traces, each run twice — once normally, once with every world
+// checkpointed, transferred over simnet, and restored on a fresh "node"
+// at the trace's midpoint. The two runs must produce bit-identical
+// outcome digests on all four backends; any difference means migration
+// altered observable behaviour and the sweep fails with the seed.
+func MigrationSweep(seed uint64, n, opsPerTrace int) (MigrationSweepStats, error) {
+	var stats MigrationSweepStats
+	for i := 0; i < n; i++ {
+		tr := probe.Gen(seed+uint64(i)*0x9E3779B97F4A7C15, opsPerTrace)
+		div, base, err := probe.RunTrace(tr)
+		if err != nil {
+			return stats, fmt.Errorf("cluster: sweep trace %d (seed %#x): %w", i, tr.Seed, err)
+		}
+		if div != nil {
+			return stats, fmt.Errorf("cluster: sweep trace %d (seed %#x): unmigrated run diverged: %s", i, tr.Seed, div)
+		}
+
+		migrated := 0
+		swap := func(w *probe.World, journal []probe.Executed) (*probe.World, error) {
+			migrated++
+			return MigrateWorld(w, journal)
+		}
+		div, mig, err := probe.RunTraceMigrated(tr, base.Ops/2, swap)
+		if err != nil {
+			return stats, fmt.Errorf("cluster: sweep trace %d (seed %#x): migrated run: %w", i, tr.Seed, err)
+		}
+		if div != nil {
+			return stats, fmt.Errorf("cluster: sweep trace %d (seed %#x): migrated run diverged: %s", i, tr.Seed, div)
+		}
+		if mig.Digest != base.Digest {
+			return stats, fmt.Errorf(
+				"cluster: sweep trace %d (seed %#x): migrated digest %#x != unmigrated %#x — migration altered observable behaviour",
+				i, tr.Seed, mig.Digest, base.Digest)
+		}
+		stats.Traces++
+		stats.Ops += base.Ops
+		stats.Migrations += migrated
+		stats.DynImports += base.DynImports
+	}
+	return stats, nil
+}

@@ -117,6 +117,22 @@ func (p *Program) Heap() *alloc.Heap { return p.heap }
 // LitterBox exposes the enforcement framework (for tests and tools).
 func (p *Program) LitterBox() *litterbox.LitterBox { return p.lb }
 
+// ExportEnvState snapshots the program's environment table and span
+// ownership for migration — one consistent RCU read, never torn by a
+// concurrent dynamic import (see litterbox.StateExport).
+func (p *Program) ExportEnvState() litterbox.StateExport { return p.lb.ExportState() }
+
+// VerifyEnvState is the migration target's policy re-verification: the
+// shipped snapshot must match this program's own environment state
+// exactly, or the migration is rejected.
+func (p *Program) VerifyEnvState(exp litterbox.StateExport) error { return p.lb.VerifyState(exp) }
+
+// VerifyEnvPolicy is VerifyEnvState without the heap-span comparison —
+// what a cluster node verifies when a *session* migrates in: both
+// nodes run the same image under the same policy, but each heap
+// reflects its own request history (see litterbox.VerifyPolicy).
+func (p *Program) VerifyEnvPolicy(exp litterbox.StateExport) error { return p.lb.VerifyPolicy(exp) }
+
 // Tracer returns the observability trace attached via WithTracer, or
 // nil when the program is untraced.
 func (p *Program) Tracer() *obs.Trace { return p.lb.Tracer() }

@@ -26,8 +26,18 @@ import (
 	"github.com/litterbox-project/enclosure/internal/litterbox"
 )
 
-// ErrClosed reports a submission to a closed engine.
+// ErrClosed reports a submission to a closed engine. It is a hard
+// failure: the engine is gone and will never accept work again.
 var ErrClosed = errors.New("engine: closed")
+
+// ErrBackpressure reports an admission rejection with the engine still
+// open: every run queue was at depth, so the submission was shed the
+// way a saturated SYN backlog drops a connection. Unlike ErrClosed it
+// is transient — a cluster balancer re-routes the request to a sibling
+// node instead of failing it, and a retry against the same node may
+// succeed once the queues drain. Callers distinguish the two with
+// errors.Is; neither wraps the other.
+var ErrBackpressure = errors.New("engine: backpressure: every run queue is full")
 
 // Job is one unit of work: it runs on a fresh task pinned to whichever
 // worker dequeues it.
@@ -123,6 +133,25 @@ func (e *Engine) Submit(pref int, name string, fn Job) bool {
 	return e.enqueueLocked(pref, job{name: name, fn: fn})
 }
 
+// SubmitE enqueues like Submit but reports the admission outcome as a
+// typed error: nil on admission, ErrBackpressure when every queue is at
+// depth, ErrClosed after Close. done, when non-nil, runs on the
+// executing worker after the job finishes with the job's error — the
+// completion edge a synchronous caller blocks on. Jobs admitted before
+// Close still execute (Close drains the queues), so a nil return is a
+// guarantee that done will be called exactly once.
+func (e *Engine) SubmitE(pref int, name string, fn Job, done func(error)) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if !e.enqueueLocked(pref, job{name: name, fn: fn, done: done}) {
+		return ErrBackpressure
+	}
+	return nil
+}
+
 // submitBlocking enqueues like Submit but waits for queue space instead
 // of rejecting. Pool admission uses it so batch work throttles the
 // producer rather than dropping jobs.
@@ -199,7 +228,10 @@ func (e *Engine) run(w *worker) {
 func (e *Engine) next(w *worker) (job, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	w.busy = false
+	if w.busy {
+		w.busy = false
+		e.cond.Broadcast() // wake Quiesce on the busy→idle edge
+	}
 	for {
 		if len(e.queues[w.idx]) > 0 {
 			j := e.queues[w.idx][0]
@@ -253,6 +285,79 @@ func runJob(t *core.Task, fn Job) (err error) {
 		}
 	}()
 	return fn(t)
+}
+
+// Load returns the engine's instantaneous load: queued jobs plus
+// workers currently executing one. It is the balancer's least-loaded
+// signal — cheap enough to consult on every routing decision, unlike a
+// full Metrics snapshot.
+func (e *Engine) Load() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for i := range e.queues {
+		n += len(e.queues[i])
+	}
+	for _, w := range e.workers {
+		if w.busy {
+			n++
+		}
+	}
+	return n
+}
+
+// QueueDepths returns every worker's instantaneous run-queue depth,
+// indexed by worker.
+func (e *Engine) QueueDepths() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]int, len(e.queues))
+	for i := range e.queues {
+		out[i] = len(e.queues[i])
+	}
+	return out
+}
+
+// StealCounts returns every worker's cumulative steal count, indexed by
+// worker.
+func (e *Engine) StealCounts() []int64 {
+	out := make([]int64, len(e.workers))
+	for i, w := range e.workers {
+		out[i] = w.steals.Load()
+	}
+	return out
+}
+
+// Quiesce blocks until every run queue is empty and no worker is
+// executing a job — the drain barrier a cluster node crosses before
+// leaving the ring. It does not stop admission; callers that need a
+// terminal drain gate submissions themselves (or use Close, which
+// drains and joins the workers). Quiesce returns immediately on a
+// closed, drained engine.
+func (e *Engine) Quiesce() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		idle := true
+		for i := range e.queues {
+			if len(e.queues[i]) > 0 {
+				idle = false
+				break
+			}
+		}
+		if idle {
+			for _, w := range e.workers {
+				if w.busy {
+					idle = false
+					break
+				}
+			}
+		}
+		if idle {
+			return
+		}
+		e.cond.Wait()
+	}
 }
 
 // Close stops admission, drains every queued job, and joins the

@@ -67,17 +67,19 @@ func (s *Server) accept(shard int, ln *simnet.Listener, opts ServeOpts) {
 		if err != nil {
 			return // shard closed
 		}
-		ok := s.e.Submit(pref, fmt.Sprintf("conn-s%d", shard), func(t *core.Task) error {
+		err = s.e.SubmitE(pref, fmt.Sprintf("conn-s%d", shard), func(t *core.Task) error {
 			// Inject at exec time into the *executor's* proc: a stolen
 			// job runs on a different worker than the acceptor's
 			// preference, and the fd must live in the fd table its
 			// syscalls resolve against.
 			fd := t.Worker().Proc().InjectConn(conn)
 			return opts.Conn(t, fd)
-		})
-		if !ok {
-			// Backpressure: shed the connection, as a kernel drops from
-			// a full backlog. The client sees a reset (ErrClosed).
+		}, nil)
+		if err != nil {
+			// ErrBackpressure: shed the connection, as a kernel drops
+			// from a full backlog. ErrClosed: the engine is gone and the
+			// shard is about to be closed too. Either way the client
+			// sees a reset (ErrClosed on its conn).
 			conn.Close()
 			s.shed.Add(1)
 			continue

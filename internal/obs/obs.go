@@ -39,6 +39,17 @@ const (
 	KindViolation = "violation"
 )
 
+// Cluster event kinds: the control-plane operations of a multi-node
+// engine cluster. These are host-side coordination events — routing a
+// request, migrating an environment, a node joining or leaving the hash
+// ring — so they carry no virtual cost; Worker holds the node ID.
+const (
+	KindRoute   = "route"
+	KindMigrate = "migrate"
+	KindJoin    = "join"
+	KindLeave   = "leave"
+)
+
 // Filter verdicts stamped on syscall and violation events.
 const (
 	VerdictAllow = "allow"

@@ -124,7 +124,7 @@ type prediction struct {
 	class string
 }
 
-func skipOp() prediction        { return prediction{skip: true} }
+func skipOp() prediction          { return prediction{skip: true} }
 func classed(c string) prediction { return prediction{class: c} }
 
 // Step predicts one operation's outcome class and advances the model

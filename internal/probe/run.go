@@ -61,6 +61,40 @@ func RunTrace(tr Trace) (*Divergence, TraceStats, error) {
 // reads). Configurations must not change verdicts or virtual costs;
 // the digest equality tests pin exactly that.
 func RunTraceConfigured(tr Trace, configure func(*World)) (*Divergence, TraceStats, error) {
+	return runTrace(tr, configure, -1, nil)
+}
+
+// Executed is one journal entry of a trace execution: an operation that
+// actually ran in a world, the outcome it produced there, and whether
+// the executor pushed a frame for it. The journal is a world's
+// migratable execution history — replaying it against a freshly built
+// world of the same spec reproduces the world's exact state, because
+// construction and every operation are deterministic.
+type Executed struct {
+	Op Op `json:"op"`
+	// Out is this world's outcome string, the value the replay must
+	// reproduce bit-identically or the restore is rejected.
+	Out string `json:"out"`
+	// Pushed records the executor's frame decision for an OpProlog. It
+	// is the *model's* verdict, shared by all four worlds — the baseline
+	// world reports "ok" even for a forged token it does not enforce, so
+	// the outcome string alone cannot drive the replay's stack.
+	Pushed bool `json:"pushed,omitempty"`
+}
+
+// RunTraceMigrated replays a trace like RunTrace but migrates every
+// world after its at-th executed operation: swap receives the world and
+// its journal so far and returns the world to continue on — a restored
+// copy on another "node", or the original if the migration failed and
+// execution resumes on the source. Because the digest covers every
+// outcome of every world, RunTraceMigrated's digest equals RunTrace's
+// exactly when migration is state-faithful; the cluster's migration
+// sweep pins that equality on all four backends.
+func RunTraceMigrated(tr Trace, at int, swap func(w *World, journal []Executed) (*World, error)) (*Divergence, TraceStats, error) {
+	return runTrace(tr, nil, at, swap)
+}
+
+func runTrace(tr Trace, configure func(*World), migrateAt int, swap func(*World, []Executed) (*World, error)) (*Divergence, TraceStats, error) {
 	var stats TraceStats
 	worlds, err := BuildWorlds(tr.Spec)
 	if err != nil {
@@ -73,12 +107,25 @@ func RunTraceConfigured(tr Trace, configure func(*World)) (*Divergence, TraceSta
 	}
 	model := NewModel(tr.Spec)
 	digest := fnv.New64a()
+	var journals map[string][]Executed
+	if swap != nil {
+		journals = make(map[string][]Executed, len(worlds))
+	}
 
 	for i, op := range tr.Ops {
 		pred := model.Step(op)
 		if pred.skip {
 			stats.Skipped++
 			continue
+		}
+		if swap != nil && stats.Ops == migrateAt {
+			for idx, w := range worlds {
+				nw, err := swap(w, journals[w.Name])
+				if err != nil {
+					return nil, stats, fmt.Errorf("probe: migrating %s world at op %d: %w", w.Name, i, err)
+				}
+				worlds[idx] = nw
+			}
 		}
 		stats.Ops++
 		deniedBefore := op.Kind == OpSyscall && model.Denied() && pred.class == classOK
@@ -89,6 +136,12 @@ func RunTraceConfigured(tr Trace, configure func(*World)) (*Divergence, TraceSta
 			out, env := execOp(w, op)
 			outs[w.Name], envs[w.Name] = out, env
 			digest.Write([]byte(out))
+		}
+		if swap != nil {
+			pushed := op.Kind == OpProlog && pred.class == classOK
+			for _, w := range worlds {
+				journals[w.Name] = append(journals[w.Name], Executed{Op: op, Out: outs[w.Name], Pushed: pushed})
+			}
 		}
 		// A fault aborts the world's domain; reset so the trace continues
 		// uniformly (each op is judged independently).
@@ -167,6 +220,13 @@ func classOf(out string) string {
 		return classErr
 	}
 }
+
+// ExecOp replays one operation in one world and renders the outcome as
+// a canonical string — the single-op entry point a migration restore
+// uses to replay a journal against a fresh world. The returned env is
+// non-nil only for a successful Prolog; the caller decides the frame
+// push from the journal's Pushed flag (see Executed).
+func ExecOp(w *World, op Op) (string, *litterbox.Env) { return execOp(w, op) }
 
 // execOp replays one operation in one world and renders the outcome as
 // a canonical string. Returned env is non-nil only for a successful

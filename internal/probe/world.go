@@ -22,6 +22,7 @@ import (
 // identical — the property that makes verdicts comparable.
 type World struct {
 	Name  string
+	Spec  WorldSpec
 	LB    *litterbox.LitterBox
 	Img   *linker.Image
 	Graph *pkggraph.Graph
@@ -146,7 +147,7 @@ func BuildWorld(spec WorldSpec, name string) (*World, error) {
 	}
 
 	w := &World{
-		Name: name, LB: lb, Img: img, Graph: g,
+		Name: name, Spec: spec, LB: lb, Img: img, Graph: g,
 		CPU: cpu, Clock: clock, K: k, Dom: dom,
 		Cache: litterbox.NewEnvCache(),
 		stack: []frame{{env: lb.Trusted(), encl: 0}},
@@ -195,6 +196,27 @@ func BuildWorlds(spec WorldSpec) ([]*World, error) {
 // top returns the current frame.
 func (w *World) top() frame { return w.stack[len(w.stack)-1] }
 
+// Frames returns the enclosure IDs of the nesting chain beyond the
+// trusted base frame — a migration checkpoint's stack description, and
+// the value a restore must reproduce.
+func (w *World) Frames() []int {
+	out := make([]int, 0, len(w.stack)-1)
+	for _, fr := range w.stack[1:] {
+		out = append(out, fr.encl)
+	}
+	return out
+}
+
+// PushFrame records an entered environment on the executor stack — the
+// replay-side mirror of the runner's push after a model-approved
+// Prolog.
+func (w *World) PushFrame(env *litterbox.Env, encl int) {
+	w.stack = append(w.stack, frame{env: env, encl: encl})
+}
+
+// PopFrame removes the top frame — the replay-side mirror of an Epilog.
+func (w *World) PopFrame() { w.stack = w.stack[:len(w.stack)-1] }
+
 // bufAddr resolves a symbolic buffer slot to this world's address.
 func (w *World) bufAddr(slot int) mem.Addr {
 	if slot < 0 {
@@ -203,7 +225,7 @@ func (w *World) bufAddr(slot int) mem.Addr {
 	if slot < len(w.Spans) {
 		return w.Spans[slot].Base
 	}
-	return w.Img.Layout(pkgName(slot-len(w.Spans))).Data.Base
+	return w.Img.Layout(pkgName(slot - len(w.Spans))).Data.Base
 }
 
 // argsFor assembles the concrete argument vector for a syscall op.

@@ -1,0 +1,83 @@
+package simnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestMsgConnRoundTrip(t *testing.T) {
+	a, b := Pair()
+	ma, mb := NewMsgConn(a), NewMsgConn(b)
+
+	msgs := [][]byte{
+		[]byte("hello"),
+		{},                              // empty frame is a valid message
+		bytes.Repeat([]byte{7}, 300000), // larger than the stream buffer: forces chunked writes
+		[]byte("bye"),
+	}
+	errc := make(chan error, 1)
+	go func() {
+		for _, m := range msgs {
+			if err := ma.Send(m); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- ma.Close()
+	}()
+
+	for i, want := range msgs {
+		got, err := mb.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("recv %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("send side: %v", err)
+	}
+	// Clean close between frames is ErrClosed, not a truncation.
+	if _, err := mb.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("recv after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestMsgConnTruncation(t *testing.T) {
+	a, b := Pair()
+	mb := NewMsgConn(b)
+
+	// A length prefix promising 100 bytes followed by a close: the peer
+	// died mid-frame, which must surface as an unexpected EOF, never as
+	// a short message.
+	if _, err := a.Write([]byte{0, 0, 0, 100, 'x', 'y'}); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	if _, err := mb.Recv(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated recv = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestMsgConnOversizedFrame(t *testing.T) {
+	a, b := Pair()
+	ma, mb := NewMsgConn(a), NewMsgConn(b)
+	if err := ma.Send(make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversized send = %v, want ErrFrameTooBig", err)
+	}
+	// A hostile length prefix is rejected before allocation.
+	var hdr [4]byte
+	hdr[0] = 0xFF
+	hdr[1] = 0xFF
+	hdr[2] = 0xFF
+	hdr[3] = 0xFF
+	if _, err := a.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mb.Recv(); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversized recv = %v, want ErrFrameTooBig", err)
+	}
+}

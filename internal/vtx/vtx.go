@@ -11,6 +11,7 @@ package vtx
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"github.com/litterbox-project/enclosure/internal/hw"
@@ -126,6 +127,31 @@ func (m *Machine) PhysOf(table int) int {
 		return pt.id
 	}
 	return -1
+}
+
+// PageEntry is one mapping of an exported page table.
+type PageEntry struct {
+	Page uint64
+	Perm mem.Perm
+}
+
+// ExportTable returns a handle's mappings sorted by page number — the
+// canonical rendering migration uses to compare page tables across
+// nodes (and the CoW-split tests use to prove a sharer's table did not
+// follow an exclusive update).
+func (m *Machine) ExportTable(table int) ([]PageEntry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pt, ok := m.handles[table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoTable, table)
+	}
+	out := make([]PageEntry, 0, len(pt.pages))
+	for p, perm := range pt.pages {
+		out = append(out, PageEntry{Page: p, Perm: perm})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Page < out[j].Page })
+	return out, nil
 }
 
 // ShareStats returns (clones created, copy-on-write splits performed).
