@@ -23,7 +23,7 @@ race:
 # and the differential probe and forced-migration sweeps, as
 # machine-readable JSON.
 bench:
-	$(GO) run ./cmd/enclosebench -trajectory BENCH_6.json
+	$(GO) run ./cmd/enclosebench -trajectory BENCH_7.json
 
 # Host-side Go micro-benchmarks (not checked in).
 gobench:

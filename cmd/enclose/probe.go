@@ -18,13 +18,28 @@ func runProbe(args []string) {
 	n := fs.Int("n", 1, "number of traces to sweep from the seed")
 	ops := fs.Int("ops", 40, "operations per trace")
 	fastpath := fs.Bool("fastpath", true, "use the compiled verdict table (false: reference BPF interpreter)")
+	ringMode := fs.Bool("ring", true, "drain syscall batches through the ring (false: sequential per-entry gateway)")
 	fs.Parse(args)
 
-	var configure func(*probe.World)
+	var hooks []func(*probe.World)
 	mode := "verdict-table fast path"
 	if !*fastpath {
-		configure = func(w *probe.World) { w.K.SetFastPath(false) }
+		hooks = append(hooks, func(w *probe.World) { w.K.SetFastPath(false) })
 		mode = "reference BPF interpreter"
+	}
+	if !*ringMode {
+		hooks = append(hooks, func(w *probe.World) { w.LB.SetRingBatching(false) })
+		mode += ", sequential batch drain"
+	} else {
+		mode += ", batched ring drain"
+	}
+	var configure func(*probe.World)
+	if len(hooks) > 0 {
+		configure = func(w *probe.World) {
+			for _, h := range hooks {
+				h(w)
+			}
+		}
 	}
 	fmt.Printf("probing %d trace(s) from seed %#x (%d ops each) on baseline/mpk/vtx/cheri, %s\n",
 		*n, *seed, *ops, mode)

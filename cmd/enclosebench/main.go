@@ -6,6 +6,7 @@
 //	enclosebench -table scale    # multi-core engine scaling sweep
 //	enclosebench -table probe    # adversarial differential probe sweep
 //	enclosebench -table fastpath # compiled-policy fast path before/after
+//	enclosebench -table ring     # batched syscall ring off/on per backend
 //	enclosebench -table cluster  # multi-node cluster scaling + migration sweep
 //	enclosebench -figure 4    # linked executable image layout
 //	enclosebench -figure 5    # wiki web-app with two enclosures
@@ -32,7 +33,7 @@ import (
 func benchKind(i int) core.BackendKind { return core.BackendKind(i) }
 
 func main() {
-	table := flag.String("table", "", "regenerate a table: 1, 2, scale, probe, fastpath, or cluster")
+	table := flag.String("table", "", "regenerate a table: 1, 2, scale, probe, fastpath, ring, or cluster")
 	trajectory := flag.String("trajectory", "", "write the benchmark trajectory point (fastpath + scale + probe) to the given file")
 	figure := flag.Int("figure", 0, "regenerate Figure N (4 or 5)")
 	python := flag.Bool("python", false, "run the §6.4 Python experiments")
@@ -78,6 +79,9 @@ func main() {
 		} else if *table == "cluster" {
 			// Cluster-only smoke run: node scaling plus the migration sweep.
 			results, err = bench.CollectClusterResults()
+		} else if *table == "ring" {
+			// Ring-only smoke run: the batched-syscall sweep.
+			results, err = bench.CollectRingResults()
 		} else {
 			results, err = bench.CollectResults(*iters)
 		}
@@ -159,6 +163,14 @@ func main() {
 		}
 		fmt.Printf("Migration sweep: %d traces, %d world migrations, digests match on all four backends.\n\n",
 			mig.Traces, mig.Migrations)
+	}
+	if *all || *table == "ring" {
+		ran = true
+		entries, err := bench.RunRing()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.RenderRingTable(entries))
 	}
 	if *all || *table == "fastpath" {
 		ran = true

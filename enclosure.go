@@ -187,6 +187,13 @@ func WithEngineWorkers(n int) Option { return core.WithEngineWorkers(n) }
 // WithAddressSpaceSize overrides the simulated address-space capacity.
 func WithAddressSpaceSize(bytes uint64) Option { return core.WithAddressSpaceSize(bytes) }
 
+// WithSyscallRing enables the batched syscall submission ring at the
+// given queue depth: tasks queue entries with Task.SubmitSyscall and
+// drain them with Task.FlushSyscalls, paying one amortized trap (and,
+// on LB_VTX, one VM exit) per batch instead of the full per-call
+// overhead. Default off; depth must be positive or the option panics.
+func WithSyscallRing(depth int) Option { return core.WithSyscallRing(depth) }
+
 // DefaultHostIP returns the simulated program's own network address
 // (10.0.0.1); external drivers dial simulated listeners with it.
 func DefaultHostIP() uint32 { return core.DefaultHostIP }

@@ -223,8 +223,11 @@ func muxServe(t *core.Task, args ...core.Value) ([]core.Value, error) {
 // multi-core engine.
 func muxServeConn(t *core.Task, st ConnState, conn uint64, reqs chan<- Request) (string, error) {
 	t.Compute(costConnSetup)
-	t.RuntimeSyscall(kernel.NrFutex)
-	t.RuntimeSyscall(kernel.NrClockGettime, uint64(st.ClockOut.Addr))
+	// Runtime housekeeping rides one ring batch (per-call when the ring
+	// is off).
+	t.SubmitRuntimeSyscall(1, kernel.NrFutex)
+	t.SubmitRuntimeSyscall(2, kernel.NrClockGettime, uint64(st.ClockOut.Addr))
+	t.FlushSyscalls()
 
 	n, errno := t.Syscall(kernel.NrRecv, conn, uint64(st.ReqBuf.Addr), st.ReqBuf.Size)
 	if errno != kernel.OK {
@@ -239,18 +242,27 @@ func muxServeConn(t *core.Task, st ConnState, conn uint64, reqs chan<- Request) 
 	reqs <- Request{Kind: kind, Page: page, Body: body, Resp: st.RespBuf, Done: done}
 	respLen := <-done
 
-	t.RuntimeSyscall(kernel.NrFutex)
+	// Response tail as one batch: netpoller re-arm, header send, body
+	// send, shutdown.
+	const (
+		tagFutex = iota + 1
+		tagSendHdr
+		tagSendBody
+		tagShutdown
+	)
+	t.SubmitRuntimeSyscall(tagFutex, kernel.NrFutex)
 	hdr := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: %d\r\n\r\n", respLen)
 	hdrRef := st.RespBuf.Slice(uint64(respLen), uint64(len(hdr)))
 	t.WriteBytes(hdrRef, []byte(hdr))
 	t.Compute(costRespond)
-	if _, errno := t.Syscall(kernel.NrSend, conn, uint64(hdrRef.Addr), uint64(len(hdr))); errno != kernel.OK {
-		return "", fmt.Errorf("mux: send headers: %v", errno)
+	t.SubmitSyscall(tagSendHdr, kernel.NrSend, conn, uint64(hdrRef.Addr), uint64(len(hdr)))
+	t.SubmitSyscall(tagSendBody, kernel.NrSend, conn, uint64(st.RespBuf.Addr), uint64(respLen))
+	t.SubmitSyscall(tagShutdown, kernel.NrShutdown, conn)
+	for _, c := range t.FlushSyscalls() {
+		if c.Errno != kernel.OK && (c.Tag == tagSendHdr || c.Tag == tagSendBody) {
+			return "", fmt.Errorf("mux: send (tag %d): %v", c.Tag, c.Errno)
+		}
 	}
-	if _, errno := t.Syscall(kernel.NrSend, conn, uint64(st.RespBuf.Addr), uint64(respLen)); errno != kernel.OK {
-		return "", fmt.Errorf("mux: send body: %v", errno)
-	}
-	t.Syscall(kernel.NrShutdown, conn)
 	return kind, nil
 }
 
@@ -311,7 +323,9 @@ func pqProxy(t *core.Task, args ...core.Value) ([]core.Value, error) {
 	wire := t.Alloc(8192)
 	for q := range cfg.Queries {
 		t.Compute(costProxy)
-		t.RuntimeSyscall(kernel.NrFutex)
+		// The channel-wake futex rides the same ring batch as the query
+		// send pqSend submits below.
+		t.SubmitRuntimeSyscall(tagProxyFutex, kernel.NrFutex)
 		var res QueryResult
 		switch q.Op {
 		case "get":
@@ -327,10 +341,24 @@ func pqProxy(t *core.Task, args ...core.Value) ([]core.Value, error) {
 	return nil, nil
 }
 
+// Completion tags for the proxy's per-query batch (futex + wire send).
+const (
+	tagProxyFutex = iota + 1
+	tagProxySend
+)
+
+// pqSend writes the wire message and drains the proxy's pending batch
+// (the loop's futex plus this send — replies are read sequentially, so
+// the receive stays outside the ring).
 func pqSend(t *core.Task, sock uint64, wire core.Ref, msg string) kernel.Errno {
 	t.WriteBytes(wire.Slice(0, uint64(len(msg))), []byte(msg))
-	_, errno := t.Syscall(kernel.NrSend, sock, uint64(wire.Addr), uint64(len(msg)))
-	return errno
+	t.SubmitSyscall(tagProxySend, kernel.NrSend, sock, uint64(wire.Addr), uint64(len(msg)))
+	for _, c := range t.FlushSyscalls() {
+		if c.Tag == tagProxySend && c.Errno != kernel.OK {
+			return c.Errno
+		}
+	}
+	return kernel.OK
 }
 
 // pqRecvLine reads one protocol line (and leaves any following payload

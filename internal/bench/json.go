@@ -22,10 +22,13 @@ type Results struct {
 	// digests must match the unmigrated sweep on all four backends.
 	ClusterMigration *ClusterMigrationResult `json:"cluster_migration,omitempty"`
 	Fastpath         *FastpathResult         `json:"fastpath,omitempty"`
-	Probe            *ProbeBenchResult       `json:"probe,omitempty"`
-	Python           []PythonEntry           `json:"python"`
-	Security         []SecurityEntry         `json:"security"`
-	Paper            map[string]string       `json:"paper_reference"`
+	// Ring reports the batched-syscall-ring sweep: FastHTTP /stream
+	// throughput per backend with the submission ring off and on.
+	Ring     []RingEntry       `json:"ring,omitempty"`
+	Probe    *ProbeBenchResult `json:"probe,omitempty"`
+	Python   []PythonEntry     `json:"python"`
+	Security []SecurityEntry   `json:"security"`
+	Paper    map[string]string `json:"paper_reference"`
 
 	// Trace is the merged observability snapshot of the run when it was
 	// traced (enclosebench -table scale -json): per-kind, per-syscall,
@@ -135,6 +138,12 @@ func CollectResults(microIters int) (*Results, error) {
 	}
 	out.Fastpath = &fp
 
+	ringEntries, err := RunRing()
+	if err != nil {
+		return nil, err
+	}
+	out.Ring = ringEntries
+
 	pr, err := RunProbeBench(200, 40)
 	if err != nil {
 		return nil, err
@@ -207,6 +216,10 @@ func CollectTrajectoryResults() (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
+	ringEntries, err := RunRing()
+	if err != nil {
+		return nil, err
+	}
 	pr, err := RunProbeBench(200, 40)
 	if err != nil {
 		return nil, err
@@ -224,6 +237,7 @@ func CollectTrajectoryResults() (*Results, error) {
 	return &Results{
 		Fastpath:         &fp,
 		Scale:            scale,
+		Ring:             ringEntries,
 		Cluster:          clusterEntries,
 		ClusterMigration: &mig,
 		Probe:            &pr,
@@ -249,6 +263,23 @@ func CollectClusterResults() (*Results, error) {
 	return &Results{
 		Cluster:          entries,
 		ClusterMigration: &mig,
+		Paper: map[string]string{
+			"title": "Enclosure: Language-Based Restriction of Untrusted Libraries",
+			"venue": "ASPLOS 2021",
+		},
+	}, nil
+}
+
+// CollectRingResults runs only the batched-syscall-ring sweep — the
+// machine-readable smoke run CI's schema check drives
+// (`enclosebench -table ring -json -`).
+func CollectRingResults() (*Results, error) {
+	entries, err := RunRing()
+	if err != nil {
+		return nil, err
+	}
+	return &Results{
+		Ring: entries,
 		Paper: map[string]string{
 			"title": "Enclosure: Language-Based Restriction of Untrusted Libraries",
 			"venue": "ASPLOS 2021",

@@ -81,6 +81,10 @@ type Builder struct {
 
 	// noTableSharing disables LB_VTX page-table sharing (options.go).
 	noTableSharing bool
+
+	// ringDepth enables the batched syscall submission ring when
+	// positive (options.go WithSyscallRing; 0 keeps it off).
+	ringDepth int
 }
 
 // NewBuilder returns a program builder targeting the given backend,
@@ -321,6 +325,7 @@ func (b *Builder) Build() (*Program, error) {
 		encls:         make(map[string]*Enclosure),
 		pw:            pw,
 		engineWorkers: b.engineWorkers,
+		ringDepth:     b.ringDepth,
 	}
 	prog.runtimeCPU = prog.newCPU()
 

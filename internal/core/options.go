@@ -1,6 +1,10 @@
 package core
 
-import "github.com/litterbox-project/enclosure/internal/obs"
+import (
+	"fmt"
+
+	"github.com/litterbox-project/enclosure/internal/obs"
+)
 
 // Option configures a Builder at construction time. Options compose
 // left to right: NewBuilder(MPK, WithTracer(tr), WithAudit()). The
@@ -50,4 +54,19 @@ func WithAddressSpaceSize(bytes uint64) Option {
 // benchmark's reference arm; it has no effect on other backends.
 func WithoutPageTableSharing() Option {
 	return func(b *Builder) { b.noTableSharing = true }
+}
+
+// WithSyscallRing enables the batched syscall submission ring at the
+// given queue depth: tasks queue entries with Task.SubmitSyscall and
+// drain them with Task.FlushSyscalls, and each drained batch pays one
+// amortized trap (and, on LB_VTX, one VM exit) instead of the full
+// per-call overhead. Default off — without this option the submit API
+// still works but executes each entry immediately on the sequential
+// path, which is the unbatched reference arm benchmarks compare
+// against. Depth must be positive.
+func WithSyscallRing(depth int) Option {
+	if depth <= 0 {
+		panic(fmt.Sprintf("core: WithSyscallRing depth must be positive, got %d", depth))
+	}
+	return func(b *Builder) { b.ringDepth = depth }
 }

@@ -33,6 +33,7 @@ type Program struct {
 	pw       map[string]string // program-wide policies: package -> wrapper enclosure
 
 	engineWorkers int
+	ringDepth     int
 
 	runtimeCPU *hw.CPU
 
@@ -145,6 +146,11 @@ func (p *Program) Audit() *obs.Audit { return p.lb.Audit() }
 // WithEngineWorkers (zero when unset: the engine picks its own
 // default).
 func (p *Program) DefaultEngineWorkers() int { return p.engineWorkers }
+
+// SyscallRingDepth returns the submission-ring depth set via
+// WithSyscallRing (zero when the ring is off and batch submissions
+// execute sequentially).
+func (p *Program) SyscallRingDepth() int { return p.ringDepth }
 
 // Graph returns the package-dependence graph.
 func (p *Program) Graph() *pkggraph.Graph { return p.graph }

@@ -7,6 +7,7 @@ import (
 	"github.com/litterbox-project/enclosure/internal/kernel"
 	"github.com/litterbox-project/enclosure/internal/litterbox"
 	"github.com/litterbox-project/enclosure/internal/mem"
+	"github.com/litterbox-project/enclosure/internal/ring"
 )
 
 // Task is one simulated goroutine's execution context. Every data
@@ -27,6 +28,15 @@ type Task struct {
 	worker *WorkerCtx          // non-nil when pinned to an engine worker
 	cache  *litterbox.EnvCache // per-worker Prolog target cache
 	frames []*stackFrame       // split-stack segments (see stack.go)
+
+	// ring is the task-private submission ring for tasks not pinned to
+	// a worker (pinned tasks share the worker's); nil until the first
+	// submit, and always nil when the program's ring depth is zero.
+	ring *ring.Ring
+	// cqOff holds ring-off completions: with no ring configured the
+	// submit API executes entries immediately and queues results here
+	// so callers reap identical Completion values either way.
+	cqOff []ring.Completion
 }
 
 // Worker returns the worker context the task is pinned to (nil for
@@ -277,6 +287,105 @@ func (t *Task) RuntimeSyscall(nr kernel.Nr, args ...uint64) (uint64, kernel.Errn
 		t.fail(err)
 	}
 	return ret, errno
+}
+
+// --- Batched syscalls (submission ring) ------------------------------
+
+// syscallRing resolves the task's submission ring: the worker's when
+// pinned (per-worker-proc ownership), a lazily created task-private
+// ring otherwise, nil when the program was built without
+// WithSyscallRing.
+func (t *Task) syscallRing() *ring.Ring {
+	if t.prog.ringDepth <= 0 {
+		return nil
+	}
+	if t.worker != nil {
+		return t.worker.ring
+	}
+	if t.ring == nil {
+		t.ring = ring.New(t.prog.ringDepth)
+	}
+	return t.ring
+}
+
+// SubmitSyscall queues one syscall entry on the task's submission
+// ring, tagged for correlation with its completion. With the ring off
+// (no WithSyscallRing) the entry executes immediately on the
+// sequential path and its completion is queued for FlushSyscalls, so
+// callers use one API in both modes. A full ring drains automatically
+// before accepting the entry. A denied entry faults exactly as
+// Task.Syscall does — at drain time when batched — and cancels the
+// rest of its batch with ECANCELED.
+func (t *Task) SubmitSyscall(tag uint64, nr kernel.Nr, args ...uint64) {
+	var a [6]uint64
+	copy(a[:], args)
+	t.submitEntry(ring.Entry{Nr: nr, Args: a, Tag: tag})
+}
+
+// SubmitRuntimeSyscall is SubmitSyscall for language-runtime calls
+// (scheduler wakeups, deadline timers, entropy): the entry dispatches
+// unfiltered, as Task.RuntimeSyscall's excursion through the trusted
+// environment does.
+func (t *Task) SubmitRuntimeSyscall(tag uint64, nr kernel.Nr, args ...uint64) {
+	var a [6]uint64
+	copy(a[:], args)
+	t.submitEntry(ring.Entry{Nr: nr, Args: a, Tag: tag, Runtime: true})
+}
+
+func (t *Task) submitEntry(e ring.Entry) {
+	t.checkAlive()
+	r := t.syscallRing()
+	if r == nil {
+		if e.Runtime {
+			t.cpu.Pkg = t.CurrentPkg()
+		}
+		ret, errno, err := t.prog.lb.SyscallGateway(t.cpu, t.env, litterbox.SyscallReq{
+			Nr: e.Nr, Args: e.Args, CallerPkg: t.CurrentPkg(), Runtime: e.Runtime,
+		})
+		if err != nil {
+			t.fail(err)
+		}
+		t.cqOff = append(t.cqOff, ring.Completion{Tag: e.Tag, Ret: ret, Errno: errno})
+		return
+	}
+	if r.Full() {
+		t.drainRing(r)
+	}
+	r.Submit(e)
+}
+
+// FlushSyscalls drains every queued entry and returns all posted
+// completions, oldest first. A mid-batch denial faults (panics with
+// the *litterbox.Fault) after the batch's completions post, exactly
+// like the corresponding sequence of Task.Syscall calls.
+func (t *Task) FlushSyscalls() []ring.Completion {
+	t.checkAlive()
+	r := t.syscallRing()
+	if r == nil {
+		out := t.cqOff
+		t.cqOff = nil
+		return out
+	}
+	t.drainRing(r)
+	return r.Reap()
+}
+
+// drainRing pushes the ring's queued batch through the LitterBox batch
+// gateway and posts the completions.
+func (t *Task) drainRing(r *ring.Ring) {
+	batch := r.Take()
+	if len(batch) == 0 {
+		return
+	}
+	out := make([]ring.Completion, len(batch))
+	err := t.prog.lb.SyscallBatch(t.cpu, t.env, t.CurrentPkg(), batch, out)
+	r.Post(out)
+	if err != nil {
+		// The fault abandoned the batch: drop in-flight ring state so a
+		// later task on this worker cannot reap a dead batch's tail.
+		r.Reset()
+		t.fail(err)
+	}
 }
 
 // --- Goroutines ------------------------------------------------------

@@ -4,6 +4,7 @@ import (
 	"github.com/litterbox-project/enclosure/internal/hw"
 	"github.com/litterbox-project/enclosure/internal/kernel"
 	"github.com/litterbox-project/enclosure/internal/litterbox"
+	"github.com/litterbox-project/enclosure/internal/ring"
 )
 
 // WorkerCtx is one parallel virtual CPU's execution context: its own
@@ -25,6 +26,12 @@ type WorkerCtx struct {
 	proc     *kernel.Proc
 	domain   *litterbox.FaultDomain
 	cache    *litterbox.EnvCache
+
+	// ring is the worker's syscall submission ring (nil when the
+	// program was built without WithSyscallRing). Per-worker ownership
+	// mirrors io_uring's per-thread rings: tasks pinned to this worker
+	// share it, under the engine's one-request-at-a-time discipline.
+	ring *ring.Ring
 }
 
 // NewWorker creates a parallel worker context. Faults raised by tasks
@@ -39,6 +46,9 @@ func (p *Program) NewWorker(name string) *WorkerCtx {
 		proc:     p.kernel.NewProc(p.proc.UID, p.proc.PID, p.proc.HostIP),
 		domain:   &litterbox.FaultDomain{},
 		cache:    litterbox.NewEnvCache(),
+	}
+	if p.ringDepth > 0 {
+		w.ring = ring.New(p.ringDepth)
 	}
 	p.lb.BindWorker(w.clock, &litterbox.CPUState{Proc: w.proc, Domain: w.domain, Name: name})
 	return w
@@ -61,6 +71,10 @@ func (w *WorkerCtx) Domain() *litterbox.FaultDomain { return w.domain }
 
 // EnvCache returns the worker's Prolog target cache.
 func (w *WorkerCtx) EnvCache() *litterbox.EnvCache { return w.cache }
+
+// Ring returns the worker's syscall submission ring (nil when the
+// program was built without WithSyscallRing).
+func (w *WorkerCtx) Ring() *ring.Ring { return w.ring }
 
 // newCPU returns a fresh architectural CPU charging this worker's clock
 // and counters.

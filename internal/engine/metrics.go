@@ -79,6 +79,26 @@ func TotalSteals(ms []WorkerMetrics) int64 {
 	return n
 }
 
+// TotalRingBatches sums syscall-ring batch drains across the snapshot.
+func TotalRingBatches(ms []WorkerMetrics) int64 {
+	var n int64
+	for _, m := range ms {
+		n += m.Counters.RingBatches
+	}
+	return n
+}
+
+// TotalRingEntries sums ring-submitted syscall entries across the
+// snapshot; divided by TotalRingBatches it gives the achieved batch
+// depth, the quantity the amortized trap cost scales with.
+func TotalRingEntries(ms []WorkerMetrics) int64 {
+	var n int64
+	for _, m := range ms {
+		n += m.Counters.RingEntries
+	}
+	return n
+}
+
 // MaxQueueDepth returns the highest per-worker queue high-water mark.
 func MaxQueueDepth(ms []WorkerMetrics) int64 {
 	var d int64

@@ -97,6 +97,14 @@ const (
 	// (the iret path of a VTX switch); the dominant cost of the switch is
 	// the two guest syscall legs, not the MOV CR3 itself.
 	CostCR3Switch = 2
+
+	// CostRingEntry is the per-entry bookkeeping of a batched syscall
+	// drain: reading one SQE, posting one CQE. The batch's single trap
+	// (CostSyscall) is charged once by the drain, so this — plus the
+	// per-entry verdict where a filter is installed — is all an entry
+	// pays instead of the full per-call trap, the io_uring arithmetic
+	// the §6 cost model rewards.
+	CostRingEntry = 12
 )
 
 // Clock is a monotonically increasing virtual clock measured in
@@ -142,6 +150,8 @@ type Counters struct {
 	PkeyMprotects atomic.Int64 // pkey_mprotect invocations (LB_MPK)
 	PTWalks       atomic.Int64 // software page-table walks
 	Faults        atomic.Int64 // protection faults raised
+	RingBatches   atomic.Int64 // batched syscall ring drains
+	RingEntries   atomic.Int64 // syscall entries dispatched from ring batches
 }
 
 // Snapshot returns a plain-struct copy of the counters.
@@ -157,6 +167,8 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		PkeyMprotects: c.PkeyMprotects.Load(),
 		PTWalks:       c.PTWalks.Load(),
 		Faults:        c.Faults.Load(),
+		RingBatches:   c.RingBatches.Load(),
+		RingEntries:   c.RingEntries.Load(),
 	}
 }
 
@@ -172,6 +184,8 @@ func (c *Counters) Reset() {
 	c.PkeyMprotects.Store(0)
 	c.PTWalks.Store(0)
 	c.Faults.Store(0)
+	c.RingBatches.Store(0)
+	c.RingEntries.Store(0)
 }
 
 // CounterSnapshot is an immutable copy of Counters.
@@ -186,12 +200,15 @@ type CounterSnapshot struct {
 	PkeyMprotects int64
 	PTWalks       int64
 	Faults        int64
+	RingBatches   int64
+	RingEntries   int64
 }
 
 // String renders the snapshot as a single diagnostic line.
 func (s CounterSnapshot) String() string {
 	return fmt.Sprintf(
-		"switches=%d wrpkru=%d vmexits=%d guestsys=%d syscalls=%d bpf=%d transfers=%d pkeymprot=%d ptwalks=%d faults=%d",
+		"switches=%d wrpkru=%d vmexits=%d guestsys=%d syscalls=%d bpf=%d transfers=%d pkeymprot=%d ptwalks=%d faults=%d ringbatches=%d ringentries=%d",
 		s.Switches, s.WRPKRUWrites, s.VMExits, s.GuestSyscalls,
-		s.Syscalls, s.BPFRuns, s.Transfers, s.PkeyMprotects, s.PTWalks, s.Faults)
+		s.Syscalls, s.BPFRuns, s.Transfers, s.PkeyMprotects, s.PTWalks, s.Faults,
+		s.RingBatches, s.RingEntries)
 }

@@ -54,6 +54,14 @@ type Kernel struct {
 	divergences  atomic.Int64
 	fastVerdicts atomic.Int64
 
+	// ringCrossCheck mirrors crossCheck for the batched ring drain: every
+	// verdict the batch loop takes from the table is re-derived by the BPF
+	// interpreter, which stays authoritative. Kept separate so a ring-on
+	// sweep can cross-check batches without also slowing the sequential
+	// path.
+	ringCrossCheck  atomic.Bool
+	ringDivergences atomic.Int64
+
 	// trace holds a *TraceSource; atomic so the syscall hot path reads
 	// it without taking the kernel lock.
 	trace atomic.Value
@@ -162,6 +170,16 @@ func (k *Kernel) FilterDivergences() int64 { return k.divergences.Load() }
 
 // FastVerdicts returns how many verdicts the table answered.
 func (k *Kernel) FastVerdicts() int64 { return k.fastVerdicts.Load() }
+
+// SetRingCrossCheck makes every batched-ring verdict also run the BPF
+// interpreter — the retained slow path — with disagreements counted and
+// the interpreter's answer winning, exactly like SetCrossCheck does for
+// the sequential path.
+func (k *Kernel) SetRingCrossCheck(enabled bool) { k.ringCrossCheck.Store(enabled) }
+
+// RingDivergences returns how many cross-checked ring verdicts disagreed
+// with the reference interpreter (must stay zero).
+func (k *Kernel) RingDivergences() int64 { return k.ringDivergences.Load() }
 
 // SetPkeyOps wires in the MPK unit's key management.
 func (k *Kernel) SetPkeyOps(ops PkeyOps) {
@@ -368,6 +386,82 @@ func (k *Kernel) InvokeUnfiltered(p *Proc, cpu *hw.CPU, nr Nr, args [6]uint64) (
 	return ret, errno
 }
 
+// RingTrap charges the single virtual trap a drained submission batch
+// costs: one kernel entry for the whole batch instead of one per call.
+// The per-entry work (filter verdict, dispatch, CQE bookkeeping) is
+// charged by InvokeRing as the drain loop walks the batch.
+func (k *Kernel) RingTrap(cpu *hw.CPU) {
+	cpu.Clock.Advance(hw.CostSyscall)
+	cpu.Counters.RingBatches.Add(1)
+}
+
+// InvokeRing dispatches one entry of a drained submission batch. It is
+// Invoke minus the per-call trap — RingTrap already charged the batch's
+// single kernel entry — plus the per-entry SQE/CQE bookkeeping cost.
+// filtered selects whether the installed seccomp filter gates the entry
+// (LB_MPK batches; false for backends that filter in the enforcement
+// layer and for trusted runtime entries). A filtered denial returns
+// ESECCOMP exactly like Invoke; the enforcement layer decides whether
+// that faults, audits, and what happens to the rest of the batch.
+func (k *Kernel) InvokeRing(p *Proc, cpu *hw.CPU, filtered bool, nr Nr, args [6]uint64) (uint64, Errno) {
+	start := cpu.Clock.Now()
+	cpu.Clock.Advance(hw.CostRingEntry)
+	cpu.Counters.Syscalls.Add(1)
+	cpu.Counters.RingEntries.Add(1)
+	if filtered {
+		if fs := k.filter.Load(); fs != nil {
+			// One verdict-table lookup per entry: the whole batch runs
+			// under one filter pass, but each entry still pays the
+			// (table-sized, not program-sized) verdict tax.
+			cpu.Clock.Advance(hw.CostBPFFilter)
+			cpu.Counters.BPFRuns.Add(1)
+			d := &seccomp.Data{
+				Nr:   uint32(nr),
+				Arch: seccomp.AuditArchSim,
+				Args: args,
+				PKRU: uint32(cpu.PeekPKRU()),
+			}
+			verdict, err := k.runRingFilter(fs, d)
+			if err != nil {
+				return 0, EINVAL
+			}
+			if seccomp.ActionOf(verdict) != seccomp.RetAllow {
+				return 0, ESECCOMP
+			}
+		}
+	}
+	if e, ok := injectedErrno(cpu); ok {
+		k.emitSyscall(cpu, nr, e, obs.VerdictAllow, start)
+		return 0, e
+	}
+	ret, errno := k.dispatch(p, cpu, nr, args)
+	k.emitSyscall(cpu, nr, errno, obs.VerdictAllow, start)
+	return ret, errno
+}
+
+// runRingFilter is runFilter for the batch drain, with its own
+// cross-check toggle and divergence counter so ring runs can keep the
+// interpreter as the cross-checked slow path independently of the
+// sequential path's mode.
+func (k *Kernel) runRingFilter(fs *filterState, d *seccomp.Data) (uint32, error) {
+	if fs.table == nil || k.fastOff.Load() {
+		return fs.prog.Run(d)
+	}
+	v := fs.table.Verdict(d)
+	k.fastVerdicts.Add(1)
+	if k.ringCrossCheck.Load() && fs.prog != nil {
+		ref, err := fs.prog.Run(d)
+		if err != nil {
+			return 0, err
+		}
+		if ref != v {
+			k.ringDivergences.Add(1)
+			return ref, nil
+		}
+	}
+	return v, nil
+}
+
 // injectedErrno consults the CPU's fault injector (internal/hw) after
 // the filter decided but before the handler runs: an armed transient
 // errno replaces the dispatch, the way a real kernel's fault-injection
@@ -508,13 +602,9 @@ func (k *Kernel) sysRead(p *Proc, fd int, buf mem.Addr, n uint64) (uint64, Errno
 			return 0, OK // POSIX: read at EOF returns 0
 		}
 	case e.conn != nil:
-		if p.nonBlocking() {
-			got, err = e.conn.TryRead(tmp)
-			if err == simnet.ErrWouldBlock {
-				return 0, EAGAIN
-			}
-		} else {
-			got, err = e.conn.Read(tmp)
+		got, err = e.conn.ReadFlags(tmp, simnet.IOFlags{Nonblock: p.nonBlocking()})
+		if err == simnet.ErrWouldBlock {
+			return 0, EAGAIN
 		}
 		if err != nil && got == 0 {
 			return 0, OK // closed stream reads as EOF
@@ -671,15 +761,9 @@ func (k *Kernel) sysAccept(p *Proc, fd int) (uint64, Errno) {
 	if e.ln == nil {
 		return 0, ENOTSOCK
 	}
-	var c *simnet.Conn
-	var err error
-	if p.nonBlocking() {
-		c, err = e.ln.TryAccept()
-		if err == simnet.ErrWouldBlock {
-			return 0, EAGAIN
-		}
-	} else {
-		c, err = e.ln.Accept()
+	c, err := e.ln.AcceptFlags(simnet.IOFlags{Nonblock: p.nonBlocking()})
+	if err == simnet.ErrWouldBlock {
+		return 0, EAGAIN
 	}
 	if err != nil {
 		return 0, EBADF

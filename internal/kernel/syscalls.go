@@ -228,6 +228,7 @@ const (
 	ENOTSOCK     Errno = 88
 	EADDRINUSE   Errno = 98
 	ECONNREFUSED Errno = 111
+	ECANCELED    Errno = 125 // ring entry canceled by an earlier mid-batch denial
 	ESECCOMP     Errno = 255 // this kernel's marker for a filtered syscall
 )
 
@@ -266,6 +267,8 @@ func (e Errno) Error() string {
 		return "EADDRINUSE"
 	case ECONNREFUSED:
 		return "ECONNREFUSED"
+	case ECANCELED:
+		return "ECANCELED"
 	case ESECCOMP:
 		return "ESECCOMP"
 	default:

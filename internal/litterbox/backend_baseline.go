@@ -4,6 +4,7 @@ import (
 	"github.com/litterbox-project/enclosure/internal/hw"
 	"github.com/litterbox-project/enclosure/internal/kernel"
 	"github.com/litterbox-project/enclosure/internal/mem"
+	"github.com/litterbox-project/enclosure/internal/ring"
 )
 
 // BaselineBackend is the paper's evaluation baseline: unmodified
@@ -59,4 +60,16 @@ func (b *BaselineBackend) Transfer(cpu *hw.CPU, sec *mem.Section, toPkg string) 
 // fast path is measured against (Table 1's baseline "syscall" row).
 func (b *BaselineBackend) Syscall(cpu *hw.CPU, env *Env, nr kernel.Nr, args [6]uint64) (uint64, kernel.Errno) {
 	return b.lb.Kernel.InvokeUnfiltered(b.lb.ProcFor(cpu), cpu, nr, args)
+}
+
+// SyscallBatch implements Backend: one trap for the whole batch, then
+// native unfiltered dispatch per entry. The baseline never denies.
+func (b *BaselineBackend) SyscallBatch(cpu *hw.CPU, env *Env, entries []ring.Entry, out []ring.Completion) int {
+	b.lb.Kernel.RingTrap(cpu)
+	p := b.lb.ProcFor(cpu)
+	for i, e := range entries {
+		ret, errno := b.lb.Kernel.InvokeRing(p, cpu, false, e.Nr, e.Args)
+		out[i] = ring.Completion{Tag: e.Tag, Ret: ret, Errno: errno}
+	}
+	return -1
 }

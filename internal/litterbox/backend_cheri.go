@@ -7,6 +7,7 @@ import (
 	"github.com/litterbox-project/enclosure/internal/hw"
 	"github.com/litterbox-project/enclosure/internal/kernel"
 	"github.com/litterbox-project/enclosure/internal/mem"
+	"github.com/litterbox-project/enclosure/internal/ring"
 )
 
 // CHERIBackend is the capability backend the paper projects (§7, §8):
@@ -148,4 +149,26 @@ func (b *CHERIBackend) Syscall(cpu *hw.CPU, env *Env, nr kernel.Nr, args [6]uint
 		return 0, kernel.ESECCOMP
 	}
 	return b.lb.Kernel.InvokeUnfiltered(b.lb.ProcFor(cpu), cpu, nr, args)
+}
+
+// SyscallBatch implements Backend: the monitor walks the batch once,
+// vetting each entry against the environment's filter before its
+// dispatch — one trap for the batch, one capability check per entry.
+func (b *CHERIBackend) SyscallBatch(cpu *hw.CPU, env *Env, entries []ring.Entry, out []ring.Completion) int {
+	b.lb.Kernel.RingTrap(cpu)
+	p := b.lb.ProcFor(cpu)
+	for i, e := range entries {
+		if !e.Runtime {
+			cpu.Clock.Advance(hw.CostCapSyscallCheck)
+			if !env.AllowsSyscall(e.Nr) {
+				return i
+			}
+			if e.Nr == kernel.NrConnect && !env.ConnectAllowed(uint32(e.Args[1])) {
+				return i
+			}
+		}
+		ret, errno := b.lb.Kernel.InvokeRing(p, cpu, false, e.Nr, e.Args)
+		out[i] = ring.Completion{Tag: e.Tag, Ret: ret, Errno: errno}
+	}
+	return -1
 }

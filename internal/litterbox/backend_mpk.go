@@ -11,6 +11,7 @@ import (
 	"github.com/litterbox-project/enclosure/internal/kernel"
 	"github.com/litterbox-project/enclosure/internal/mem"
 	"github.com/litterbox-project/enclosure/internal/mpk"
+	"github.com/litterbox-project/enclosure/internal/ring"
 	"github.com/litterbox-project/enclosure/internal/seccomp"
 )
 
@@ -419,6 +420,25 @@ func (b *MPKBackend) Transfer(cpu *hw.CPU, sec *mem.Section, toPkg string) error
 // PKRU-indexed seccomp filter decides (Table 1: 523ns for getuid).
 func (b *MPKBackend) Syscall(cpu *hw.CPU, env *Env, nr kernel.Nr, args [6]uint64) (uint64, kernel.Errno) {
 	return b.lb.Kernel.Invoke(b.lb.ProcFor(cpu), cpu, nr, args)
+}
+
+// SyscallBatch implements Backend: one trap, then one verdict-table
+// lookup per entry against the PKRU-indexed filter — the per-call trap
+// and kernel entry are amortized, the filter is not bypassed. Runtime
+// entries dispatch unfiltered, as the sequential path's excursion
+// through the trusted environment (whose filter row allows everything)
+// does.
+func (b *MPKBackend) SyscallBatch(cpu *hw.CPU, env *Env, entries []ring.Entry, out []ring.Completion) int {
+	b.lb.Kernel.RingTrap(cpu)
+	p := b.lb.ProcFor(cpu)
+	for i, e := range entries {
+		ret, errno := b.lb.Kernel.InvokeRing(p, cpu, !e.Runtime, e.Nr, e.Args)
+		if errno == kernel.ESECCOMP && !e.Runtime {
+			return i
+		}
+		out[i] = ring.Completion{Tag: e.Tag, Ret: ret, Errno: errno}
+	}
+	return -1
 }
 
 // KeyOf exposes a package's protection key (for tests; -1 if untagged).

@@ -12,6 +12,7 @@ import (
 	"github.com/litterbox-project/enclosure/internal/mem"
 	"github.com/litterbox-project/enclosure/internal/obs"
 	"github.com/litterbox-project/enclosure/internal/pkggraph"
+	"github.com/litterbox-project/enclosure/internal/ring"
 )
 
 const (
@@ -87,6 +88,16 @@ type Backend interface {
 	Transfer(cpu *hw.CPU, sec *mem.Section, toPkg string) error
 	// Syscall performs a system call under env's filter.
 	Syscall(cpu *hw.CPU, env *Env, nr kernel.Nr, args [6]uint64) (uint64, kernel.Errno)
+	// SyscallBatch drains one submission-ring batch under env's filter,
+	// charging the batch's single trap (and, on LB_VTX, its single
+	// VM exit) once instead of per entry. Entries execute in submission
+	// order; a completion is written into out for every entry that
+	// executed. Execution stops at the first filter denial, whose index
+	// is returned (-1 when the whole batch executed); the denied entry's
+	// completion is left for the caller, who owns the fault/audit
+	// decision. Entries marked Runtime dispatch unfiltered, as the
+	// sequential RuntimeSyscall path does.
+	SyscallBatch(cpu *hw.CPU, env *Env, entries []ring.Entry, out []ring.Completion) int
 }
 
 // Config assembles everything Init needs.
@@ -147,6 +158,11 @@ type LitterBox struct {
 	fault   atomic.Pointer[Fault]
 	trace   atomic.Value // *Trace, nil when disabled
 	audit   *obs.Audit   // nil when enforcing
+
+	// ringSeq routes SyscallBatch through the sequential per-entry
+	// gateway instead of the backend's amortized drain — the reference
+	// arm the probe sweep's ring-off runs diff against.
+	ringSeq atomic.Bool
 
 	// enclName maps enclosure IDs to names for event attribution.
 	enclName map[int]string
@@ -710,73 +726,27 @@ func (lb *LitterBox) CheckExec(cpu *hw.CPU, env *Env, pkg string, entry mem.Addr
 
 // FilterSyscall performs a system call under env's filter; a rejected
 // call faults and aborts the program (§4.2).
+//
+// Deprecated: use SyscallGateway. This survives as a thin wrapper.
 func (lb *LitterBox) FilterSyscall(cpu *hw.CPU, env *Env, nr kernel.Nr, args [6]uint64) (uint64, kernel.Errno, error) {
-	return lb.FilterSyscallFrom(cpu, env, "", nr, args)
+	return lb.SyscallGateway(cpu, env, SyscallReq{Nr: nr, Args: args})
 }
 
 // FilterSyscallFrom is FilterSyscall with the calling package recorded
-// for event attribution — the "caller package" column of every traced
-// syscall. In audit mode a filtered call is recorded as a violation and
-// then dispatched anyway (bypassing the filter the way SECCOMP_RET_LOG
-// logs instead of trapping), so the run proceeds and the recorder
-// learns what the policy must grant.
+// for event attribution.
+//
+// Deprecated: use SyscallGateway. This survives as a thin wrapper.
 func (lb *LitterBox) FilterSyscallFrom(cpu *hw.CPU, env *Env, callerPkg string, nr kernel.Nr, args [6]uint64) (uint64, kernel.Errno, error) {
-	if _, dead := lb.AbortedOn(cpu); dead {
-		return 0, kernel.ESECCOMP, ErrAborted
-	}
-	if callerPkg != "" {
-		cpu.Pkg = callerPkg
-	}
-	if lb.audit != nil && env != nil && !env.Trusted {
-		// Record usage whether or not the filter would allow it: the
-		// derived SysFilter must cover the workload's full footprint.
-		lb.audit.RecordSys(envName(env), kernel.CategoryOf(nr).String(), false)
-		if nr == kernel.NrConnect {
-			lb.audit.RecordConnect(envName(env), uint32(args[1]))
-		}
-	}
-	ret, errno := lb.backend.Syscall(cpu, env, nr, args)
-	if errno == kernel.ESECCOMP {
-		if lb.audit != nil && env != nil && !env.Trusted {
-			lb.audit.RecordSys(envName(env), kernel.CategoryOf(nr).String(), true)
-			lb.emit(cpu, obs.Event{
-				Kind: obs.KindViolation, Env: envName(env), Pkg: callerPkg,
-				Sys: nr.Name(), Sysno: uint32(nr), Verdict: obs.VerdictAudit,
-			})
-			// Dispatch directly: the VTX and CHERI backends filter before
-			// reaching the kernel, so the uniform audit path re-enters it
-			// below the filter.
-			ret, errno = lb.Kernel.InvokeUnfiltered(lb.ProcFor(cpu), cpu, nr, args)
-			return ret, errno, nil
-		}
-		lb.emit(cpu, obs.Event{
-			Kind: obs.KindSyscall, Env: envName(env), Pkg: callerPkg,
-			Sys: nr.Name(), Sysno: uint32(nr), Verdict: obs.VerdictDeny,
-		})
-		f := lb.RaiseFault(cpu, &Fault{Env: env, Op: "syscall", Detail: nr.Name()})
-		return 0, errno, f
-	}
-	return ret, errno, nil
+	return lb.SyscallGateway(cpu, env, SyscallReq{Nr: nr, Args: args, CallerPkg: callerPkg})
 }
 
 // RuntimeSyscall performs a system call on behalf of the language
-// runtime (scheduler wakeups, deadline clock reads, entropy): the
-// runtime briefly switches to the trusted environment via Execute —
-// exactly the mechanism §5.1 describes for the scheduler and garbage
-// collector — issues the call there, and switches back. The switches
-// are free when the task already runs trusted.
+// runtime (scheduler wakeups, deadline clock reads, entropy).
+//
+// Deprecated: use SyscallGateway with Runtime set. This survives as a
+// thin wrapper.
 func (lb *LitterBox) RuntimeSyscall(cpu *hw.CPU, cur *Env, nr kernel.Nr, args [6]uint64) (uint64, kernel.Errno, error) {
-	if _, dead := lb.AbortedOn(cpu); dead {
-		return 0, kernel.ESECCOMP, ErrAborted
-	}
-	if err := lb.Execute(cpu, cur, lb.trusted); err != nil {
-		return 0, kernel.ESECCOMP, err
-	}
-	ret, errno := lb.backend.Syscall(cpu, lb.trusted, nr, args)
-	if err := lb.Execute(cpu, lb.trusted, cur); err != nil {
-		return 0, kernel.ESECCOMP, err
-	}
-	return ret, errno, nil
+	return lb.SyscallGateway(cpu, cur, SyscallReq{Nr: nr, Args: args, Runtime: true})
 }
 
 // Transfer reassigns a heap section to another package's arena and

@@ -37,6 +37,10 @@ const (
 	KindTransfer  = "transfer"
 	KindFault     = "fault"
 	KindViolation = "violation"
+	// Batched syscall ring: one submit event when a batch enters the
+	// drain, one complete event when its completions post.
+	KindBatchSubmit   = "batch-submit"
+	KindBatchComplete = "batch-complete"
 )
 
 // Cluster event kinds: the control-plane operations of a multi-node

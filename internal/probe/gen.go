@@ -2,6 +2,7 @@ package probe
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/litterbox-project/enclosure/internal/kernel"
 	"github.com/litterbox-project/enclosure/internal/litterbox"
@@ -56,11 +57,13 @@ const (
 	OpDynImport                 // register a dynamic package mid-trace
 	OpArmErrno                  // arm a transient kernel errno injection
 	OpArmTransfer               // arm a transfer interruption
+	OpBatch                     // submit a syscall batch through the ring gateway
 )
 
 var opKindNames = [...]string{
 	"prolog", "epilog", "read", "write", "exec",
 	"syscall", "transfer", "dyn-import", "arm-errno", "arm-transfer",
+	"batch",
 }
 
 // Op is one trace operation. Fields are interpreted per Kind; unused
@@ -82,6 +85,8 @@ type Op struct {
 	Flags    int
 	N        int    // arm ops: fire on the N-th occurrence
 	Errno    uint32 // OpArmErrno: the injected errno
+	Runtime  bool   // batch sub-entry: dispatch unfiltered (language-runtime call)
+	Batch    []Op   // OpBatch: syscall-shaped sub-entries, submitted in order
 }
 
 // String renders the op for divergence reports and shrunk reproducers.
@@ -121,6 +126,15 @@ func (o Op) String() string {
 		return fmt.Sprintf("arm-errno n=%d errno=%d", o.N, o.Errno)
 	case OpArmTransfer:
 		return fmt.Sprintf("arm-transfer n=%d", o.N)
+	case OpBatch:
+		names := make([]string, len(o.Batch))
+		for i, s := range o.Batch {
+			names[i] = s.Nr.Name()
+			if s.Runtime {
+				names[i] += "!" // runtime entry: dispatches unfiltered
+			}
+		}
+		return fmt.Sprintf("batch[%s]", strings.Join(names, " "))
 	}
 	return "?"
 }
@@ -260,6 +274,28 @@ func Gen(seed uint64, nOps int) Trace {
 		op.Sec = r.intn(2)
 	}
 
+	// genSys fills one syscall-shaped op (used standalone and as a batch
+	// sub-entry).
+	genSys := func() Op {
+		op := Op{Kind: OpSyscall, Span: -1}
+		op.Nr = sysPool[r.intn(len(sysPool))]
+		op.FD = r.intn(10)
+		if r.pct(60) {
+			op.Host = hostPool[r.intn(len(hostPool))]
+		} else {
+			op.Host = uint32(r.next())
+		}
+		op.Port = uint16(r.next())
+		op.Len = uint64(1 + r.intn(64))
+		op.Buf = r.intn(NSpans+spec.NPkgs+1) - 1
+		if r.pct(50) {
+			op.Flags = kernel.OCreat | kernel.ORdwr
+		} else {
+			op.Flags = kernel.ORdonly
+		}
+		return op
+	}
+
 	for len(tr.Ops) < nOps {
 		op := Op{Span: -1}
 		roll := r.intn(100)
@@ -284,21 +320,21 @@ func Gen(seed uint64, nOps int) Trace {
 			op.Kind = OpExec
 			op.Pkg = pkgName(r.intn(spec.NPkgs))
 		case roll < 82:
-			op.Kind = OpSyscall
-			op.Nr = sysPool[r.intn(len(sysPool))]
-			op.FD = r.intn(10)
-			if r.pct(60) {
-				op.Host = hostPool[r.intn(len(hostPool))]
+			if r.pct(25) {
+				// Batched submission: 2-6 syscall-shaped entries drained
+				// under one filter pass. Entries draw from the full pool,
+				// so mid-batch denials (and post-denial cancellation) are
+				// generated routinely; some entries ride as unfiltered
+				// language-runtime calls.
+				op.Kind = OpBatch
+				n := 2 + r.intn(5)
+				for k := 0; k < n; k++ {
+					s := genSys()
+					s.Runtime = r.pct(15)
+					op.Batch = append(op.Batch, s)
+				}
 			} else {
-				op.Host = uint32(r.next())
-			}
-			op.Port = uint16(r.next())
-			op.Len = uint64(1 + r.intn(64))
-			op.Buf = r.intn(NSpans+spec.NPkgs+1) - 1
-			if r.pct(50) {
-				op.Flags = kernel.OCreat | kernel.ORdwr
-			} else {
-				op.Flags = kernel.ORdonly
+				op = genSys()
 			}
 		case roll < 90:
 			op.Kind = OpTransfer

@@ -176,6 +176,21 @@ func (m *Model) Step(op Op) prediction {
 		m.denied = true
 		return classed(classFault)
 
+	case OpBatch:
+		// Batched drains stop at the first filter denial — runtime
+		// entries dispatch unfiltered and can never deny. A denied batch
+		// faults exactly like the corresponding sequential denial.
+		for _, s := range op.Batch {
+			if s.Runtime {
+				continue
+			}
+			if !m.syscallAllowed(cur, s) {
+				m.denied = true
+				return classed(classFault)
+			}
+		}
+		return classed(classOK)
+
 	case OpTransfer:
 		if m.transferArm > 0 {
 			m.transferArm--

@@ -10,6 +10,7 @@ import (
 	"github.com/litterbox-project/enclosure/internal/litterbox"
 	"github.com/litterbox-project/enclosure/internal/mem"
 	"github.com/litterbox-project/enclosure/internal/pkggraph"
+	"github.com/litterbox-project/enclosure/internal/ring"
 )
 
 // Divergence is a cross-backend disagreement flushed out by a trace —
@@ -128,7 +129,8 @@ func runTrace(tr Trace, configure func(*World), migrateAt int, swap func(*World,
 			}
 		}
 		stats.Ops++
-		deniedBefore := op.Kind == OpSyscall && model.Denied() && pred.class == classOK
+		isSys := op.Kind == OpSyscall || op.Kind == OpBatch
+		deniedBefore := isSys && model.Denied() && pred.class == classOK
 
 		outs := map[string]string{}
 		envs := map[string]*litterbox.Env{}
@@ -168,9 +170,10 @@ func runTrace(tr Trace, configure func(*World), migrateAt int, swap func(*World,
 			return report("baseline", "no-enforcement baseline raised a fault")
 		}
 		// Layer 3: until the first filter denial desynchronises the
-		// baseline kernel (fd numbering, rng cursor), allowed syscalls
-		// must return bit-identical results in all four worlds.
-		if op.Kind == OpSyscall && pred.class == classOK && !deniedBefore &&
+		// baseline kernel (fd numbering, rng cursor), allowed syscalls —
+		// batched or not — must return bit-identical results in all four
+		// worlds.
+		if isSys && pred.class == classOK && !deniedBefore &&
 			outs["baseline"] != outs["mpk"] {
 			return report("baseline", "kernel results drifted before any filter denial")
 		}
@@ -214,7 +217,7 @@ func classOf(out string) string {
 		return classFault
 	case out == "err:inject":
 		return classInject
-	case out == "ok" || strings.HasPrefix(out, "ret="):
+	case out == "ok" || strings.HasPrefix(out, "ret=") || strings.HasPrefix(out, "batch["):
 		return classOK
 	default:
 		return classErr
@@ -264,6 +267,30 @@ func execOp(w *World, op Op) (string, *litterbox.Env) {
 			return outcome(err, "syscall"), nil
 		}
 		return fmt.Sprintf("ret=%d errno=%d", ret, errno), nil
+
+	case OpBatch:
+		entries := make([]ring.Entry, len(op.Batch))
+		for i, s := range op.Batch {
+			entries[i] = ring.Entry{Nr: s.Nr, Args: w.argsFor(s), Tag: uint64(i), Runtime: s.Runtime}
+		}
+		out := make([]ring.Completion, len(entries))
+		err := w.LB.SyscallBatch(w.CPU, cur, "probe", entries, out)
+		parts := make([]string, len(out))
+		for i, c := range out {
+			switch {
+			case err != nil && c.Errno == kernel.ECANCELED:
+				parts[i] = "cancel"
+			case err != nil && c.Errno == kernel.ESECCOMP:
+				parts[i] = "deny"
+			default:
+				parts[i] = fmt.Sprintf("ret=%d errno=%d", c.Ret, c.Errno)
+			}
+		}
+		s := fmt.Sprintf("batch[%s]", strings.Join(parts, "|"))
+		if err == nil {
+			return s, nil // per-entry results are the lockstep comparand
+		}
+		return outcome(err, s), nil
 
 	case OpTransfer:
 		dest := kernel.HeapOwner

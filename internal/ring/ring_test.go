@@ -1,0 +1,112 @@
+package ring
+
+import (
+	"testing"
+
+	"github.com/litterbox-project/enclosure/internal/kernel"
+)
+
+func TestNewPanicsOnNonPositiveDepth(t *testing.T) {
+	for _, depth := range []int{0, -1, -32} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", depth)
+				}
+			}()
+			New(depth)
+		}()
+	}
+}
+
+func TestSubmitTakeRoundTrip(t *testing.T) {
+	r := New(4)
+	if r.Depth() != 4 {
+		t.Fatalf("Depth() = %d, want 4", r.Depth())
+	}
+	for i := 0; i < 4; i++ {
+		if !r.Submit(Entry{Nr: kernel.NrGetpid, Tag: uint64(i)}) {
+			t.Fatalf("Submit %d rejected before ring was full", i)
+		}
+	}
+	if !r.Full() {
+		t.Fatal("ring should be full after depth submissions")
+	}
+	if r.Submit(Entry{Nr: kernel.NrGetpid, Tag: 99}) {
+		t.Fatal("Submit succeeded on a full ring")
+	}
+	batch := r.Take()
+	if len(batch) != 4 {
+		t.Fatalf("Take() returned %d entries, want 4", len(batch))
+	}
+	for i, e := range batch {
+		if e.Tag != uint64(i) {
+			t.Errorf("batch[%d].Tag = %d, want %d", i, e.Tag, i)
+		}
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("Pending() = %d after Take, want 0", r.Pending())
+	}
+	// The SQ is reusable after Take; the taken batch stays valid until
+	// the next Take per the aliasing contract.
+	if !r.Submit(Entry{Nr: kernel.NrRead, Tag: 7}) {
+		t.Fatal("Submit rejected after Take emptied the ring")
+	}
+}
+
+func TestPostReapAndCanceledStats(t *testing.T) {
+	r := New(8)
+	r.Submit(Entry{Nr: kernel.NrGetpid, Tag: 1})
+	r.Submit(Entry{Nr: kernel.NrGetpid, Tag: 2})
+	r.Take()
+	r.Post([]Completion{
+		{Tag: 1, Ret: 42, Errno: kernel.OK},
+		{Tag: 2, Errno: kernel.ECANCELED},
+	})
+	got := r.Reap()
+	if len(got) != 2 {
+		t.Fatalf("Reap() returned %d completions, want 2", len(got))
+	}
+	if got[0].Tag != 1 || got[0].Ret != 42 || got[0].Errno != kernel.OK {
+		t.Errorf("completion 0 = %+v", got[0])
+	}
+	if got[1].Errno != kernel.ECANCELED {
+		t.Errorf("completion 1 errno = %v, want ECANCELED", got[1].Errno)
+	}
+	if r.Reap() != nil {
+		t.Error("second Reap should return nil")
+	}
+	st := r.Stats()
+	if st.Batches != 1 || st.Entries != 2 || st.Canceled != 1 {
+		t.Errorf("Stats() = %+v, want {Batches:1 Entries:2 Canceled:1}", st)
+	}
+}
+
+func TestResetClearsQueuesKeepsStats(t *testing.T) {
+	r := New(4)
+	r.Submit(Entry{Nr: kernel.NrGetpid, Tag: 1})
+	r.Take()
+	r.Post([]Completion{{Tag: 1, Errno: kernel.OK}})
+	r.Submit(Entry{Nr: kernel.NrGetpid, Tag: 2})
+	r.Reset()
+	if r.Pending() != 0 {
+		t.Errorf("Pending() = %d after Reset, want 0", r.Pending())
+	}
+	if r.Reap() != nil {
+		t.Error("Reap() after Reset should return nil")
+	}
+	st := r.Stats()
+	if st.Batches != 1 || st.Entries != 1 {
+		t.Errorf("Stats() = %+v after Reset, want batches/entries preserved", st)
+	}
+}
+
+func TestTakeEmptyIsNoStat(t *testing.T) {
+	r := New(2)
+	if got := r.Take(); len(got) != 0 {
+		t.Fatalf("Take() on empty ring returned %d entries", len(got))
+	}
+	if st := r.Stats(); st.Batches != 0 {
+		t.Errorf("empty Take counted a batch: %+v", st)
+	}
+}

@@ -43,6 +43,16 @@ const (
 	acceptQueueSize = 1024
 )
 
+// IOFlags modifies one I/O operation, mirroring the O_NONBLOCK file
+// status flag. Blocking and non-blocking reads and accepts share one
+// code path and differ only in this value, so syscall-ring entries and
+// direct calls cannot drift apart.
+type IOFlags struct {
+	// Nonblock makes the operation return ErrWouldBlock instead of
+	// waiting, like O_NONBLOCK.
+	Nonblock bool
+}
+
 // stream is one direction of a connection: a bounded in-memory pipe.
 type stream struct {
 	mu     sync.Mutex
@@ -80,31 +90,23 @@ func (s *stream) write(p []byte) (int, error) {
 	return written, nil
 }
 
-func (s *stream) read(p []byte) (int, error) {
+// readFlags is the single read path: blocking by default; under
+// Nonblock it returns data if buffered, EOF if closed, ErrWouldBlock
+// otherwise.
+func (s *stream) readFlags(p []byte, f IOFlags) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for len(s.buf) == 0 && !s.closed {
-		s.cond.Wait()
+	if f.Nonblock {
+		if len(s.buf) == 0 && !s.closed {
+			return 0, ErrWouldBlock
+		}
+	} else {
+		for len(s.buf) == 0 && !s.closed {
+			s.cond.Wait()
+		}
 	}
 	if len(s.buf) == 0 {
 		return 0, ErrClosed // EOF after close
-	}
-	n := copy(p, s.buf)
-	s.buf = s.buf[n:]
-	s.cond.Broadcast()
-	return n, nil
-}
-
-// tryRead is the non-blocking read: data if buffered, EOF if closed,
-// ErrWouldBlock otherwise.
-func (s *stream) tryRead(p []byte) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.buf) == 0 {
-		if s.closed {
-			return 0, ErrClosed
-		}
-		return 0, ErrWouldBlock
 	}
 	n := copy(p, s.buf)
 	s.buf = s.buf[n:]
@@ -132,12 +134,17 @@ func (c *Conn) LocalAddr() Addr { return c.local }
 // RemoteAddr returns the peer's address.
 func (c *Conn) RemoteAddr() Addr { return c.remote }
 
+// ReadFlags receives bytes from the peer under the given flags: it
+// blocks until data or EOF, or under Nonblock returns ErrWouldBlock
+// instead of waiting.
+func (c *Conn) ReadFlags(p []byte, f IOFlags) (int, error) { return c.rd.readFlags(p, f) }
+
 // Read receives bytes from the peer, blocking until data or EOF.
-func (c *Conn) Read(p []byte) (int, error) { return c.rd.read(p) }
+func (c *Conn) Read(p []byte) (int, error) { return c.ReadFlags(p, IOFlags{}) }
 
 // TryRead is the O_NONBLOCK Read: it returns ErrWouldBlock instead of
 // waiting when no data is buffered and the peer has not closed.
-func (c *Conn) TryRead(p []byte) (int, error) { return c.rd.tryRead(p) }
+func (c *Conn) TryRead(p []byte) (int, error) { return c.ReadFlags(p, IOFlags{Nonblock: true}) }
 
 // Write sends bytes to the peer.
 func (c *Conn) Write(p []byte) (int, error) { return c.wr.write(p) }
@@ -175,14 +182,22 @@ type Listener struct {
 // Addr returns the bound address.
 func (l *Listener) Addr() Addr { return l.addr }
 
-// Accept blocks until a connection arrives or the listener closes.
-// Connections already queued are drained even while closing, as a real
-// TCP stack delivers an established backlog.
-func (l *Listener) Accept() (*Conn, error) {
+// AcceptFlags dequeues one connection under the given flags: it blocks
+// until one arrives or the listener closes, or under Nonblock returns
+// ErrWouldBlock instead of waiting. Connections already queued are
+// drained even while closing, as a real TCP stack delivers an
+// established backlog.
+func (l *Listener) AcceptFlags(f IOFlags) (*Conn, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for len(l.queue) == 0 && !l.closed {
-		l.cond.Wait()
+	if f.Nonblock {
+		if len(l.queue) == 0 && !l.closed {
+			return nil, ErrWouldBlock
+		}
+	} else {
+		for len(l.queue) == 0 && !l.closed {
+			l.cond.Wait()
+		}
 	}
 	if len(l.queue) == 0 {
 		return nil, ErrClosed
@@ -192,21 +207,12 @@ func (l *Listener) Accept() (*Conn, error) {
 	return c, nil
 }
 
+// Accept blocks until a connection arrives or the listener closes.
+func (l *Listener) Accept() (*Conn, error) { return l.AcceptFlags(IOFlags{}) }
+
 // TryAccept is the O_NONBLOCK Accept: it returns ErrWouldBlock instead
 // of waiting when the backlog is empty and the listener is still open.
-func (l *Listener) TryAccept() (*Conn, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if len(l.queue) == 0 {
-		if l.closed {
-			return nil, ErrClosed
-		}
-		return nil, ErrWouldBlock
-	}
-	c := l.queue[0]
-	l.queue = l.queue[1:]
-	return c, nil
-}
+func (l *Listener) TryAccept() (*Conn, error) { return l.AcceptFlags(IOFlags{Nonblock: true}) }
 
 // Close stops the listener and releases its address. For a sharded
 // listener only this shard stops; the address stays bound until the
