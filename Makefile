@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench gobench tables scale cluster security examples clean
+.PHONY: all build vet test race bench gobench tables scale cluster latency security examples clean
 
 all: build vet test
 
@@ -20,10 +20,10 @@ race:
 
 # Benchmark trajectory point (checked into the repo root): the
 # compiled-policy fast-path comparison, the scaling and cluster sweeps,
-# and the differential probe and forced-migration sweeps, as
-# machine-readable JSON.
+# the differential probe and forced-migration sweeps, and the open-loop
+# latency sweep, as machine-readable JSON.
 bench:
-	$(GO) run ./cmd/enclosebench -trajectory BENCH_7.json
+	$(GO) run ./cmd/enclosebench -trajectory BENCH_8.json
 
 # Host-side Go micro-benchmarks (not checked in).
 gobench:
@@ -41,6 +41,11 @@ scale:
 # plus the forced-migration digest sweep.
 cluster:
 	$(GO) run ./cmd/enclosebench -table cluster
+
+# Open-loop latency sweep: coordinated-omission-free p50/p99/p99.9 and
+# shed rate per backend × worker count × offered load.
+latency:
+	$(GO) run ./cmd/enclosebench -table latency
 
 security:
 	$(GO) run ./cmd/enclosebench -security

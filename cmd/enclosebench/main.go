@@ -8,6 +8,7 @@
 //	enclosebench -table fastpath # compiled-policy fast path before/after
 //	enclosebench -table ring     # batched syscall ring off/on per backend
 //	enclosebench -table cluster  # multi-node cluster scaling + migration sweep
+//	enclosebench -table latency  # open-loop latency sweep (p50/p99/p99.9 + shed)
 //	enclosebench -figure 4    # linked executable image layout
 //	enclosebench -figure 5    # wiki web-app with two enclosures
 //	enclosebench -python      # §6.4 CPython frontend experiments
@@ -33,7 +34,7 @@ import (
 func benchKind(i int) core.BackendKind { return core.BackendKind(i) }
 
 func main() {
-	table := flag.String("table", "", "regenerate a table: 1, 2, scale, probe, fastpath, ring, or cluster")
+	table := flag.String("table", "", "regenerate a table: 1, 2, scale, probe, fastpath, ring, cluster, or latency")
 	trajectory := flag.String("trajectory", "", "write the benchmark trajectory point (fastpath + scale + probe) to the given file")
 	figure := flag.Int("figure", 0, "regenerate Figure N (4 or 5)")
 	python := flag.Bool("python", false, "run the §6.4 Python experiments")
@@ -82,6 +83,9 @@ func main() {
 		} else if *table == "ring" {
 			// Ring-only smoke run: the batched-syscall sweep.
 			results, err = bench.CollectRingResults()
+		} else if *table == "latency" {
+			// Latency-only smoke run: the open-loop generator sweep.
+			results, err = bench.CollectLatencyResults()
 		} else {
 			results, err = bench.CollectResults(*iters)
 		}
@@ -171,6 +175,14 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(bench.RenderRingTable(entries))
+	}
+	if *all || *table == "latency" {
+		ran = true
+		entries, err := bench.RunLatency(bench.LatencyRequests)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.RenderLatencyTable(entries))
 	}
 	if *all || *table == "fastpath" {
 		ran = true

@@ -18,13 +18,15 @@ type engineWorker struct {
 	handler *core.Handle
 }
 
-// ServeEngine runs FastHTTP across an engine's workers. Each accepted
-// connection is serviced *inside the server enclosure* (entered per
-// connection; server must wrap the package's ServeConn), forwarding
-// parsed requests to that worker's trusted handler task. The returned
-// stop function shuts the handlers down and returns their first error;
-// call it after the accept loop and engine are drained.
-func ServeEngine(e *engine.Engine, port uint16, server *core.Enclosure, page []byte) (*engine.Server, func() error, error) {
+// NewConnHandler returns the per-connection service function FastHTTP
+// runs on an engine worker — the connection is serviced *inside the
+// server enclosure* (entered per connection; server must wrap the
+// package's ServeConn), forwarding parsed requests to that worker's
+// trusted handler task — plus a stop function that shuts the per-worker
+// handlers down and returns their first error. Shared by ServeEngine
+// and the open-loop load generator; call stop after the work is
+// drained.
+func NewConnHandler(server *core.Enclosure, page []byte) (conn func(t *core.Task, fd int) error, stop func() error) {
 	var mu sync.Mutex
 	workers := make(map[*core.WorkerCtx]*engineWorker)
 
@@ -42,18 +44,12 @@ func ServeEngine(e *engine.Engine, port uint16, server *core.Enclosure, page []b
 		return w
 	}
 
-	srv, err := e.Serve(engine.ServeOpts{
-		Port: port,
-		Conn: func(t *core.Task, fd int) error {
-			w := workerFor(t)
-			_, err := server.Call(t, ServeConnArgs{State: w.st, Conn: uint64(fd), Reqs: w.reqs})
-			return err
-		},
-	})
-	if err != nil {
-		return nil, nil, err
+	conn = func(t *core.Task, fd int) error {
+		w := workerFor(t)
+		_, err := server.Call(t, ServeConnArgs{State: w.st, Conn: uint64(fd), Reqs: w.reqs})
+		return err
 	}
-	stop := func() error {
+	stop = func() error {
 		mu.Lock()
 		defer mu.Unlock()
 		var first error
@@ -64,6 +60,20 @@ func ServeEngine(e *engine.Engine, port uint16, server *core.Enclosure, page []b
 			}
 		}
 		return first
+	}
+	return conn, stop
+}
+
+// ServeEngine runs FastHTTP across an engine's workers: a sharded
+// accept loop feeds each accepted connection to the NewConnHandler
+// per-connection function. The returned stop function shuts the
+// handlers down and returns their first error; call it after the
+// accept loop and engine are drained.
+func ServeEngine(e *engine.Engine, port uint16, server *core.Enclosure, page []byte) (*engine.Server, func() error, error) {
+	conn, stop := NewConnHandler(server, page)
+	srv, err := e.Serve(engine.ServeOpts{Port: port, Conn: conn})
+	if err != nil {
+		return nil, nil, err
 	}
 	return srv, stop, nil
 }

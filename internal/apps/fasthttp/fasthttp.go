@@ -20,6 +20,7 @@ import (
 
 	"github.com/litterbox-project/enclosure/internal/core"
 	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/ring"
 )
 
 // Pkg is the public package name.
@@ -263,15 +264,29 @@ func serveStream(t *core.Task, st ConnState, conn uint64) (string, error) {
 	t.WriteBytes(hdrRef, []byte(hdr))
 	t.SubmitSyscall(0, kernel.NrSend, conn, uint64(hdrRef.Addr), uint64(len(hdr)))
 	chunk := st.RespBuf.Slice(uint64(len(hdr)), streamChunkSize)
+	// Reap inside the submit loop: a full SQ auto-drains on the next
+	// submit, and the CQ is bounded at depth, so letting completions
+	// accumulate across the whole stream would overflow it. Incremental
+	// reaping is free — it consumes already-posted completions without
+	// forcing a drain, so the batch count stays 257-traps-into-9.
+	checkSends := func(cs []ring.Completion) error {
+		for _, c := range cs {
+			if c.Errno != kernel.OK && c.Tag <= streamChunks {
+				return fmt.Errorf("fasthttp: stream send (tag %d): %v", c.Tag, c.Errno)
+			}
+		}
+		return nil
+	}
 	for i := 1; i <= streamChunks; i++ {
 		t.Compute(costStreamChunk)
 		t.SubmitSyscall(uint64(i), kernel.NrSend, conn, uint64(chunk.Addr), chunk.Size)
+		if err := checkSends(t.ReapSyscalls()); err != nil {
+			return "", err
+		}
 	}
 	t.SubmitSyscall(streamChunks+1, kernel.NrShutdown, conn)
-	for _, c := range t.FlushSyscalls() {
-		if c.Errno != kernel.OK && c.Tag <= streamChunks {
-			return "", fmt.Errorf("fasthttp: stream send (tag %d): %v", c.Tag, c.Errno)
-		}
+	if err := checkSends(t.FlushSyscalls()); err != nil {
+		return "", err
 	}
 	return "/stream", nil
 }

@@ -20,14 +20,15 @@ type wikiWorker struct {
 	proxy *core.Handle
 }
 
-// ServeEngine runs the wiki across an engine's workers. server must be
-// the ○B enclosure wrapping mux's ServeConn; proxy must be the ○C
-// enclosure wrapping pq's Proxy. Each worker gets its own glue and
-// proxy tasks (and so its own database connection). The returned stop
-// function shuts the per-worker pipelines down and returns every
-// worker error joined (errors.As and AsFault see through the join);
-// call it after the accept loop and engine are drained.
-func ServeEngine(e *engine.Engine, port uint16, server, proxy *core.Enclosure) (*engine.Server, func() error, error) {
+// NewConnHandler returns the per-connection service function the wiki
+// runs on an engine worker. server must be the ○B enclosure wrapping
+// mux's ServeConn; proxy must be the ○C enclosure wrapping pq's Proxy.
+// Each worker gets its own glue and proxy tasks (and so its own
+// database connection). The returned stop function shuts the
+// per-worker pipelines down and returns every worker error joined
+// (errors.As and AsFault see through the join); call it after the work
+// is drained. Shared by ServeEngine and the open-loop load generator.
+func NewConnHandler(server, proxy *core.Enclosure) (conn func(t *core.Task, fd int) error, stop func() error) {
 	var mu sync.Mutex
 	workers := make(map[*core.WorkerCtx]*wikiWorker)
 
@@ -50,18 +51,12 @@ func ServeEngine(e *engine.Engine, port uint16, server, proxy *core.Enclosure) (
 		return w
 	}
 
-	srv, err := e.Serve(engine.ServeOpts{
-		Port: port,
-		Conn: func(t *core.Task, fd int) error {
-			w := workerFor(t)
-			_, err := server.Call(t, ServeConnArgs{State: w.st, Conn: uint64(fd), Reqs: w.reqs})
-			return err
-		},
-	})
-	if err != nil {
-		return nil, nil, err
+	conn = func(t *core.Task, fd int) error {
+		w := workerFor(t)
+		_, err := server.Call(t, ServeConnArgs{State: w.st, Conn: uint64(fd), Reqs: w.reqs})
+		return err
 	}
-	stop := func() error {
+	stop = func() error {
 		mu.Lock()
 		defer mu.Unlock()
 		var errs []error
@@ -70,6 +65,20 @@ func ServeEngine(e *engine.Engine, port uint16, server, proxy *core.Enclosure) (
 			errs = append(errs, w.glue.Join(), w.proxy.Join())
 		}
 		return errors.Join(errs...)
+	}
+	return conn, stop
+}
+
+// ServeEngine runs the wiki across an engine's workers: a sharded
+// accept loop feeds each accepted connection to the NewConnHandler
+// per-connection function. The returned stop function shuts the
+// per-worker pipelines down; call it after the accept loop and engine
+// are drained.
+func ServeEngine(e *engine.Engine, port uint16, server, proxy *core.Enclosure) (*engine.Server, func() error, error) {
+	conn, stop := NewConnHandler(server, proxy)
+	srv, err := e.Serve(engine.ServeOpts{Port: port, Conn: conn})
+	if err != nil {
+		return nil, nil, err
 	}
 	return srv, stop, nil
 }

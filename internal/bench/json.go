@@ -24,7 +24,11 @@ type Results struct {
 	Fastpath         *FastpathResult         `json:"fastpath,omitempty"`
 	// Ring reports the batched-syscall-ring sweep: FastHTTP /stream
 	// throughput per backend with the submission ring off and on.
-	Ring     []RingEntry       `json:"ring,omitempty"`
+	Ring []RingEntry `json:"ring,omitempty"`
+	// Latency reports the open-loop load-generator sweep:
+	// coordinated-omission-free p50/p99/p99.9 and shed rate per
+	// backend × worker count × offered load.
+	Latency  []LatencyEntry    `json:"latency,omitempty"`
 	Probe    *ProbeBenchResult `json:"probe,omitempty"`
 	Python   []PythonEntry     `json:"python"`
 	Security []SecurityEntry   `json:"security"`
@@ -144,6 +148,12 @@ func CollectResults(microIters int) (*Results, error) {
 	}
 	out.Ring = ringEntries
 
+	latency, err := RunLatency(LatencySmokeRequests)
+	if err != nil {
+		return nil, err
+	}
+	out.Latency = latency
+
 	pr, err := RunProbeBench(200, 40)
 	if err != nil {
 		return nil, err
@@ -234,6 +244,10 @@ func CollectTrajectoryResults() (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
+	latency, err := RunLatency(LatencyRequests)
+	if err != nil {
+		return nil, err
+	}
 	return &Results{
 		Fastpath:         &fp,
 		Scale:            scale,
@@ -241,6 +255,7 @@ func CollectTrajectoryResults() (*Results, error) {
 		Cluster:          clusterEntries,
 		ClusterMigration: &mig,
 		Probe:            &pr,
+		Latency:          latency,
 		Paper: map[string]string{
 			"title": "Enclosure: Language-Based Restriction of Untrusted Libraries",
 			"venue": "ASPLOS 2021",
@@ -280,6 +295,23 @@ func CollectRingResults() (*Results, error) {
 	}
 	return &Results{
 		Ring: entries,
+		Paper: map[string]string{
+			"title": "Enclosure: Language-Based Restriction of Untrusted Libraries",
+			"venue": "ASPLOS 2021",
+		},
+	}, nil
+}
+
+// CollectLatencyResults runs only the open-loop latency sweep at the
+// CI smoke size — the machine-readable run CI's schema and SLO checks
+// drive (`enclosebench -table latency -json -`).
+func CollectLatencyResults() (*Results, error) {
+	entries, err := RunLatency(LatencySmokeRequests)
+	if err != nil {
+		return nil, err
+	}
+	return &Results{
+		Latency: entries,
 		Paper: map[string]string{
 			"title": "Enclosure: Language-Based Restriction of Untrusted Libraries",
 			"venue": "ASPLOS 2021",

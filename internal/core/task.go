@@ -370,6 +370,24 @@ func (t *Task) FlushSyscalls() []ring.Completion {
 	return r.Reap()
 }
 
+// ReapSyscalls returns every completion already posted without
+// draining the submission queue — the incremental consumption loop of
+// a real ring. Long submission streams interleave SubmitSyscall with
+// ReapSyscalls so the bounded completion queue never overflows (the
+// ring auto-drains a full SQ on submit, posting up to depth
+// completions); FlushSyscalls at the end collects the final partial
+// batch.
+func (t *Task) ReapSyscalls() []ring.Completion {
+	t.checkAlive()
+	r := t.syscallRing()
+	if r == nil {
+		out := t.cqOff
+		t.cqOff = nil
+		return out
+	}
+	return r.Reap()
+}
+
 // drainRing pushes the ring's queued batch through the LitterBox batch
 // gateway and posts the completions.
 func (t *Task) drainRing(r *ring.Ring) {

@@ -14,6 +14,15 @@
 // affinity; an idle worker steals from the longest sibling queue (front
 // first, oldest job — the fairness order), and a full engine sheds load
 // instead of queueing unboundedly, like a saturated SYN backlog.
+//
+// Admission and dequeue are latency-aware: every queue is segregated
+// into weighted QoS classes (a low-priority enclosure cannot starve a
+// high-priority one), jobs may carry a virtual-time deadline that
+// admission checks against the queue's predicted drain (reject work
+// that cannot meet its deadline rather than serving it late), and the
+// dequeue order can switch to newest-first under overload
+// (LIFOUnderOverload) — the mechanics the open-loop load generator in
+// internal/loadgen measures.
 package engine
 
 import (
@@ -39,6 +48,14 @@ var ErrClosed = errors.New("engine: closed")
 // errors.Is; neither wraps the other.
 var ErrBackpressure = errors.New("engine: backpressure: every run queue is full")
 
+// ErrDeadline reports a deadline-aware admission rejection: the engine
+// had queue space, but the predicted completion time — the candidate
+// worker's virtual-time backlog plus its observed per-job service time
+// — already misses the job's deadline. Rejecting at admission is
+// cheaper than executing work whose result nobody will wait for; like
+// ErrBackpressure it is transient and distinct from ErrClosed.
+var ErrDeadline = errors.New("engine: deadline: predicted completion misses the job's deadline")
+
 // Job is one unit of work: it runs on a fresh task pinned to whichever
 // worker dequeues it.
 type Job func(t *core.Task) error
@@ -48,25 +65,75 @@ type Opts struct {
 	// Workers is the number of parallel virtual CPUs (default 1).
 	Workers int
 	// QueueDepth bounds each worker's run queue (default 64). When
-	// every queue is full, Submit rejects — backpressure, not OOM.
+	// every queue is full, admission rejects — backpressure, not OOM.
 	QueueDepth int
+	// Dequeue selects the drain order (default FIFO; see
+	// LIFOUnderOverload).
+	Dequeue DequeueMode
+	// LIFOThreshold is the per-worker queue depth above which
+	// LIFOUnderOverload switches to newest-first (default
+	// QueueDepth/4). Ignored under FIFO.
+	LIFOThreshold int
+	// ClassWeights are the smooth-weighted-round-robin shares of the
+	// QoS classes (default {8,4,2,1}; class 0 is the highest
+	// priority).
+	ClassWeights [NumClasses]int
+	// Manual disables the worker goroutines: jobs are admitted through
+	// the usual path but execute only when the caller steps a worker
+	// (StepWorker). The open-loop load generator uses this to run the
+	// engine as a discrete-event simulation on the virtual clock —
+	// queue order, stealing, QoS weighting, and deadline admission are
+	// exactly the concurrent engine's, while the caller owns the
+	// virtual timeline.
+	Manual bool
+}
+
+// JobSpec is a full submission: the job plus its admission metadata.
+type JobSpec struct {
+	// Pref is the preferred worker (the accepting shard's core).
+	Pref int
+	// Name labels the job's task.
+	Name string
+	// Class is the QoS class, clamped to [0, NumClasses); class 0 is
+	// the highest priority.
+	Class int
+	// ArrivalVT is the job's scheduled arrival on the submitter's
+	// virtual timeline, in ns. The engine uses it as the lower bound of
+	// the job's virtual start time (a job cannot start before it
+	// arrives) and measures deadline slack from it. Zero means "now".
+	ArrivalVT int64
+	// DeadlineVT is the job's absolute virtual-time deadline on the
+	// same timeline as ArrivalVT; zero disables deadline admission.
+	// Callers that set it must supply coherent ArrivalVT values —
+	// admission predicts the completion as the candidate worker's
+	// virtual backlog plus its EWMA service time and rejects with
+	// ErrDeadline when the prediction misses.
+	DeadlineVT int64
+	// Fn is the job body.
+	Fn Job
+	// Done, when non-nil, runs on the executing worker after the job
+	// finishes with the job's error.
+	Done func(error)
 }
 
 type job struct {
-	name string
-	fn   Job
-	done func(error) // nil for fire-and-forget
+	name     string
+	fn       Job
+	done     func(error) // nil for fire-and-forget
+	class    int
+	arrival  int64
+	deadline int64
 }
 
-// Engine is a pool of worker virtual CPUs with work-stealing run
-// queues over one shared program.
+// Engine is a pool of worker virtual CPUs with work-stealing,
+// QoS-class-segregated run queues over one shared program.
 type Engine struct {
 	prog *core.Program
 	opts Opts
 
 	mu     sync.Mutex
 	cond   *sync.Cond // signals both "work queued" and "space freed"
-	queues [][]job
+	queues []*classQueue
 	closed bool
 
 	workers []*worker
@@ -83,8 +150,28 @@ type worker struct {
 	enqueued atomic.Int64
 	spills   atomic.Int64
 	rejected atomic.Int64
-	maxDepth int64 // guarded by Engine.mu
-	busy     bool  // guarded by Engine.mu: executing a job right now
+
+	// Everything below is guarded by Engine.mu.
+	maxDepth int64
+	busy     bool // executing a job right now
+
+	// vtFree is the worker's virtual-time backlog horizon: the
+	// completion time of the last job it executed, on the submitters'
+	// ArrivalVT timeline. A job dequeued by this worker starts at
+	// max(job.arrival, vtFree). Deadline admission and the manual-mode
+	// stepper both read it; in the concurrent engine without arrival
+	// timestamps it degenerates to the worker's cumulative busy time.
+	vtFree int64
+	// ewmaNs is the exponentially weighted moving average of the
+	// worker's virtual service time per job (α = 1/8) — the admission
+	// predictor's estimate of one queue slot's drain cost.
+	ewmaNs int64
+	// deadlineRejected counts admissions refused with ErrDeadline with
+	// this worker preferred; deadlineMissed counts executed jobs whose
+	// completion overran their deadline anyway (admission predicted
+	// too optimistically).
+	deadlineRejected int64
+	deadlineMissed   int64
 }
 
 // New starts an engine with opts.Workers parallel virtual CPUs over
@@ -101,20 +188,32 @@ func New(prog *core.Program, opts Opts) *Engine {
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 64
 	}
-	e := &Engine{prog: prog, opts: opts, queues: make([][]job, opts.Workers)}
+	if opts.LIFOThreshold <= 0 {
+		opts.LIFOThreshold = opts.QueueDepth / 4
+	}
+	if opts.ClassWeights == ([NumClasses]int{}) {
+		opts.ClassWeights = defaultClassWeights
+	}
+	e := &Engine{prog: prog, opts: opts, queues: make([]*classQueue, opts.Workers)}
 	e.cond = sync.NewCond(&e.mu)
 	for i := 0; i < opts.Workers; i++ {
+		e.queues[i] = &classQueue{}
 		e.workers = append(e.workers, &worker{idx: i, ctx: prog.NewWorker(fmt.Sprintf("cpu%d", i))})
 	}
-	for _, w := range e.workers {
-		e.wg.Add(1)
-		go e.run(w)
+	if !opts.Manual {
+		for _, w := range e.workers {
+			e.wg.Add(1)
+			go e.run(w)
+		}
 	}
 	return e
 }
 
 // Prog returns the program the engine executes.
 func (e *Engine) Prog() *core.Program { return e.prog }
+
+// DequeueMode returns the configured drain order.
+func (e *Engine) DequeueMode() DequeueMode { return e.opts.Dequeue }
 
 // Workers returns the number of worker virtual CPUs.
 func (e *Engine) Workers() int { return len(e.workers) }
@@ -124,13 +223,16 @@ func (e *Engine) Workers() int { return len(e.workers) }
 func (e *Engine) WorkerCtx(i int) *core.WorkerCtx { return e.workers[i].ctx }
 
 // Submit enqueues fn with affinity for worker pref, spilling to the
-// shortest other queue when pref's is full. It returns false when every
-// queue is at depth (or the engine is closed): the caller sheds the
-// work — for a server, closing the connection.
+// shortest other queue when pref's is full. It returns false when the
+// job was not admitted.
+//
+// Deprecated: the bare bool folds ErrBackpressure (transient — shed or
+// re-route and retry) and ErrClosed (terminal) into one value, so
+// callers cannot tell a saturated engine from a dead one. Use SubmitE
+// (or SubmitSpec for QoS class and deadline metadata) and distinguish
+// the typed errors with errors.Is.
 func (e *Engine) Submit(pref int, name string, fn Job) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.enqueueLocked(pref, job{name: name, fn: fn})
+	return e.SubmitE(pref, name, fn, nil) == nil
 }
 
 // SubmitE enqueues like Submit but reports the admission outcome as a
@@ -141,65 +243,125 @@ func (e *Engine) Submit(pref int, name string, fn Job) bool {
 // Close still execute (Close drains the queues), so a nil return is a
 // guarantee that done will be called exactly once.
 func (e *Engine) SubmitE(pref int, name string, fn Job, done func(error)) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
-		return ErrClosed
-	}
-	if !e.enqueueLocked(pref, job{name: name, fn: fn, done: done}) {
-		return ErrBackpressure
-	}
-	return nil
+	return e.SubmitSpec(JobSpec{Pref: pref, Name: name, Fn: fn, Done: done})
 }
 
-// submitBlocking enqueues like Submit but waits for queue space instead
-// of rejecting. Pool admission uses it so batch work throttles the
-// producer rather than dropping jobs.
-func (e *Engine) submitBlocking(pref int, j job) error {
+// SubmitSpec is the full admission path: SubmitE plus QoS class,
+// virtual arrival time, and deadline. It returns nil on admission,
+// ErrBackpressure when every run queue is at depth, ErrDeadline when
+// deadline-aware admission predicts the job cannot finish in time, and
+// ErrClosed after Close.
+func (e *Engine) SubmitSpec(spec JobSpec) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.admitLocked(spec)
+}
+
+// submitBlocking enqueues like SubmitE but waits for queue space
+// instead of rejecting. Pool admission uses it so batch work throttles
+// the producer rather than dropping jobs.
+func (e *Engine) submitBlocking(spec JobSpec) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for {
-		if e.enqueueLocked(pref, j) {
-			return nil
-		}
-		if e.closed {
-			return ErrClosed
+		err := e.admitLocked(spec)
+		if !errors.Is(err, ErrBackpressure) {
+			return err // admitted, closed, or past-deadline
 		}
 		e.cond.Wait()
 	}
 }
 
-func (e *Engine) enqueueLocked(pref int, j job) bool {
+// admitLocked runs the admission decision: pick a queue (preferred
+// worker first, spilling on overflow), apply the deadline feasibility
+// check when the job carries one, and enqueue or reject with a typed
+// error.
+func (e *Engine) admitLocked(spec JobSpec) error {
 	if e.closed {
-		return false
+		return ErrClosed
 	}
-	pref = ((pref % len(e.queues)) + len(e.queues)) % len(e.queues)
-	if len(e.queues[pref]) < e.opts.QueueDepth {
-		e.pushLocked(pref, j, false)
-		return true
+	pref := ((spec.Pref % len(e.queues)) + len(e.queues)) % len(e.queues)
+	class := spec.Class
+	if class < 0 {
+		class = 0
+	} else if class >= NumClasses {
+		class = NumClasses - 1
 	}
-	best, depth := -1, e.opts.QueueDepth
-	for i := range e.queues {
-		if len(e.queues[i]) < depth {
-			best, depth = i, len(e.queues[i])
+	j := job{
+		name: spec.Name, fn: spec.Fn, done: spec.Done,
+		class: class, arrival: spec.ArrivalVT, deadline: spec.DeadlineVT,
+	}
+
+	if spec.DeadlineVT == 0 {
+		// No deadline: legacy placement — preferred queue, else the
+		// shortest sibling, else shed.
+		if e.queues[pref].len() < e.opts.QueueDepth {
+			e.pushLocked(pref, j, false)
+			return nil
+		}
+		best, depth := -1, e.opts.QueueDepth
+		for i := range e.queues {
+			if e.queues[i].len() < depth {
+				best, depth = i, e.queues[i].len()
+			}
+		}
+		if best < 0 {
+			e.workers[pref].rejected.Add(1)
+			return ErrBackpressure
+		}
+		e.pushLocked(best, j, true)
+		return nil
+	}
+
+	// Deadline-aware: among queues with space, pick the earliest
+	// predicted completion (preferring the affinity worker on ties) and
+	// admit only if the prediction meets the deadline.
+	best, bestDone := -1, int64(0)
+	for off := 0; off < len(e.queues); off++ {
+		i := (pref + off) % len(e.queues)
+		if e.queues[i].len() >= e.opts.QueueDepth {
+			continue
+		}
+		done := e.predictLocked(i, spec.ArrivalVT)
+		if best < 0 || done < bestDone {
+			best, bestDone = i, done
 		}
 	}
 	if best < 0 {
 		e.workers[pref].rejected.Add(1)
-		return false
+		return ErrBackpressure
 	}
-	e.pushLocked(best, j, true)
-	return true
+	if bestDone > spec.DeadlineVT {
+		e.workers[pref].deadlineRejected++
+		return ErrDeadline
+	}
+	e.pushLocked(best, j, best != pref)
+	return nil
+}
+
+// predictLocked estimates when a job arriving at arrival would complete
+// on worker i: the worker's virtual backlog horizon, plus one EWMA
+// service time per queued job ahead of it, plus its own. With no
+// service history the estimate is optimistic (zero per-job cost), so a
+// cold engine admits freely and the predictor tightens as it observes
+// real work.
+func (e *Engine) predictLocked(i int, arrival int64) int64 {
+	w := e.workers[i]
+	start := w.vtFree
+	if arrival > start {
+		start = arrival
+	}
+	return start + int64(e.queues[i].len()+1)*w.ewmaNs
 }
 
 func (e *Engine) pushLocked(i int, j job, spilled bool) {
-	e.queues[i] = append(e.queues[i], j)
+	e.queues[i].push(j)
 	w := e.workers[i]
 	w.enqueued.Add(1)
 	if spilled {
 		w.spills.Add(1)
 	}
-	if d := int64(len(e.queues[i])); d > w.maxDepth {
+	if d := int64(e.queues[i].len()); d > w.maxDepth {
 		w.maxDepth = d
 	}
 	e.cond.Broadcast()
@@ -218,13 +380,13 @@ func (e *Engine) run(w *worker) {
 	}
 }
 
-// next dequeues the worker's next job: its own queue's front, else the
-// front (oldest job) of the longest *busy* sibling's queue — a steal.
-// Only busy victims are eligible: an idle owner is about to drain its
-// own queue, and racing it would defeat affinity (on a virtual-time
-// substrate every job looks instantaneous in real time, so an
-// unconditional steal lets one OS-favoured worker absorb the whole
-// load and serialise the virtual clocks).
+// next dequeues the worker's next job: its own queue per the dequeue
+// policy, else the front (oldest job) of the longest *busy* sibling's
+// queue — a steal. Only busy victims are eligible: an idle owner is
+// about to drain its own queue, and racing it would defeat affinity (on
+// a virtual-time substrate every job looks instantaneous in real time,
+// so an unconditional steal lets one OS-favoured worker absorb the
+// whole load and serialise the virtual clocks).
 func (e *Engine) next(w *worker) (job, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -233,24 +395,11 @@ func (e *Engine) next(w *worker) (job, bool) {
 		e.cond.Broadcast() // wake Quiesce on the busy→idle edge
 	}
 	for {
-		if len(e.queues[w.idx]) > 0 {
-			j := e.queues[w.idx][0]
-			e.queues[w.idx] = e.queues[w.idx][1:]
+		if j, stolen, ok := e.dequeueLocked(w, true); ok {
 			w.busy = true
-			e.cond.Broadcast()
-			return j, true
-		}
-		victim, depth := -1, 0
-		for i := range e.queues {
-			if i != w.idx && e.workers[i].busy && len(e.queues[i]) > depth {
-				victim, depth = i, len(e.queues[i])
+			if stolen {
+				w.steals.Add(1)
 			}
-		}
-		if victim >= 0 {
-			j := e.queues[victim][0]
-			e.queues[victim] = e.queues[victim][1:]
-			w.busy = true
-			w.steals.Add(1)
 			e.cond.Broadcast()
 			return j, true
 		}
@@ -261,17 +410,68 @@ func (e *Engine) next(w *worker) (job, bool) {
 	}
 }
 
+// dequeueLocked takes worker w's next job: its own queue drained per
+// the engine's policy (QoS-weighted, FIFO or LIFO-under-overload),
+// else a steal from the longest eligible sibling queue. In the
+// concurrent engine only busy victims are eligible (requireBusyVictim);
+// the manual-mode stepper steals from any sibling, because its caller
+// steps every virtually-idle worker eagerly — a sibling with queued
+// work is by construction virtually busy.
+func (e *Engine) dequeueLocked(w *worker, requireBusyVictim bool) (job, bool, bool) {
+	if j, ok := e.queues[w.idx].pop(e.opts.ClassWeights, e.opts.Dequeue, e.opts.LIFOThreshold); ok {
+		return j, false, true
+	}
+	victim, depth := -1, 0
+	for i := range e.queues {
+		if i == w.idx || (requireBusyVictim && !e.workers[i].busy) {
+			continue
+		}
+		if e.queues[i].len() > depth {
+			victim, depth = i, e.queues[i].len()
+		}
+	}
+	if victim >= 0 {
+		if j, ok := e.queues[victim].steal(); ok {
+			return j, true, true
+		}
+	}
+	return job{}, false, false
+}
+
 // exec runs one job on a fresh task pinned to w. A protection fault
 // aborts only w's fault domain; the domain is reset afterwards so the
 // worker serves its next job — net/http recovering a panicking handler.
-func (e *Engine) exec(w *worker, j job) {
+// It returns the job's virtual start and completion on the arrival
+// timeline plus the measured service time.
+func (e *Engine) exec(w *worker, j job) (start, completion, service int64, err error) {
 	t := e.prog.NewTaskOn(w.ctx, j.name)
-	err := runJob(t, j.fn)
+	clock0 := w.ctx.Clock().Now()
+	err = runJob(t, j.fn)
+	service = w.ctx.Clock().Now() - clock0
 	w.ctx.Domain().Reset()
 	w.requests.Add(1)
+
+	e.mu.Lock()
+	start = w.vtFree
+	if j.arrival > start {
+		start = j.arrival
+	}
+	completion = start + service
+	w.vtFree = completion
+	if w.ewmaNs == 0 {
+		w.ewmaNs = service
+	} else {
+		w.ewmaNs += (service - w.ewmaNs) / 8
+	}
+	if j.deadline > 0 && completion > j.deadline {
+		w.deadlineMissed++
+	}
+	e.mu.Unlock()
+
 	if j.done != nil {
 		j.done(err)
 	}
+	return start, completion, service, err
 }
 
 func runJob(t *core.Task, fn Job) (err error) {
@@ -287,6 +487,81 @@ func runJob(t *core.Task, fn Job) (err error) {
 	return fn(t)
 }
 
+// StepResult is one manual-mode execution: the job's identity and its
+// virtual-time accounting on the submitters' ArrivalVT timeline.
+type StepResult struct {
+	Worker int
+	Name   string
+	Class  int
+	Stolen bool
+
+	ArrivalVT    int64 // scheduled arrival (JobSpec.ArrivalVT)
+	DeadlineVT   int64 // absolute deadline, 0 = none
+	StartVT      int64 // max(ArrivalVT, worker's prior backlog horizon)
+	CompletionVT int64 // StartVT + ServiceNs; the worker's new horizon
+	ServiceNs    int64 // measured virtual service time
+
+	Err error // the job's error (a *litterbox.Fault on a protection fault)
+}
+
+// StepWorker — manual mode only — dequeues worker i's next job per the
+// engine's policy (stealing from the longest sibling queue when its own
+// is empty) and executes it synchronously on worker i. ok is false when
+// no work is queued anywhere the worker may take from. The caller owns
+// the virtual timeline: it must step a worker only when that worker is
+// virtually idle (its previous StepResult.CompletionVT has been
+// reached), and must step eagerly so queued work never sits while a
+// worker idles — the discrete-event discipline internal/loadgen
+// implements.
+func (e *Engine) StepWorker(i int) (StepResult, bool) {
+	if !e.opts.Manual {
+		panic("engine: StepWorker on a concurrent engine (Opts.Manual is false)")
+	}
+	e.mu.Lock()
+	w := e.workers[i]
+	j, stolen, ok := e.dequeueLocked(w, false)
+	e.mu.Unlock()
+	if !ok {
+		return StepResult{}, false
+	}
+	if stolen {
+		w.steals.Add(1)
+	}
+	start, completion, service, err := e.exec(w, j)
+	return StepResult{
+		Worker: i, Name: j.name, Class: j.class, Stolen: stolen,
+		ArrivalVT: j.arrival, DeadlineVT: j.deadline,
+		StartVT: start, CompletionVT: completion, ServiceNs: service,
+		Err: err,
+	}, true
+}
+
+// WorkerFreeVT returns worker i's virtual backlog horizon: the
+// completion time of the last job it executed on the ArrivalVT
+// timeline.
+func (e *Engine) WorkerFreeVT(i int) int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.workers[i].vtFree
+}
+
+// ResetVT zeroes every worker's virtual backlog horizon while keeping
+// the learned EWMA service estimates — the reset a load generator
+// performs between its calibration phase and the measured run, so
+// calibration work does not appear as backlog at virtual time zero.
+// Manual mode only: rewinding the horizon under concurrent workers
+// would race exec's accounting.
+func (e *Engine) ResetVT() {
+	if !e.opts.Manual {
+		panic("engine: ResetVT on a concurrent engine (Opts.Manual is false)")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, w := range e.workers {
+		w.vtFree = 0
+	}
+}
+
 // Load returns the engine's instantaneous load: queued jobs plus
 // workers currently executing one. It is the balancer's least-loaded
 // signal — cheap enough to consult on every routing decision, unlike a
@@ -296,7 +571,7 @@ func (e *Engine) Load() int {
 	defer e.mu.Unlock()
 	n := 0
 	for i := range e.queues {
-		n += len(e.queues[i])
+		n += e.queues[i].len()
 	}
 	for _, w := range e.workers {
 		if w.busy {
@@ -313,7 +588,7 @@ func (e *Engine) QueueDepths() []int {
 	defer e.mu.Unlock()
 	out := make([]int, len(e.queues))
 	for i := range e.queues {
-		out[i] = len(e.queues[i])
+		out[i] = e.queues[i].len()
 	}
 	return out
 }
@@ -340,7 +615,7 @@ func (e *Engine) Quiesce() {
 	for {
 		idle := true
 		for i := range e.queues {
-			if len(e.queues[i]) > 0 {
+			if e.queues[i].len() > 0 {
 				idle = false
 				break
 			}
@@ -361,7 +636,8 @@ func (e *Engine) Quiesce() {
 }
 
 // Close stops admission, drains every queued job, and joins the
-// workers. It is idempotent.
+// workers. It is idempotent. A manual-mode engine has no workers to
+// join; its queued jobs are dropped, as nothing can step them.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if !e.closed {

@@ -117,7 +117,7 @@ func TestWorkStealing(t *testing.T) {
 	var wg sync.WaitGroup
 	wg.Add(jobs)
 	for i := 0; i < jobs; i++ {
-		ok := e.Submit(0, "flood", func(t *core.Task) error {
+		err := e.SubmitE(0, "flood", func(t *core.Task) error {
 			defer wg.Done()
 			if inflight.Add(1) == 4 {
 				close(gate)
@@ -125,9 +125,9 @@ func TestWorkStealing(t *testing.T) {
 			<-gate
 			t.Compute(5000)
 			return nil
-		})
-		if !ok {
-			t.Fatal("submit rejected below queue depth")
+		}, nil)
+		if err != nil {
+			t.Fatalf("submit rejected below queue depth: %v", err)
 		}
 	}
 	wg.Wait()
@@ -149,18 +149,20 @@ func TestBackpressureRejects(t *testing.T) {
 
 	gate := make(chan struct{})
 	started := make(chan struct{})
-	e.Submit(0, "blocker", func(t *core.Task) error {
+	if err := e.SubmitE(0, "blocker", func(t *core.Task) error {
 		close(started)
 		<-gate
 		return nil
-	})
+	}, nil); err != nil {
+		t.Fatalf("blocker rejected: %v", err)
+	}
 	<-started
 	// Worker busy; depth-1 queue takes exactly one more.
-	if !e.Submit(0, "queued", func(t *core.Task) error { return nil }) {
-		t.Fatal("queue should have room for one job")
+	if err := e.SubmitE(0, "queued", func(t *core.Task) error { return nil }, nil); err != nil {
+		t.Fatalf("queue should have room for one job: %v", err)
 	}
-	if e.Submit(0, "overflow", func(t *core.Task) error { return nil }) {
-		t.Fatal("full engine accepted work")
+	if err := e.SubmitE(0, "overflow", func(t *core.Task) error { return nil }, nil); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("full engine: err = %v, want ErrBackpressure", err)
 	}
 	close(gate)
 	e.Close()
@@ -171,9 +173,13 @@ func TestBackpressureRejects(t *testing.T) {
 	if TotalRequests(ms) != 2 {
 		t.Fatalf("executed %d, want 2", TotalRequests(ms))
 	}
-	// Closed engine rejects everything.
-	if e.Submit(0, "late", func(t *core.Task) error { return nil }) {
-		t.Fatal("closed engine accepted work")
+	// Closed engine rejects everything, with the terminal error — and
+	// the deprecated bool wrapper agrees.
+	if err := e.SubmitE(0, "late", func(t *core.Task) error { return nil }, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed engine: err = %v, want ErrClosed", err)
+	}
+	if e.Submit(0, "late2", func(t *core.Task) error { return nil }) {
+		t.Fatal("closed engine accepted work via deprecated Submit")
 	}
 	if err := e.NewPool().Go("late", func(t *core.Task) error { return nil }); !errors.Is(err, ErrClosed) {
 		t.Fatalf("pool on closed engine: %v", err)

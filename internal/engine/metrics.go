@@ -23,6 +23,14 @@ type WorkerMetrics struct {
 	Spills   int64  `json:"spills"`    // jobs diverted here because the preferred queue was full
 	Rejected int64  `json:"rejected"`  // submissions shed with this worker preferred
 	MaxDepth int64  `json:"max_depth"` // high-water queue depth
+
+	// DeadlineRejects counts submissions refused at admission with
+	// ErrDeadline (this worker preferred); DeadlineMisses counts
+	// executed jobs whose virtual completion overran their deadline
+	// anyway — the admission predictor's false-accept rate.
+	DeadlineRejects int64 `json:"deadline_rejects,omitempty"`
+	DeadlineMisses  int64 `json:"deadline_misses,omitempty"`
+
 	Depth    int    `json:"depth"`     // instantaneous queue depth
 	Faults   int64  `json:"faults"`    // protection faults contained to this worker
 	ClockNs  int64  `json:"clock_ns"`  // accrued virtual time
@@ -49,7 +57,11 @@ func (e *Engine) Metrics() []WorkerMetrics {
 			Spills:   w.spills.Load(),
 			Rejected: w.rejected.Load(),
 			MaxDepth: w.maxDepth,
-			Depth:    len(e.queues[i]),
+
+			DeadlineRejects: w.deadlineRejected,
+			DeadlineMisses:  w.deadlineMissed,
+
+			Depth:    e.queues[i].len(),
 			Faults:   w.ctx.Domain().Faults(),
 			ClockNs:  w.ctx.Clock().Now(),
 			EnvHits:  hits,
@@ -113,13 +125,22 @@ func MaxQueueDepth(ms []WorkerMetrics) int64 {
 // ElapsedNs returns the virtual wall-clock of a measurement window:
 // the maximum per-worker clock delta between two snapshots. Workers
 // run in parallel, so the slowest core bounds the window.
+//
+// Snapshots are matched by worker name, not slice position: a cluster
+// node joining or leaving mid-window grows or shrinks the after
+// snapshot, and matching by index would subtract one worker's baseline
+// from another's clock. A worker present only in after (joined
+// mid-window) counts from an explicit zero baseline; a worker present
+// only in before (left mid-window) contributes nothing, as its clock
+// stopped at some unobserved point inside the window.
 func ElapsedNs(before, after []WorkerMetrics) int64 {
+	base := make(map[string]int64, len(before))
+	for i := range before {
+		base[before[i].Name] = before[i].ClockNs
+	}
 	var max int64
 	for i := range after {
-		d := after[i].ClockNs
-		if i < len(before) {
-			d -= before[i].ClockNs
-		}
+		d := after[i].ClockNs - base[after[i].Name] // absent ⇒ zero baseline
 		if d > max {
 			max = d
 		}

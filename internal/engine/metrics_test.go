@@ -1,0 +1,48 @@
+package engine
+
+import "testing"
+
+// TestElapsedNsMismatchedSnapshots is the window-attribution regression
+// test: when a cluster node adds or removes workers mid-window, the
+// before/after snapshots differ in length and composition, and
+// index-based matching silently subtracts one worker's baseline from
+// another's clock. Matching is by worker name; a worker present only
+// in after counts from a zero baseline, one present only in before
+// contributes nothing.
+func TestElapsedNsMismatchedSnapshots(t *testing.T) {
+	before := []WorkerMetrics{
+		{Name: "cpu0", ClockNs: 1000},
+		{Name: "cpu1", ClockNs: 9000},
+	}
+	after := []WorkerMetrics{
+		{Name: "cpu0", ClockNs: 1500}, // delta 500
+		{Name: "cpu2", ClockNs: 2000}, // joined mid-window: full 2000
+	}
+	// Index matching would compute cpu2 - cpu1 = 2000-9000 < 0 and
+	// return 500; name matching sees cpu2's 2000 from a zero baseline.
+	if got := ElapsedNs(before, after); got != 2000 {
+		t.Fatalf("ElapsedNs = %d, want 2000 (joined worker from zero baseline)", got)
+	}
+
+	// Reordered snapshots of the same workers must agree with the
+	// ordered diff.
+	afterReordered := []WorkerMetrics{
+		{Name: "cpu1", ClockNs: 9100}, // delta 100
+		{Name: "cpu0", ClockNs: 1700}, // delta 700
+	}
+	if got := ElapsedNs(before, afterReordered); got != 700 {
+		t.Fatalf("ElapsedNs (reordered) = %d, want 700", got)
+	}
+
+	// A worker that left mid-window (present only in before) does not
+	// poison the max.
+	afterShrunk := []WorkerMetrics{{Name: "cpu0", ClockNs: 1200}}
+	if got := ElapsedNs(before, afterShrunk); got != 200 {
+		t.Fatalf("ElapsedNs (shrunk) = %d, want 200", got)
+	}
+
+	// Identical-shape snapshots: plain max delta, unchanged behaviour.
+	if got := ElapsedNs(nil, after); got != 2000 {
+		t.Fatalf("ElapsedNs (nil before) = %d, want 2000", got)
+	}
+}

@@ -26,10 +26,11 @@ func (e *Engine) NewPool() *Pool { return &Pool{e: e} }
 func (p *Pool) Go(name string, fn Job) error {
 	pref := int(p.next.Add(1)-1) % p.e.Workers()
 	p.wg.Add(1)
-	err := p.e.submitBlocking(pref, job{
-		name: name,
-		fn:   fn,
-		done: func(jerr error) {
+	err := p.e.submitBlocking(JobSpec{
+		Pref: pref,
+		Name: name,
+		Fn:   fn,
+		Done: func(jerr error) {
 			if jerr != nil {
 				p.mu.Lock()
 				if p.err == nil {

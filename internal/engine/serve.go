@@ -27,11 +27,12 @@ type ServeOpts struct {
 
 // Server is a running sharded accept loop over an engine.
 type Server struct {
-	e        *Engine
-	shards   []*simnet.Listener
-	wg       sync.WaitGroup
-	accepted atomic.Int64
-	shed     atomic.Int64
+	e           *Engine
+	shards      []*simnet.Listener
+	wg          sync.WaitGroup
+	accepted    atomic.Int64
+	shed        atomic.Int64
+	closedDrops atomic.Int64
 }
 
 // Serve starts opts.Shards accept loops on opts.Port, dispatching each
@@ -76,12 +77,19 @@ func (s *Server) accept(shard int, ln *simnet.Listener, opts ServeOpts) {
 			return opts.Conn(t, fd)
 		}, nil)
 		if err != nil {
-			// ErrBackpressure: shed the connection, as a kernel drops
-			// from a full backlog. ErrClosed: the engine is gone and the
-			// shard is about to be closed too. Either way the client
-			// sees a reset (ErrClosed on its conn).
+			// Either way the client sees a reset (ErrClosed on its
+			// conn), but the accounting differs: ErrBackpressure is a
+			// shed — admission control dropping from a full backlog, the
+			// load generator's SLO denominator — while ErrClosed means
+			// the engine is gone and the shard is about to be closed
+			// too, a shutdown artifact that must not inflate the shed
+			// rate.
 			conn.Close()
-			s.shed.Add(1)
+			if errors.Is(err, ErrBackpressure) {
+				s.shed.Add(1)
+			} else {
+				s.closedDrops.Add(1)
+			}
 			continue
 		}
 		s.accepted.Add(1)
@@ -91,8 +99,15 @@ func (s *Server) accept(shard int, ln *simnet.Listener, opts ServeOpts) {
 // Accepted returns how many connections were admitted.
 func (s *Server) Accepted() int64 { return s.accepted.Load() }
 
-// Shed returns how many connections were dropped under backpressure.
+// Shed returns how many connections were dropped under backpressure
+// (SubmitE returned ErrBackpressure). Connections dropped because the
+// engine had already closed are counted by ClosedDrops, not here.
 func (s *Server) Shed() int64 { return s.shed.Load() }
+
+// ClosedDrops returns how many connections were dropped because the
+// engine was closed when they arrived — shutdown artifacts, distinct
+// from backpressure sheds.
+func (s *Server) ClosedDrops() int64 { return s.closedDrops.Load() }
 
 // Close stops the accept shards and waits for the acceptor goroutines.
 // Already-queued connections still execute; drain them with

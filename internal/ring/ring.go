@@ -43,9 +43,10 @@ type Completion struct {
 
 // Stats is the ring's cumulative accounting.
 type Stats struct {
-	Batches  int64 // drains submitted
-	Entries  int64 // entries submitted across all drains
-	Canceled int64 // completions posted with ECANCELED
+	Batches    int64 // drains submitted
+	Entries    int64 // entries submitted across all drains
+	Canceled   int64 // completions posted with ECANCELED
+	CQOverflow int64 // completions dropped because the CQ was at depth
 }
 
 // Ring is one worker's submission/completion ring. It is not
@@ -88,26 +89,36 @@ func (r *Ring) Submit(e Entry) bool {
 }
 
 // Take removes and returns the queued batch in submission order,
-// leaving the submission queue empty. The returned slice aliases the
-// ring's storage and is valid until the next Submit.
+// leaving the submission queue empty. The batch is a copy: a
+// completion handler that submits new entries mid-drain grows a fresh
+// submission queue and cannot corrupt the in-flight batch the drain is
+// still iterating.
 func (r *Ring) Take() []Entry {
-	batch := r.sq
-	r.sq = r.sq[:0]
-	if len(batch) > 0 {
-		r.stats.Batches++
-		r.stats.Entries += int64(len(batch))
+	if len(r.sq) == 0 {
+		return nil
 	}
+	batch := append([]Entry(nil), r.sq...)
+	r.sq = r.sq[:0]
+	r.stats.Batches++
+	r.stats.Entries += int64(len(batch))
 	return batch
 }
 
-// Post appends completions to the completion queue.
+// Post appends completions to the completion queue, which is bounded at
+// the ring's depth like a real io_uring CQ. Completions that would
+// overflow the bound are dropped newest-first and counted in
+// Stats.CQOverflow — the caller kept submitting without reaping.
 func (r *Ring) Post(cs []Completion) {
 	for _, c := range cs {
 		if c.Errno == kernel.ECANCELED {
 			r.stats.Canceled++
 		}
+		if len(r.cq) >= r.depth {
+			r.stats.CQOverflow++
+			continue
+		}
+		r.cq = append(r.cq, c)
 	}
-	r.cq = append(r.cq, cs...)
 }
 
 // Reap removes and returns every posted completion, oldest first.

@@ -47,10 +47,71 @@ func TestSubmitTakeRoundTrip(t *testing.T) {
 	if r.Pending() != 0 {
 		t.Fatalf("Pending() = %d after Take, want 0", r.Pending())
 	}
-	// The SQ is reusable after Take; the taken batch stays valid until
-	// the next Take per the aliasing contract.
+	// The SQ is reusable after Take; the taken batch is an independent
+	// copy, so later submissions cannot touch it.
 	if !r.Submit(Entry{Nr: kernel.NrRead, Tag: 7}) {
 		t.Fatal("Submit rejected after Take emptied the ring")
+	}
+}
+
+// TestTakeCopyOnResubmit is the aliasing regression test: a completion
+// handler that submits new entries mid-drain (while the drain still
+// iterates the taken batch) must not corrupt the in-flight batch.
+// Before the fix, Take returned a slice sharing the SQ's backing array
+// and re-armed the SQ over it, so the next Submit overwrote batch[0].
+func TestTakeCopyOnResubmit(t *testing.T) {
+	r := New(4)
+	r.Submit(Entry{Nr: kernel.NrGetpid, Tag: 1})
+	r.Submit(Entry{Nr: kernel.NrGetpid, Tag: 2})
+	batch := r.Take()
+
+	// Mid-drain resubmission, as a completion handler would do.
+	r.Submit(Entry{Nr: kernel.NrRead, Tag: 99})
+
+	if batch[0].Tag != 1 || batch[0].Nr != kernel.NrGetpid {
+		t.Fatalf("in-flight batch corrupted by mid-drain Submit: %+v", batch[0])
+	}
+	if batch[1].Tag != 2 {
+		t.Fatalf("in-flight batch corrupted: %+v", batch[1])
+	}
+	// The resubmitted entry is its own pending work, not part of the
+	// taken batch.
+	if r.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", r.Pending())
+	}
+	next := r.Take()
+	if len(next) != 1 || next[0].Tag != 99 {
+		t.Fatalf("second Take = %+v, want the resubmitted entry", next)
+	}
+}
+
+// TestPostBoundsCompletionQueue pins the fixed-depth CQ contract:
+// completions beyond the ring's depth are dropped newest-first and
+// counted in Stats.CQOverflow instead of growing the CQ without bound.
+func TestPostBoundsCompletionQueue(t *testing.T) {
+	r := New(2)
+	cs := []Completion{
+		{Tag: 1, Errno: kernel.OK},
+		{Tag: 2, Errno: kernel.OK},
+		{Tag: 3, Errno: kernel.OK}, // overflows
+		{Tag: 4, Errno: kernel.ECANCELED}, // overflows, still counted canceled
+	}
+	r.Post(cs)
+	got := r.Reap()
+	if len(got) != 2 || got[0].Tag != 1 || got[1].Tag != 2 {
+		t.Fatalf("Reap = %+v, want the oldest 2 completions", got)
+	}
+	st := r.Stats()
+	if st.CQOverflow != 2 {
+		t.Fatalf("CQOverflow = %d, want 2", st.CQOverflow)
+	}
+	if st.Canceled != 1 {
+		t.Fatalf("Canceled = %d, want 1 (overflowed completions still audited)", st.Canceled)
+	}
+	// Reaping frees the bound: the next Post fits again.
+	r.Post([]Completion{{Tag: 5, Errno: kernel.OK}})
+	if got := r.Reap(); len(got) != 1 || got[0].Tag != 5 {
+		t.Fatalf("post-reap Post = %+v, want tag 5", got)
 	}
 }
 
