@@ -31,6 +31,16 @@
 //
 //	enclose cluster -nodes 4 -requests 400
 //	enclose cluster -backend vtx -sweep 50
+//
+// The privcheck subcommand is the privilege-regression gate: it mines
+// least-privilege policies for every enclosure in the corpus (apps,
+// attack scenarios, declarative specs, seeded probe programs), diffs
+// them against the declarations, and compares the derived privilege
+// against the checked-in PRIVILEGE.json ledger, failing on any growth:
+//
+//	enclose privcheck                       # gate against PRIVILEGE.json
+//	enclose privcheck -update               # accept current privilege as the baseline
+//	enclose privcheck -json                 # full analysis as JSON
 package main
 
 import (
@@ -57,6 +67,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "cluster" {
 		runCluster(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "privcheck" {
+		runPrivcheck(os.Args[2:])
 		return
 	}
 	backendName := flag.String("backend", "mpk", "baseline|mpk|vtx|cheri")

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/litterbox-project/enclosure/internal/privan"
+)
+
+// runPrivcheck implements the privilege-regression gate: analyze the
+// whole corpus, report over-privilege, and compare derived privilege
+// against the checked-in baseline ledger. Exit status is the contract —
+// 0 when no enclosure's privilege grew past the baseline, 1 on any
+// growth (or analysis failure), so CI can gate on it directly.
+func runPrivcheck(args []string) {
+	fs := flag.NewFlagSet("enclose privcheck", flag.ExitOnError)
+	baselinePath := fs.String("baseline", "PRIVILEGE.json", "privilege baseline ledger to gate against")
+	update := fs.Bool("update", false, "rewrite the baseline from the current analysis instead of gating")
+	asJSON := fs.Bool("json", false, "emit the full analysis as JSON on stdout")
+	scenarios := fs.String("scenarios", "scenarios", "directory of declarative scenario specs to include")
+	quiet := fs.Bool("q", false, "suppress the per-enclosure report, print findings only")
+	fs.Parse(args)
+
+	res, err := privan.Analyze(privan.DefaultOptions(*scenarios))
+	if err != nil {
+		fatal(err)
+	}
+
+	// With -json the analysis owns stdout; status goes to stderr so the
+	// report stays machine-parseable.
+	status := io.Writer(os.Stdout)
+	if *asJSON {
+		status = os.Stderr
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(blob))
+	} else if !*quiet {
+		printPrivReport(res)
+	}
+
+	if *update {
+		if err := res.Baseline().Save(*baselinePath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(status, "privcheck: baseline updated: %s (%d enclosures pinned)\n", *baselinePath, len(res.Entries))
+		return
+	}
+
+	base, err := privan.LoadBaseline(*baselinePath)
+	if err != nil {
+		fatal(fmt.Errorf("loading baseline (run with -update to create one): %w", err))
+	}
+	findings := base.Compare(res)
+	if len(findings) > 0 {
+		fmt.Fprintf(status, "privcheck: FAIL — %d privilege regression(s) vs %s:\n", len(findings), *baselinePath)
+		for _, f := range findings {
+			fmt.Fprintln(status, "  ", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(status, "privcheck: OK — %d enclosures within baseline %s\n", len(res.Entries), *baselinePath)
+}
+
+// printPrivReport renders the analysis as a table: one line per
+// enclosure with its declared/derived literals and the over-privilege
+// diff, followed by corpus totals.
+func printPrivReport(res *privan.Result) {
+	over, under := 0, 0
+	for _, e := range res.Entries {
+		fmt.Printf("%-24s %-14s derived=%q\n", e.Corpus, e.Enclosure, e.Derived)
+		if e.Declared != e.Derived {
+			fmt.Printf("%-24s %-14s declared=%q\n", "", "", e.Declared)
+		}
+		if len(e.Excess) > 0 {
+			over++
+			fmt.Printf("%-40s excess:      %s\n", "", strings.Join(e.Excess, ", "))
+		}
+		if len(e.Undeclared) > 0 {
+			under++
+			fmt.Printf("%-40s undeclared:  %s\n", "", strings.Join(e.Undeclared, ", "))
+		}
+	}
+	fmt.Printf("\n%d enclosures analyzed: %d over-privileged, %d with undeclared needs\n\n", len(res.Entries), over, under)
+}

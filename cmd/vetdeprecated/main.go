@@ -1,0 +1,134 @@
+// Command vetdeprecated is the repo's deprecation lint: it fails when
+// internal code calls an entry point that survives only for API
+// stability. `go vet` cannot flag these (it has no deprecation
+// analyzer), so CI runs this alongside it.
+//
+// Forbidden entry points and how calls are recognised (the tool is
+// syntactic — std-lib go/parser + go/ast, no type information — so
+// each rule carries a shape discriminator where the bare method name
+// is ambiguous):
+//
+//   - LitterBox.FilterSyscall / FilterSyscallFrom: any selector call
+//     with these names (the names exist nowhere else in the module).
+//     Use SyscallGateway.
+//   - LitterBox.RuntimeSyscall: selector calls with exactly four
+//     arguments (cpu, env, nr, args). Task.RuntimeSyscall — the
+//     supported core API — is variadic over syscall args and keeps its
+//     callers unflagged. Use SyscallGateway with Runtime set.
+//   - Engine.Submit: selector calls with exactly three arguments
+//     (pref, name, fn). Ring.Submit takes one entry and stays legal.
+//     Use SubmitE (or SubmitSpec) and distinguish the typed errors.
+//
+// The files defining the wrappers are allowlisted; everything else
+// under the given roots (default ./cmd and ./internal) is scanned,
+// tests included — tests pinning wrapper behaviour must live in the
+// defining file's package and be allowlisted explicitly if ever
+// needed.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// allowedFiles may still mention the deprecated names: they define the
+// wrappers (and their doc comments).
+var allowedFiles = map[string]bool{
+	"internal/litterbox/litterbox.go": true,
+	"internal/engine/engine.go":       true,
+}
+
+type rule struct {
+	name  string // selector method name
+	arity int    // exact argument count; -1 = any
+	fix   string
+}
+
+var rules = []rule{
+	{name: "FilterSyscall", arity: -1, fix: "use SyscallGateway"},
+	{name: "FilterSyscallFrom", arity: -1, fix: "use SyscallGateway"},
+	{name: "RuntimeSyscall", arity: 4, fix: "use SyscallGateway with Runtime set"},
+	{name: "Submit", arity: 3, fix: "use SubmitE or SubmitSpec"},
+}
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"cmd", "internal"}
+	}
+	var bad int
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			if allowedFiles[filepath.ToSlash(path)] {
+				return nil
+			}
+			complaints, err := checkFile(path)
+			if err != nil {
+				return err
+			}
+			for _, c := range complaints {
+				fmt.Println(c)
+				bad++
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vetdeprecated: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "vetdeprecated: %d deprecated call(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkFile parses one file and returns a formatted complaint per
+// deprecated call.
+func checkFile(path string) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	return checkParsed(fset, f), nil
+}
+
+func checkParsed(fset *token.FileSet, f *ast.File) []string {
+	var out []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		for _, r := range rules {
+			if sel.Sel.Name != r.name {
+				continue
+			}
+			if r.arity >= 0 && (len(call.Args) != r.arity || call.Ellipsis.IsValid()) {
+				continue
+			}
+			pos := fset.Position(call.Pos())
+			out = append(out, fmt.Sprintf("%s:%d: call to deprecated %s — %s",
+				filepath.ToSlash(pos.Filename), pos.Line, r.name, r.fix))
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func complaintsOf(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return checkParsed(fset, f)
+}
+
+func TestFlagsDeprecatedCalls(t *testing.T) {
+	src := `package p
+func f() {
+	lb.FilterSyscall(cpu, env, nr, args)
+	lb.FilterSyscallFrom(cpu, env, "pkg", nr, args)
+	lb.RuntimeSyscall(cpu, env, nr, args)
+	e.Submit(0, "job", fn)
+}`
+	got := complaintsOf(t, src)
+	if len(got) != 4 {
+		t.Fatalf("complaints = %d, want 4: %v", len(got), got)
+	}
+}
+
+func TestIgnoresSupportedLookalikes(t *testing.T) {
+	src := `package p
+func f() {
+	task.RuntimeSyscall(nr)                  // core Task API: variadic, 1 arg
+	task.RuntimeSyscall(nr, a, b, c...)      // explicit spread, not the 4-arg litterbox shape
+	r.Submit(entry)                          // ring.Submit: 1 arg
+	lb.SyscallGateway(cpu, env, req)         // the replacement itself
+	e.SubmitE(0, "job", fn, nil)             // the replacement itself
+}`
+	if got := complaintsOf(t, src); len(got) != 0 {
+		t.Fatalf("false positives: %v", got)
+	}
+}

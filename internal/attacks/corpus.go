@@ -1,0 +1,91 @@
+package attacks
+
+import (
+	"github.com/litterbox-project/enclosure/internal/core"
+)
+
+// CorpusScenario is one §6.5 attack scenario as the privilege analyzer
+// sees it: the declared per-enclosure policies of the protected
+// variant and an exercise function that builds the scenario with the
+// given policies (falling back to the declared literal when the map
+// omits an enclosure) and drives the full attack workload.
+//
+// Mining runs Exercise with policies forced to "" plus
+// core.WithAudit(); because the workload includes the malicious
+// payload, the derived literal deliberately covers the attack's needs
+// too — the gap between it and the declared policy is exactly what the
+// over-privilege diff reports, and the audited violation count shows
+// how much of the observed footprint the declared policy refuses.
+type CorpusScenario struct {
+	Name     string
+	Declared map[string]string
+	Exercise func(kind core.BackendKind, policies map[string]string, opts ...core.Option) (*core.Program, error)
+}
+
+func corpusPolicy(policies map[string]string, encl, declared string) string {
+	if p, ok := policies[encl]; ok {
+		return p
+	}
+	return declared
+}
+
+// CorpusScenarios enumerates the §6.5 attack corpus for mining.
+func CorpusScenarios() []CorpusScenario {
+	sshDeclared := SSHPolicyFor(ConnectAllowlist)
+	return []CorpusScenario{
+		{
+			Name:     "ssh-decorator",
+			Declared: map[string]string{"ssh": sshDeclared},
+			Exercise: func(kind core.BackendKind, policies map[string]string, opts ...core.Option) (*core.Program, error) {
+				// NoMitigation drive shape: the package opens its own
+				// connection, so the full socket/connect footprint shows.
+				_, prog, err := exerciseSSHDecorator(kind, NoMitigation,
+					corpusPolicy(policies, "ssh", sshDeclared), opts...)
+				return prog, err
+			},
+		},
+		{
+			Name:     "pypi-key-stealer",
+			Declared: map[string]string{"jelly": KeyStealerPolicy},
+			Exercise: func(kind core.BackendKind, policies map[string]string, opts ...core.Option) (*core.Program, error) {
+				_, prog, err := exerciseKeyStealer(kind, true,
+					corpusPolicy(policies, "jelly", KeyStealerPolicy), opts...)
+				return prog, err
+			},
+		},
+		{
+			Name:     "npm-backdoor-init",
+			Declared: map[string]string{"init:event-stream": BackdoorInitPolicy},
+			Exercise: func(kind core.BackendKind, policies map[string]string, opts ...core.Option) (*core.Program, error) {
+				// An empty InitPolicy means "no enclosure at all", which
+				// would hide the init from the audit recorder entirely —
+				// mine under the declared literal instead (audit mode
+				// records the denials without faulting the build).
+				policy := corpusPolicy(policies, "init:event-stream", BackdoorInitPolicy)
+				if policy == "" {
+					policy = BackdoorInitPolicy
+				}
+				_, prog, err := exerciseBackdoor(kind, true, policy, opts...)
+				return prog, err
+			},
+		},
+		{
+			Name:     "memory-thief",
+			Declared: map[string]string{"analytics": MemoryThiefPolicy},
+			Exercise: func(kind core.BackendKind, policies map[string]string, opts ...core.Option) (*core.Program, error) {
+				_, prog, err := exerciseMemoryThief(kind, true,
+					corpusPolicy(policies, "analytics", MemoryThiefPolicy), opts...)
+				return prog, err
+			},
+		},
+		{
+			Name:     "django-clone",
+			Declared: map[string]string{"django": DjangoPolicy},
+			Exercise: func(kind core.BackendKind, policies map[string]string, opts ...core.Option) (*core.Program, error) {
+				_, prog, err := exerciseDjangoClone(kind, true, true,
+					corpusPolicy(policies, "django", DjangoPolicy), opts...)
+				return prog, err
+			},
+		},
+	}
+}

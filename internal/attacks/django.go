@@ -107,9 +107,20 @@ func djangoServe(evil bool, reqs chan<- djangoRequest) core.Func {
 // RunDjangoClone executes the Django-clone scenario. protected selects
 // the secured-callback enclosure; evil grafts the per-request theft on.
 func RunDjangoClone(kind core.BackendKind, protected, evil bool) (Report, error) {
+	policy := DjangoPolicy
+	if !protected {
+		policy = "main:RWX; sys:all"
+	}
+	rep, _, err := exerciseDjangoClone(kind, protected, evil, policy)
+	return rep, err
+}
+
+// exerciseDjangoClone is the policy-parameterized form backing both
+// the attack report and the privilege analyzer's audit mining.
+func exerciseDjangoClone(kind core.BackendKind, protected, evil bool, policy string, opts ...core.Option) (Report, *core.Program, error) {
 	rep := Report{Scenario: "django-clone", Backend: kind, Protected: protected}
 
-	b := core.NewBuilder(kind)
+	b := core.NewBuilder(kind, opts...)
 	b.Package(core.PackageSpec{
 		Name:    "main",
 		Imports: []string{"django"},
@@ -121,20 +132,16 @@ func RunDjangoClone(kind core.BackendKind, protected, evil bool) (Report, error)
 		Name: "django", Origin: "public", LOC: 350000, Stars: 70000,
 		Funcs: map[string]core.Func{"Serve": djangoServe(evil, reqs)},
 	})
-	policy := DjangoPolicy
-	if !protected {
-		policy = "main:RWX; sys:all"
-	}
 	b.Enclosure("django", "main", policy,
 		func(t *core.Task, args ...core.Value) ([]core.Value, error) {
 			return t.Call("django", "Serve", args...)
 		}, "django")
 	prog, err := b.Build()
 	if err != nil {
-		return rep, err
+		return rep, nil, err
 	}
 	if err := SeedVictim(prog); err != nil {
-		return rep, err
+		return rep, prog, err
 	}
 
 	ready := make(chan struct{})
@@ -218,7 +225,7 @@ func RunDjangoClone(kind core.BackendKind, protected, evil bool) (Report, error)
 		rep.Blocked = true
 		rep.FaultOp = fault.Op + ":" + fault.Detail
 	} else if err != nil {
-		return rep, err
+		return rep, prog, err
 	}
-	return rep, nil
+	return rep, prog, nil
 }

@@ -84,11 +84,32 @@ func sshDecorator(t *core.Task, args ...core.Value) ([]core.Value, error) {
 	return []core.Value{out}, nil
 }
 
+// SSHPolicyFor returns the scenario's declared enclosure policy for a
+// mitigation (the unprotected variant still runs enclosed-shaped code
+// under Baseline, with a permissive literal).
+func SSHPolicyFor(mit Mitigation) string {
+	switch mit {
+	case PreallocatedSocket:
+		return "sys:io; main:R" // no socket creation, no files
+	case ConnectAllowlist:
+		return fmt.Sprintf("sys:net,io; main:R; connect:%s", hostString(SSHServerAddr.Host))
+	default:
+		return "sys:net,io; main:R"
+	}
+}
+
 // RunSSHDecorator executes the ssh-decorator scenario.
 func RunSSHDecorator(kind core.BackendKind, mit Mitigation) (Report, error) {
+	rep, _, err := exerciseSSHDecorator(kind, mit, SSHPolicyFor(mit))
+	return rep, err
+}
+
+// exerciseSSHDecorator is the policy-parameterized form backing both
+// the attack report and the privilege analyzer's audit mining.
+func exerciseSSHDecorator(kind core.BackendKind, mit Mitigation, policy string, opts ...core.Option) (Report, *core.Program, error) {
 	rep := Report{Scenario: "ssh-decorator/" + mitName(mit), Backend: kind, Protected: mit != NoMitigation}
 
-	b := core.NewBuilder(kind)
+	b := core.NewBuilder(kind, opts...)
 	b.Package(core.PackageSpec{
 		Name:    "main",
 		Imports: []string{"ssh-decorator"},
@@ -99,30 +120,23 @@ func RunSSHDecorator(kind core.BackendKind, mit Mitigation) (Report, error) {
 		Name: "ssh-decorator", Origin: "public", LOC: 1800, Stars: 240,
 		Funcs: map[string]core.Func{"SSHExec": sshDecorator},
 	})
-	policy := "sys:net,io; main:R" // unprotected still runs enclosed-shaped code under Baseline
-	switch mit {
-	case PreallocatedSocket:
-		policy = "sys:io; main:R" // no socket creation, no files
-	case ConnectAllowlist:
-		policy = fmt.Sprintf("sys:net,io; main:R; connect:%s", hostString(SSHServerAddr.Host))
-	}
 	b.Enclosure("ssh", "main", policy,
 		func(t *core.Task, args ...core.Value) ([]core.Value, error) {
 			return t.Call("ssh-decorator", "SSHExec", args...)
 		}, "ssh-decorator")
 	prog, err := b.Build()
 	if err != nil {
-		return rep, err
+		return rep, nil, err
 	}
 
 	attacker, err := StartAttacker(prog.Net())
 	if err != nil {
-		return rep, err
+		return rep, prog, err
 	}
 	defer attacker.Close()
 	stopSSH, err := StartSSHServer(prog.Net())
 	if err != nil {
-		return rep, err
+		return rep, prog, err
 	}
 	defer stopSSH()
 
@@ -169,7 +183,7 @@ func RunSSHDecorator(kind core.BackendKind, mit Mitigation) (Report, error) {
 		// The legitimate half ran before the malicious half faulted.
 		rep.LegitOK = true
 	default:
-		return rep, err
+		return rep, prog, err
 	}
 	attacker.Close() // wait for in-flight uploads before counting loot
 	rep.LootBytes = len(attacker.Loot())
@@ -179,7 +193,7 @@ func RunSSHDecorator(kind core.BackendKind, mit Mitigation) (Report, error) {
 			rep.FaultOp = "syscall"
 		}
 	}
-	return rep, nil
+	return rep, prog, nil
 }
 
 func mitName(m Mitigation) string {
@@ -261,36 +275,46 @@ func soundex(w string) string {
 	return string(out)
 }
 
-// RunKeyStealer executes the PyPI key-stealer scenario. When protected,
-// the call is enclosed with the paper's "basic configuration, i.e.,
-// the default memory view and limited system calls" — here none.
+// KeyStealerPolicy is the protected variant's declared policy: the
+// paper's "basic configuration, i.e., the default memory view and
+// limited system calls" — here none.
+const KeyStealerPolicy = "sys:none"
+
+// RunKeyStealer executes the PyPI key-stealer scenario.
 func RunKeyStealer(kind core.BackendKind, protected bool) (Report, error) {
+	policy := "sys:all" // unprotected: full syscall access even when "enclosed"
+	if protected {
+		policy = KeyStealerPolicy
+	}
+	rep, _, err := exerciseKeyStealer(kind, protected, policy)
+	return rep, err
+}
+
+// exerciseKeyStealer is the policy-parameterized form backing both the
+// attack report and the privilege analyzer's audit mining.
+func exerciseKeyStealer(kind core.BackendKind, protected bool, policy string, opts ...core.Option) (Report, *core.Program, error) {
 	rep := Report{Scenario: "pypi-key-stealer", Backend: kind, Protected: protected}
 
-	b := core.NewBuilder(kind)
+	b := core.NewBuilder(kind, opts...)
 	b.Package(core.PackageSpec{Name: "main", Imports: []string{"jeIlyfish"}, Origin: "app", LOC: 12})
 	b.Package(core.PackageSpec{
 		Name: "jeIlyfish", Origin: "public", LOC: 2600, Stars: 1900,
 		Funcs: map[string]core.Func{"Process": keyStealerProcess},
 	})
-	policy := "sys:all" // unprotected: full syscall access even when "enclosed"
-	if protected {
-		policy = "sys:none"
-	}
 	b.Enclosure("jelly", "main", policy,
 		func(t *core.Task, args ...core.Value) ([]core.Value, error) {
 			return t.Call("jeIlyfish", "Process", args...)
 		}, "jeIlyfish")
 	prog, err := b.Build()
 	if err != nil {
-		return rep, err
+		return rep, nil, err
 	}
 	if err := SeedVictim(prog); err != nil {
-		return rep, err
+		return rep, prog, err
 	}
 	attacker, err := StartAttacker(prog.Net())
 	if err != nil {
-		return rep, err
+		return rep, prog, err
 	}
 	defer attacker.Close()
 
@@ -309,11 +333,11 @@ func RunKeyStealer(kind core.BackendKind, protected bool) (Report, error) {
 		rep.Blocked = true
 		rep.FaultOp = fault.Op + ":" + fault.Detail
 	} else if err != nil {
-		return rep, err
+		return rep, prog, err
 	}
 	attacker.Close() // wait for in-flight uploads before counting loot
 	rep.LootBytes = len(attacker.Loot())
-	return rep, nil
+	return rep, prog, nil
 }
 
 // --- Scenario 3: backdoored npm-style package ------------------------
@@ -340,11 +364,29 @@ func backdoorInit(t *core.Task, args ...core.Value) ([]core.Value, error) {
 	return nil, nil
 }
 
+// BackdoorInitPolicy is the protected variant's declared import-tag
+// policy (§5.1's syntactic sugar; the auto-enclosure is named
+// "init:event-stream").
+const BackdoorInitPolicy = "sys:none"
+
 // RunBackdoor executes the backdoored-dependency scenario.
 func RunBackdoor(kind core.BackendKind, protected bool) (Report, error) {
+	policy := ""
+	if protected {
+		policy = BackdoorInitPolicy
+	}
+	rep, _, err := exerciseBackdoor(kind, protected, policy)
+	return rep, err
+}
+
+// exerciseBackdoor is the policy-parameterized form backing both the
+// attack report and the privilege analyzer's audit mining (the miner
+// passes the declared init policy plus core.WithAudit so the init runs
+// recorded instead of faulting).
+func exerciseBackdoor(kind core.BackendKind, protected bool, initPolicy string, opts ...core.Option) (Report, *core.Program, error) {
 	rep := Report{Scenario: "npm-backdoor-init", Backend: kind, Protected: protected}
 
-	b := core.NewBuilder(kind)
+	b := core.NewBuilder(kind, opts...)
 	b.Package(core.PackageSpec{Name: "main", Imports: []string{"event-stream"}, Origin: "app", LOC: 18})
 	spec := core.PackageSpec{
 		Name: "event-stream", Origin: "public", LOC: 5200, Stars: 2000,
@@ -353,10 +395,8 @@ func RunBackdoor(kind core.BackendKind, protected bool) (Report, error) {
 				return []core.Value{args[0].(int) * 2}, nil // valid functionality
 			},
 		},
-		Init: backdoorInit,
-	}
-	if protected {
-		spec.InitPolicy = "sys:none" // paper §5.1: policy-tagged import
+		Init:       backdoorInit,
+		InitPolicy: initPolicy,
 	}
 	b.Package(spec)
 	prog, err := b.Build()
@@ -366,16 +406,16 @@ func RunBackdoor(kind core.BackendKind, protected bool) (Report, error) {
 		// Init ran enclosed and faulted at Build (package load) time.
 		rep.Blocked = true
 		rep.FaultOp = fault.Op + ":" + fault.Detail
-		return rep, nil
+		return rep, nil, nil
 	}
 	if err != nil {
 		// Build wraps the fault; look through it.
 		if strings.Contains(err.Error(), "fault") {
 			rep.Blocked = true
 			rep.FaultOp = err.Error()
-			return rep, nil
+			return rep, nil, nil
 		}
-		return rep, err
+		return rep, nil, err
 	}
 
 	// Program built: the backdoor either installed or was blocked.
@@ -388,7 +428,7 @@ func RunBackdoor(kind core.BackendKind, protected bool) (Report, error) {
 		return nil
 	})
 	if err != nil {
-		return rep, err
+		return rep, prog, err
 	}
 	// Probe the backdoor from the attacker's machine.
 	conn, err := prog.Net().Dial(AttackerAddr.Host, simnet.Addr{Host: core.DefaultHostIP, Port: BackdoorPort})
@@ -396,7 +436,7 @@ func RunBackdoor(kind core.BackendKind, protected bool) (Report, error) {
 		rep.BackdoorUp = true
 		conn.Close()
 	}
-	return rep, nil
+	return rep, prog, nil
 }
 
 // --- Scenario 4: in-memory secret theft ------------------------------
@@ -411,11 +451,26 @@ func memoryThief(t *core.Task, args ...core.Value) ([]core.Value, error) {
 	return []core.Value{string(data)}, nil
 }
 
+// MemoryThiefPolicy is the protected variant's declared policy: the
+// default view, under which main is foreign and unmapped.
+const MemoryThiefPolicy = "sys:none"
+
 // RunMemoryThief executes the in-memory theft scenario.
 func RunMemoryThief(kind core.BackendKind, protected bool) (Report, error) {
+	policy := "main:R; sys:none" // unprotected variant grants main read access
+	if protected {
+		policy = MemoryThiefPolicy
+	}
+	rep, _, err := exerciseMemoryThief(kind, protected, policy)
+	return rep, err
+}
+
+// exerciseMemoryThief is the policy-parameterized form backing both
+// the attack report and the privilege analyzer's audit mining.
+func exerciseMemoryThief(kind core.BackendKind, protected bool, policy string, opts ...core.Option) (Report, *core.Program, error) {
 	rep := Report{Scenario: "memory-thief", Backend: kind, Protected: protected}
 
-	b := core.NewBuilder(kind)
+	b := core.NewBuilder(kind, opts...)
 	b.Package(core.PackageSpec{
 		Name: "main", Imports: []string{"analytics-sdk"},
 		Vars:   map[string]int{"api_token": 64},
@@ -425,17 +480,13 @@ func RunMemoryThief(kind core.BackendKind, protected bool) (Report, error) {
 		Name: "analytics-sdk", Origin: "public", LOC: 46000, Stars: 3100,
 		Funcs: map[string]core.Func{"Collect": memoryThief},
 	})
-	policy := "main:R; sys:none" // unprotected variant grants main read access
-	if protected {
-		policy = "sys:none" // default view: main is foreign, unmapped
-	}
 	b.Enclosure("analytics", "main", policy,
 		func(t *core.Task, args ...core.Value) ([]core.Value, error) {
 			return t.Call("analytics-sdk", "Collect", args...)
 		}, "analytics-sdk")
 	prog, err := b.Build()
 	if err != nil {
-		return rep, err
+		return rep, nil, err
 	}
 
 	err = prog.Run(func(t *core.Task) error {
@@ -459,7 +510,7 @@ func RunMemoryThief(kind core.BackendKind, protected bool) (Report, error) {
 		rep.Blocked = true
 		rep.FaultOp = fault.Op + ":" + fault.Detail
 	} else if err != nil {
-		return rep, err
+		return rep, prog, err
 	}
-	return rep, nil
+	return rep, prog, nil
 }

@@ -36,12 +36,15 @@ const imageBytes = bild.DefaultWidth * bild.DefaultHeight * bild.BytesPerPixel
 // (0.63 ns/B, calibrating the baseline run to the paper's 13.25ms).
 const loadCostNs = imageBytes * 63 / 100
 
-// RunBild reproduces the Table 2 bild row: a 32-LOC application loads a
-// sensitive 512×512 image held by main and inverts it inside an
-// enclosure with no system calls and read-only access to main.
-// Baseline 13.25ms; LB_MPK 1.12× (transfer-dominated); LB_VTX 1.05×.
-func RunBild(kind core.BackendKind) (MacroResult, error) {
-	b := core.NewBuilder(kind)
+// BildPolicy is the enclosure policy the Table 2 bild row declares: no
+// system calls, read-only access to the image held by main.
+const BildPolicy = "main:R; sys:none"
+
+// buildBild assembles the bild benchmark program with the given
+// enclosure policy and builder options (the privilege analyzer mines
+// it under an empty policy in audit mode).
+func buildBild(kind core.BackendKind, policy string, opts ...core.Option) (*core.Program, error) {
+	b := core.NewBuilder(kind, opts...)
 	b.Package(core.PackageSpec{
 		Name:    "main",
 		Imports: []string{bild.Pkg},
@@ -49,17 +52,18 @@ func RunBild(kind core.BackendKind) (MacroResult, error) {
 		Origin:  "app", LOC: 32,
 	})
 	bild.Register(b)
-	b.Enclosure("invert", "main", "main:R; sys:none",
+	b.Enclosure("invert", "main", policy,
 		func(t *core.Task, args ...core.Value) ([]core.Value, error) {
 			return t.Call(bild.Pkg, "Invert", args...)
 		}, bild.Pkg)
-	prog, err := b.Build()
-	if err != nil {
-		return MacroResult{}, err
-	}
+	return b.Build()
+}
 
+// driveBild runs the load-invert-verify workload, returning the
+// in-simulation nanoseconds the measured region took.
+func driveBild(prog *core.Program) (int64, error) {
 	var elapsed int64
-	err = prog.Run(func(t *core.Task) error {
+	err := prog.Run(func(t *core.Task) error {
 		img, err := prog.VarRef("main", "sensitive")
 		if err != nil {
 			return err
@@ -91,6 +95,19 @@ func RunBild(kind core.BackendKind) (MacroResult, error) {
 		// The sensitive original must be intact (integrity).
 		return nil
 	})
+	return elapsed, err
+}
+
+// RunBild reproduces the Table 2 bild row: a 32-LOC application loads a
+// sensitive 512×512 image held by main and inverts it inside an
+// enclosure with no system calls and read-only access to main.
+// Baseline 13.25ms; LB_MPK 1.12× (transfer-dominated); LB_VTX 1.05×.
+func RunBild(kind core.BackendKind) (MacroResult, error) {
+	prog, err := buildBild(kind, BildPolicy)
+	if err != nil {
+		return MacroResult{}, err
+	}
+	elapsed, err := driveBild(prog)
 	if err != nil {
 		return MacroResult{}, err
 	}

@@ -51,31 +51,33 @@ func httpGet(net *simnet.Net, port uint16, path string) (int, error) {
 // HTTPRequests is the closed-loop request count per backend run.
 const HTTPRequests = 400
 
-// RunHTTP reproduces the Table 2 HTTP row: Go's net/http server with
-// the request handler enclosed (no packages, no system calls), serving
-// a 13KB in-memory page. Baseline ≈16991 req/s; LB_MPK 1.02×;
-// LB_VTX 1.77× (system-call dominated).
-func RunHTTP(kind core.BackendKind) (MacroResult, error) {
-	b := core.NewBuilder(kind)
+// HTTPHandlerPolicy is the Table 2 net/http row's declared enclosure
+// policy: "the request handler [is] an enclosure with no access to the
+// packages used by net/http and no system calls."
+const HTTPHandlerPolicy = "sys:none"
+
+// buildHTTP assembles the net/http benchmark with the given handler
+// policy and builder options.
+func buildHTTP(kind core.BackendKind, policy string, opts ...core.Option) (*core.Program, error) {
+	b := core.NewBuilder(kind, opts...)
 	b.Package(core.PackageSpec{
 		Name:    "main",
 		Imports: []string{httpserv.Pkg, httpserv.HandlerPkg},
 		Origin:  "app", LOC: 31,
 	})
 	httpserv.Register(b)
-	// "The request handler [is] an enclosure with no access to the
-	// packages used by net/http and no system calls."
-	b.Enclosure("handler", "main", "sys:none", httpserv.HandlerBody, httpserv.HandlerPkg)
-	prog, err := b.Build()
-	if err != nil {
-		return MacroResult{}, err
-	}
+	b.Enclosure("handler", "main", policy, httpserv.HandlerBody, httpserv.HandlerPkg)
+	return b.Build()
+}
 
+// driveHTTP runs the closed request loop, returning completed requests
+// and the measured in-simulation nanoseconds.
+func driveHTTP(prog *core.Program, requests int) (int, int64, error) {
 	const port = 8080
 	ready := make(chan struct{})
 	var reqs int
 	var elapsed int64
-	err = prog.Run(func(t *core.Task) error {
+	err := prog.Run(func(t *core.Task) error {
 		srv := t.Go("http-server", func(t *core.Task) error {
 			_, err := t.Call(httpserv.Pkg, "Serve", httpserv.ServeArgs{
 				Port:    port,
@@ -90,7 +92,7 @@ func RunHTTP(kind core.BackendKind) (MacroResult, error) {
 			return err
 		}
 		start := prog.Clock().Now()
-		for i := 0; i < HTTPRequests; i++ {
+		for i := 0; i < requests; i++ {
 			n, err := httpGet(prog.Net(), port, "/")
 			if err != nil {
 				return fmt.Errorf("request %d: %w", i, err)
@@ -106,6 +108,19 @@ func RunHTTP(kind core.BackendKind) (MacroResult, error) {
 		}
 		return srv.Join()
 	})
+	return reqs, elapsed, err
+}
+
+// RunHTTP reproduces the Table 2 HTTP row: Go's net/http server with
+// the request handler enclosed (no packages, no system calls), serving
+// a 13KB in-memory page. Baseline ≈16991 req/s; LB_MPK 1.02×;
+// LB_VTX 1.77× (system-call dominated).
+func RunHTTP(kind core.BackendKind) (MacroResult, error) {
+	prog, err := buildHTTP(kind, HTTPHandlerPolicy)
+	if err != nil {
+		return MacroResult{}, err
+	}
+	reqs, elapsed, err := driveHTTP(prog, HTTPRequests)
 	if err != nil {
 		return MacroResult{}, err
 	}
@@ -118,12 +133,10 @@ func RunHTTP(kind core.BackendKind) (MacroResult, error) {
 	}, nil
 }
 
-// RunFastHTTP reproduces the Table 2 FastHTTP row: the server runs
-// inside an enclosure limited to socket-flavoured system calls and
-// forwards requests to a trusted handler goroutine over a channel.
-// Baseline ≈22867 req/s; LB_MPK 1.04×; LB_VTX 2.01×.
-func RunFastHTTP(kind core.BackendKind) (MacroResult, error) {
-	b := core.NewBuilder(kind)
+// buildFastHTTP assembles the FastHTTP benchmark with the given server
+// policy and builder options.
+func buildFastHTTP(kind core.BackendKind, policy string, opts ...core.Option) (*core.Program, error) {
+	b := core.NewBuilder(kind, opts...)
 	b.Package(core.PackageSpec{
 		Name:    "main",
 		Imports: []string{fasthttp.Pkg},
@@ -131,22 +144,23 @@ func RunFastHTTP(kind core.BackendKind) (MacroResult, error) {
 		Origin:  "app", LOC: 76,
 	})
 	fasthttp.Register(b)
-	b.Enclosure("server", "main", fasthttp.Policy,
+	b.Enclosure("server", "main", policy,
 		func(t *core.Task, args ...core.Value) ([]core.Value, error) {
 			return t.Call(fasthttp.Pkg, "Serve", args[0])
 		}, fasthttp.Pkg)
-	prog, err := b.Build()
-	if err != nil {
-		return MacroResult{}, err
-	}
+	return b.Build()
+}
 
+// driveFastHTTP runs the closed request loop against the enclosed
+// server, returning completed requests and measured nanoseconds.
+func driveFastHTTP(prog *core.Program, requests int) (int, int64, error) {
 	const port = 8081
 	ready := make(chan struct{})
 	reqCh := make(chan fasthttp.Request, 16)
 	page := httpserv.StaticPage()
 	var reqs int
 	var elapsed int64
-	err = prog.Run(func(t *core.Task) error {
+	err := prog.Run(func(t *core.Task) error {
 		handler := t.Go("trusted-handler", func(t *core.Task) error {
 			return fasthttp.HandleLoop(t, reqCh, page)
 		})
@@ -163,7 +177,7 @@ func RunFastHTTP(kind core.BackendKind) (MacroResult, error) {
 			return err
 		}
 		start := prog.Clock().Now()
-		for i := 0; i < HTTPRequests; i++ {
+		for i := 0; i < requests; i++ {
 			n, err := httpGet(prog.Net(), port, "/")
 			if err != nil {
 				return fmt.Errorf("request %d: %w", i, err)
@@ -182,6 +196,19 @@ func RunFastHTTP(kind core.BackendKind) (MacroResult, error) {
 		}
 		return handler.Join()
 	})
+	return reqs, elapsed, err
+}
+
+// RunFastHTTP reproduces the Table 2 FastHTTP row: the server runs
+// inside an enclosure limited to socket-flavoured system calls and
+// forwards requests to a trusted handler goroutine over a channel.
+// Baseline ≈22867 req/s; LB_MPK 1.04×; LB_VTX 2.01×.
+func RunFastHTTP(kind core.BackendKind) (MacroResult, error) {
+	prog, err := buildFastHTTP(kind, fasthttp.Policy)
+	if err != nil {
+		return MacroResult{}, err
+	}
+	reqs, elapsed, err := driveFastHTTP(prog, HTTPRequests)
 	if err != nil {
 		return MacroResult{}, err
 	}

@@ -58,5 +58,19 @@ func SecuritySuite() ([]attacks.Report, error) {
 			return nil, fmt.Errorf("%v: %w", kind, err)
 		}
 	}
+
+	// Gate-bypass gadgets (Garmr-style): unprotected compromise first,
+	// then containment on all three enforcing backends — MPK statically
+	// at the import scan, VTX/CHERI at the escalated fetch/read.
+	for _, variant := range []attacks.GateBypassVariant{attacks.StraddleWRPKRU, attacks.MidGateCall} {
+		if err := add(attacks.RunGateBypass(core.Baseline, variant)); err != nil {
+			return nil, err
+		}
+		for _, kind := range []core.BackendKind{core.MPK, core.VTX, core.CHERI} {
+			if err := add(attacks.RunGateBypass(kind, variant)); err != nil {
+				return nil, fmt.Errorf("%v: %w", kind, err)
+			}
+		}
+	}
 	return out, nil
 }

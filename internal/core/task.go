@@ -265,7 +265,7 @@ func (t *Task) Syscall(nr kernel.Nr, args ...uint64) (uint64, kernel.Errno) {
 	t.checkAlive()
 	var a [6]uint64
 	copy(a[:], args)
-	ret, errno, err := t.prog.lb.FilterSyscallFrom(t.cpu, t.env, t.CurrentPkg(), nr, a)
+	ret, errno, err := t.prog.lb.SyscallGateway(t.cpu, t.env, litterbox.SyscallReq{Nr: nr, Args: a, CallerPkg: t.CurrentPkg()})
 	if err != nil {
 		t.fail(err)
 	}
@@ -282,7 +282,7 @@ func (t *Task) RuntimeSyscall(nr kernel.Nr, args ...uint64) (uint64, kernel.Errn
 	var a [6]uint64
 	copy(a[:], args)
 	t.cpu.Pkg = t.CurrentPkg()
-	ret, errno, err := t.prog.lb.RuntimeSyscall(t.cpu, t.env, nr, a)
+	ret, errno, err := t.prog.lb.SyscallGateway(t.cpu, t.env, litterbox.SyscallReq{Nr: nr, Args: a, Runtime: true})
 	if err != nil {
 		t.fail(err)
 	}

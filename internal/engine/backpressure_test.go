@@ -42,9 +42,10 @@ func TestSubmitEBackpressureVsClosed(t *testing.T) {
 		t.Fatal("ErrBackpressure must not match ErrClosed")
 	}
 
-	// The legacy bool path sheds identically and counts the rejection.
-	if ok := e.Submit(0, "overflow2", func(t *core.Task) error { return nil }); ok {
-		t.Fatal("saturated Submit accepted a job")
+	// A second saturated submission sheds identically and counts the
+	// rejection.
+	if err := e.SubmitE(0, "overflow2", func(t *core.Task) error { return nil }, nil); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("saturated second SubmitE = %v, want ErrBackpressure", err)
 	}
 
 	// Draining clears the backpressure: the same submission is admitted

@@ -173,13 +173,12 @@ func TestBackpressureRejects(t *testing.T) {
 	if TotalRequests(ms) != 2 {
 		t.Fatalf("executed %d, want 2", TotalRequests(ms))
 	}
-	// Closed engine rejects everything, with the terminal error — and
-	// the deprecated bool wrapper agrees.
+	// Closed engine rejects everything, with the terminal error.
 	if err := e.SubmitE(0, "late", func(t *core.Task) error { return nil }, nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("closed engine: err = %v, want ErrClosed", err)
 	}
-	if e.Submit(0, "late2", func(t *core.Task) error { return nil }) {
-		t.Fatal("closed engine accepted work via deprecated Submit")
+	if err := e.SubmitE(0, "late2", func(t *core.Task) error { return nil }, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed engine second submit: err = %v, want ErrClosed", err)
 	}
 	if err := e.NewPool().Go("late", func(t *core.Task) error { return nil }); !errors.Is(err, ErrClosed) {
 		t.Fatalf("pool on closed engine: %v", err)

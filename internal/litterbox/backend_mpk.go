@@ -67,23 +67,18 @@ func (b *MPKBackend) Name() string { return "mpk" }
 // Unit exposes the MPK unit (for tests).
 func (b *MPKBackend) Unit() *mpk.Unit { return b.unit }
 
-// Setup implements Backend: scan untrusted text for WRPKRU, allocate one
-// key per meta-package, tag every section, derive each environment's
-// PKRU, and load the PKRU-indexed seccomp filter.
+// Setup implements Backend: scan untrusted text for WRPKRU gadgets,
+// allocate one key per meta-package, tag every section, derive each
+// environment's PKRU, and load the PKRU-indexed seccomp filter.
 func (b *MPKBackend) Setup(lb *LitterBox) error {
 	b.lb = lb
 
-	// ERIM-style scan: only LitterBox may modify PKRU.
-	for _, sec := range lb.Space.Sections() {
-		if sec.Kind != mem.KindText {
-			continue
-		}
-		if sec.Pkg == userName || sec.Pkg == superName {
-			continue
-		}
-		if err := b.unit.ScanText(sec); err != nil {
-			return err
-		}
+	// ERIM/Garmr-style scan: only LitterBox may modify PKRU, by any
+	// byte path — aligned instructions, operand-embedded sequences,
+	// sequences straddling contiguous sections, or direct transfers
+	// that land inside the gate past its PKRU check.
+	if err := b.gadgetScan(lb); err != nil {
+		return err
 	}
 
 	metas := lb.MetaPackages()
@@ -146,6 +141,43 @@ func (b *MPKBackend) Setup(lb *LitterBox) error {
 	}
 	b.lb.Kernel.SetPkeyOps(b.unit)
 	return b.reloadFilter()
+}
+
+// gadgetScan classifies every mapped text section as gate text (the
+// LitterBox runtime, trusted user glue, enclosure closures) or
+// untrusted text, then runs the full gadget scan over the untrusted
+// set. Sanctioned gate entries are the closure bases (where the
+// compiler put the PKRU check) and the trusted packages' function
+// symbols; any other call/jmp-reachable gate offset is a bypass.
+// Called at Setup and again on every dynamic import.
+func (b *MPKBackend) gadgetScan(lb *LitterBox) error {
+	var untrusted []*mem.Section
+	gate := mpk.GateInfo{Entries: map[mem.Addr]bool{}}
+	for _, sec := range lb.Space.Sections() {
+		if sec.Kind != mem.KindText {
+			continue
+		}
+		if sec.Pkg == userName || sec.Pkg == superName || strings.HasPrefix(sec.Name, "closure.") {
+			gate.Ranges = append(gate.Ranges, mpk.GateRange{Name: sec.Name, Base: sec.Base, Size: sec.Size})
+			if strings.HasPrefix(sec.Name, "closure.") {
+				gate.Entries[sec.Base] = true
+			}
+			continue
+		}
+		untrusted = append(untrusted, sec)
+	}
+	for _, name := range []string{userName, superName} {
+		if pl := lb.Image.Layout(name); pl != nil {
+			for _, sym := range pl.Funcs {
+				gate.Entries[sym.Addr] = true
+			}
+		}
+	}
+	findings, err := b.unit.ScanGadgets(untrusted, gate)
+	if err != nil {
+		return err
+	}
+	return mpk.GadgetError(findings)
 }
 
 // derivePKRU computes env's PKRU from its per-meta-package modifier.

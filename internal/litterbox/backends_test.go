@@ -73,7 +73,7 @@ func TestBackendMatrix(t *testing.T) {
 			}
 
 			// Baseline continues: filtered syscalls pass, transfers work.
-			if _, errno, err := lb.FilterSyscall(f.cpu, env, kernel.NrOpen, [6]uint64{}); err != nil || errno == kernel.ESECCOMP {
+			if _, errno, err := lb.SyscallGateway(f.cpu, env, litterbox.SyscallReq{Nr: kernel.NrOpen}); err != nil || errno == kernel.ESECCOMP {
 				t.Fatalf("baseline filtered open: %v %v", errno, err)
 			}
 			span, err := f.space.Map("span-x", kernel.HeapOwner, mem.KindHeap, mem.PageSize, mem.PermR|mem.PermW)

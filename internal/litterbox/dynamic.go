@@ -166,6 +166,12 @@ func (b *MPKBackend) MapDynamicPackage(cpu *hw.CPU, pkg string, secs []*mem.Sect
 	if b.virt != nil {
 		return fmt.Errorf("%w: dynamic imports with virtualised keys", ErrNoDynamicSupport)
 	}
+	// Imported text gets the same ERIM/Garmr gadget scan load-time text
+	// does — the sections are already mapped, so a full re-scan also
+	// catches sequences straddling into a neighbouring module.
+	if err := b.gadgetScan(b.lb); err != nil {
+		return err
+	}
 	key, errno := b.unit.PkeyAlloc()
 	if errno != kernel.OK {
 		return fmt.Errorf("litterbox/mpk: pkey_alloc for %s: %v", pkg, errno)

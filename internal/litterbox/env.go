@@ -236,6 +236,14 @@ func cloneHosts(h []uint32) []uint32 {
 	return out
 }
 
+// SectionRightsFor is the exported form of sectionRights for analysis
+// tooling (the privilege analyzer classifies every reachable page by
+// the rights an environment's modifier grants it). Enforcement paths
+// use the unexported function directly.
+func SectionRightsFor(mod AccessMod, kind mem.SectionKind) mem.Perm {
+	return sectionRights(mod, kind)
+}
+
 // sectionRights translates a package-level modifier into the page
 // rights a section of the given kind receives in that view. Under R and
 // RW the package's functions are hidden (§5.2: "hide a module's

@@ -279,11 +279,11 @@ func TestFilterSyscall(t *testing.T) {
 		t.Fatal(err)
 	}
 	// proc category allowed.
-	if _, errno, err := lb.FilterSyscall(f.cpu, env, kernel.NrGetuid, [6]uint64{}); err != nil || errno != kernel.OK {
+	if _, errno, err := lb.SyscallGateway(f.cpu, env, litterbox.SyscallReq{Nr: kernel.NrGetuid}); err != nil || errno != kernel.OK {
 		t.Fatalf("getuid: %v %v", errno, err)
 	}
 	// file category rejected -> fault.
-	if _, _, err := lb.FilterSyscall(f.cpu, env, kernel.NrOpen, [6]uint64{}); err == nil {
+	if _, _, err := lb.SyscallGateway(f.cpu, env, litterbox.SyscallReq{Nr: kernel.NrOpen}); err == nil {
 		t.Fatal("open allowed under sys:proc")
 	}
 	if _, dead := lb.Aborted(); !dead {
@@ -369,7 +369,7 @@ func TestRuntimeSyscallSwitchesToTrusted(t *testing.T) {
 	// open is NOT in the enclosure filter, but the runtime may issue it
 	// from the trusted context; PKRU must be restored afterwards.
 	before := f.cpu.PeekPKRU()
-	_, errno, err := lb.RuntimeSyscall(f.cpu, env, kernel.NrGetpid, [6]uint64{})
+	_, errno, err := lb.SyscallGateway(f.cpu, env, litterbox.SyscallReq{Nr: kernel.NrGetpid, Runtime: true})
 	if err != nil || errno != kernel.OK {
 		t.Fatalf("runtime getpid: %v %v", errno, err)
 	}

@@ -232,3 +232,63 @@ func TestMPKKeyExhaustionFromDynamicImports(t *testing.T) {
 		t.Fatalf("Epilog after exhaustion: %v", err)
 	}
 }
+
+// TestDynamicImportTextIsGadgetScanned pins the import-time text scan:
+// before the fix, MPK's MapDynamicPackage tagged and mapped imported
+// text without the WRPKRU scan that Setup applies to load-time text,
+// so a module poisoned after link could carry the escalation
+// instruction straight past the gate. The scan must reject the module,
+// and the rejection must roll back cleanly (keys, view) so later
+// imports still work.
+func TestDynamicImportTextIsGadgetScanned(t *testing.T) {
+	f := newFixture(t)
+	lb := f.initWith(t, litterbox.NewMPK(mpk.NewUnit(f.space, f.clock)))
+	if err := lb.InstallEnv(f.cpu, lb.Trusted()); err != nil {
+		t.Fatal(err)
+	}
+	env, err := lb.EnvForEnclosure(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A clean module imports fine (the scan is not simply rejecting
+	// all dynamic text).
+	if err := addDyn(t, f, lb, "dynclean", env); err != nil {
+		t.Fatalf("clean import: %v", err)
+	}
+
+	// A poisoned module: placed like any dynamic package, then WRPKRU
+	// planted in its text before the import call — exactly what Setup
+	// rejects at load time.
+	p := &pkggraph.Package{Name: "dynevil", Funcs: []string{"f"}, Vars: map[string]int{"v": 64}}
+	if err := lb.Graph().AddIncremental(p); err != nil {
+		t.Fatal(err)
+	}
+	pl, err := f.img.PlaceDynamic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.space.WriteAt(pl.Text.Base+77, mpk.WRPKRUOpcode); err != nil {
+		t.Fatal(err)
+	}
+	err = lb.AddDynamicPackage(f.cpu, p, pl.Sections(), []*litterbox.Env{env})
+	if !errors.Is(err, mpk.ErrWRPKRUFound) {
+		t.Fatalf("poisoned import: got %v, want ErrWRPKRUFound", err)
+	}
+	if got := env.ModOf("dynevil"); got != litterbox.ModU {
+		t.Fatalf("rejected module left visible at %v", got)
+	}
+
+	// The rejection rolled back: the key space and view still accept a
+	// fresh clean import... but the poisoned text is still mapped, so
+	// the full re-scan keeps rejecting until it is gone.
+	if err := addDyn(t, f, lb, "dynclean2", env); !errors.Is(err, mpk.ErrWRPKRUFound) {
+		t.Fatalf("import with poisoned text still mapped: %v", err)
+	}
+	if err := f.space.WriteAt(pl.Text.Base+77, []byte{0x10, 0x11, 0x12}); err != nil {
+		t.Fatal(err)
+	}
+	if err := addDyn(t, f, lb, "dynclean3", env); err != nil {
+		t.Fatalf("clean import after scrubbing: %v", err)
+	}
+}

@@ -22,7 +22,7 @@ func TestTraceRecordsEnforcementEvents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := lb.FilterSyscall(f.cpu, env, kernel.NrGetuid, [6]uint64{}); err != nil {
+	if _, _, err := lb.SyscallGateway(f.cpu, env, litterbox.SyscallReq{Nr: kernel.NrGetuid}); err != nil {
 		t.Fatal(err)
 	}
 	if err := lb.Epilog(f.cpu, env, lb.Trusted(), 1, token); err != nil {
@@ -74,7 +74,7 @@ func TestTraceRingWraps(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		if _, _, err := lb.FilterSyscall(f.cpu, lb.Trusted(), kernel.NrGetpid, [6]uint64{}); err != nil {
+		if _, _, err := lb.SyscallGateway(f.cpu, lb.Trusted(), litterbox.SyscallReq{Nr: kernel.NrGetpid}); err != nil {
 			t.Fatal(err)
 		}
 	}

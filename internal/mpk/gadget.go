@@ -1,0 +1,255 @@
+package mpk
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/litterbox-project/enclosure/internal/mem"
+)
+
+// This file is the Garmr-style gadget scan over untrusted text: where
+// ScanText only answers "do these three bytes appear in this section",
+// the gadget scan decodes the simulated instruction stream and finds
+// the two ways a WRPKRU-equivalent escalation can hide from the plain
+// per-section byte match:
+//
+//  1. a WRPKRU sequence *straddling* two virtually-contiguous text
+//     sections (the tail bytes of one and the head bytes of the next
+//     are each individually clean);
+//  2. a direct call/jmp whose target lands *inside* gate text — the
+//     LitterBox runtime or an enclosure closure — past the sanctioned
+//     entry point, skipping the PKRU check the entry performs. No
+//     WRPKRU bytes appear in the attacker's text at all.
+//
+// The decoder models the synthetic ISA the linker emits (see
+// linker.writeSynthetic): one-byte ops in 0x10..0x8F, plus the
+// multi-byte forms below. Raw WRPKRU matches are classified by whether
+// they fall on a decoded instruction boundary (an actual WRPKRU
+// instruction) or inside a multi-byte immediate/displacement (an
+// embedded gadget reachable by a misaligned jump).
+
+// Synthetic multi-byte opcodes. Immediates and displacements are
+// attacker-controlled data, so WRPKRU bytes may hide inside them.
+const (
+	opMovImm32 = 0xB8 // B8 imm32: 5 bytes, imm is data
+	opCallRel  = 0xE8 // E8 rel32: 5 bytes, target = next insn + rel
+	opJmpRel   = 0xE9 // E9 rel32: 5 bytes, target = next insn + rel
+)
+
+// GadgetKind classifies one scanner finding.
+type GadgetKind int
+
+// Finding kinds, ordered roughly by how the plain scan relates to them:
+// the per-section byte match catches WRPKRU and Embedded, but never
+// Straddle or MidGate.
+const (
+	// GadgetWRPKRU is a WRPKRU sequence on an instruction boundary.
+	GadgetWRPKRU GadgetKind = iota
+	// GadgetEmbedded is a WRPKRU sequence inside a multi-byte
+	// immediate or displacement, reachable by jumping into the middle
+	// of the containing instruction.
+	GadgetEmbedded
+	// GadgetStraddle is a WRPKRU sequence split across the boundary of
+	// two virtually-contiguous executable sections.
+	GadgetStraddle
+	// GadgetMidGate is a direct call/jmp from untrusted text into gate
+	// text at a non-sanctioned offset, past the PKRU check the entry
+	// point performs.
+	GadgetMidGate
+)
+
+var gadgetKindNames = [...]string{"wrpkru", "embedded-wrpkru", "straddle-wrpkru", "mid-gate-transfer"}
+
+func (k GadgetKind) String() string {
+	if int(k) < len(gadgetKindNames) {
+		return gadgetKindNames[k]
+	}
+	return fmt.Sprintf("gadget(%d)", int(k))
+}
+
+// Finding is one gadget the scan located in untrusted text.
+type Finding struct {
+	Kind    GadgetKind
+	Section string   // section containing the gadget (first section for straddles)
+	Pkg     string   // owning package
+	Addr    mem.Addr // address of the first gadget byte
+	Target  mem.Addr // MidGate only: the resolved transfer target
+	Detail  string
+}
+
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s in %s (%s) at %s", f.Kind, f.Section, f.Pkg, f.Addr)
+	if f.Kind == GadgetMidGate {
+		s += fmt.Sprintf(" -> %s", f.Target)
+	}
+	if f.Detail != "" {
+		s += ": " + f.Detail
+	}
+	return s
+}
+
+// GateRange is one span of trusted gate text (runtime text or an
+// enclosure closure).
+type GateRange struct {
+	Name string
+	Base mem.Addr
+	Size uint64
+}
+
+func (g GateRange) contains(a mem.Addr) bool {
+	return a >= g.Base && a < g.Base+mem.Addr(g.Size)
+}
+
+// GateInfo describes the trusted gate text and its sanctioned entry
+// points for the mid-gate reachability check. A direct transfer into a
+// gate range is legitimate only when it lands exactly on an entry.
+type GateInfo struct {
+	Ranges  []GateRange
+	Entries map[mem.Addr]bool
+}
+
+func (g GateInfo) rangeOf(a mem.Addr) (GateRange, bool) {
+	for _, r := range g.Ranges {
+		if r.contains(a) {
+			return r, true
+		}
+	}
+	return GateRange{}, false
+}
+
+// ErrGadgetFound reports that the gadget scan located an escalation
+// path in untrusted text.
+var ErrGadgetFound = errors.New("mpk: WRPKRU-reachable gadget in untrusted text")
+
+// GadgetError folds findings into the scanner's verdict error: nil for
+// none, otherwise an error wrapping ErrGadgetFound — and, when any
+// finding is a WRPKRU byte sequence (raw, embedded, or straddled),
+// also ErrWRPKRUFound, so callers matching the plain scan's error keep
+// working.
+func GadgetError(fs []Finding) error {
+	if len(fs) == 0 {
+		return nil
+	}
+	wrpkru := false
+	for _, f := range fs {
+		if f.Kind != GadgetMidGate {
+			wrpkru = true
+		}
+	}
+	if wrpkru {
+		return fmt.Errorf("%w: %w: %s (%d finding(s))", ErrGadgetFound, ErrWRPKRUFound, fs[0], len(fs))
+	}
+	return fmt.Errorf("%w: %s (%d finding(s))", ErrGadgetFound, fs[0], len(fs))
+}
+
+// ScanGadgets runs the full gadget scan over the given untrusted text
+// sections: per-section decode + raw match, cross-section straddle
+// windows, and mid-gate transfer targets resolved against gate. The
+// returned error reports only read failures; an empty finding list
+// means the text is clean.
+func (u *Unit) ScanGadgets(secs []*mem.Section, gate GateInfo) ([]Finding, error) {
+	var findings []Finding
+	ordered := make([]*mem.Section, len(secs))
+	copy(ordered, secs)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Base < ordered[j].Base })
+
+	bufs := make(map[*mem.Section][]byte, len(ordered))
+	for _, sec := range ordered {
+		buf := make([]byte, sec.Size)
+		if err := u.space.ReadAt(sec.Base, buf); err != nil {
+			return nil, fmt.Errorf("mpk: gadget scan %s: %w", sec.Name, err)
+		}
+		bufs[sec] = buf
+		findings = append(findings, scanSection(sec, buf, gate)...)
+	}
+
+	// Straddle pass: a WRPKRU sequence split across two contiguous
+	// executable sections. Each section's interior was covered above,
+	// so only windows crossing the boundary are checked here.
+	for i := 0; i+1 < len(ordered); i++ {
+		a, b := ordered[i], ordered[i+1]
+		if a.End() != b.Base {
+			continue
+		}
+		ab, bb := bufs[a], bufs[b]
+		// Window: the last two bytes of a followed by the first two of
+		// b. A 3-byte match starting at window offset 0 or 1 crosses
+		// the boundary.
+		var win []byte
+		tail := 2
+		if len(ab) < tail {
+			tail = len(ab)
+		}
+		win = append(win, ab[len(ab)-tail:]...)
+		head := 2
+		if len(bb) < head {
+			head = len(bb)
+		}
+		win = append(win, bb[:head]...)
+		for off := 0; off+3 <= len(win); off++ {
+			if win[off] == WRPKRUOpcode[0] && win[off+1] == WRPKRUOpcode[1] && win[off+2] == WRPKRUOpcode[2] {
+				findings = append(findings, Finding{
+					Kind: GadgetStraddle, Section: a.Name, Pkg: a.Pkg,
+					Addr:   a.End() - mem.Addr(tail-off),
+					Detail: fmt.Sprintf("spans %s|%s", a.Name, b.Name),
+				})
+			}
+		}
+	}
+	return findings, nil
+}
+
+// scanSection decodes one section and reports raw/embedded WRPKRU
+// sequences and mid-gate transfers.
+func scanSection(sec *mem.Section, buf []byte, gate GateInfo) []Finding {
+	var findings []Finding
+
+	// Linear-sweep decode: record instruction boundaries and resolve
+	// direct transfer targets.
+	boundary := make([]bool, len(buf))
+	for i := 0; i < len(buf); {
+		boundary[i] = true
+		switch {
+		case i+3 <= len(buf) && buf[i] == WRPKRUOpcode[0] && buf[i+1] == WRPKRUOpcode[1] && buf[i+2] == WRPKRUOpcode[2]:
+			i += 3
+		case (buf[i] == opMovImm32 || buf[i] == opCallRel || buf[i] == opJmpRel) && i+5 <= len(buf):
+			if buf[i] == opCallRel || buf[i] == opJmpRel {
+				rel := int32(uint32(buf[i+1]) | uint32(buf[i+2])<<8 | uint32(buf[i+3])<<16 | uint32(buf[i+4])<<24)
+				target := sec.Base + mem.Addr(i+5) + mem.Addr(int64(rel))
+				if r, in := gate.rangeOf(target); in && !gate.Entries[target] {
+					op := "call"
+					if buf[i] == opJmpRel {
+						op = "jmp"
+					}
+					findings = append(findings, Finding{
+						Kind: GadgetMidGate, Section: sec.Name, Pkg: sec.Pkg,
+						Addr: sec.Base + mem.Addr(i), Target: target,
+						Detail: fmt.Sprintf("%s into %s at +%#x skips the gate entry check", op, r.Name, uint64(target-r.Base)),
+					})
+				}
+			}
+			i += 5
+		default:
+			i++
+		}
+	}
+
+	// Raw pass at every byte offset, classified against the decode.
+	for i := 0; i+3 <= len(buf); i++ {
+		if buf[i] != WRPKRUOpcode[0] || buf[i+1] != WRPKRUOpcode[1] || buf[i+2] != WRPKRUOpcode[2] {
+			continue
+		}
+		kind := GadgetEmbedded
+		detail := "inside a multi-byte operand, reachable by misaligned transfer"
+		if boundary[i] {
+			kind = GadgetWRPKRU
+			detail = "on an instruction boundary"
+		}
+		findings = append(findings, Finding{
+			Kind: kind, Section: sec.Name, Pkg: sec.Pkg,
+			Addr: sec.Base + mem.Addr(i), Detail: detail,
+		})
+	}
+	return findings
+}

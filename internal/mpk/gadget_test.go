@@ -1,0 +1,179 @@
+package mpk
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/litterbox-project/enclosure/internal/mem"
+)
+
+// fillClean writes linker-style one-byte filler (0x10..0x8F) that can
+// never form a WRPKRU or multi-byte opcode by accident.
+func fillClean(t *testing.T, space *mem.AddressSpace, sec *mem.Section) []byte {
+	t.Helper()
+	buf := make([]byte, sec.Size)
+	for i := range buf {
+		buf[i] = byte(0x10 + i%0x70)
+	}
+	if err := space.WriteAt(sec.Base, buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func gadgetUnit(t *testing.T) (*Unit, *mem.AddressSpace) {
+	t.Helper()
+	u, space, _ := newUnit(t)
+	return u, space
+}
+
+func TestScanGadgetsCleanText(t *testing.T) {
+	u, space := gadgetUnit(t)
+	sec, _ := space.Map("p0.text", "p0", mem.KindText, mem.PageSize, mem.PermR|mem.PermX)
+	fillClean(t, space, sec)
+	fs, err := u.ScanGadgets([]*mem.Section{sec}, GateInfo{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("clean text produced findings: %v", fs)
+	}
+	if GadgetError(fs) != nil {
+		t.Fatal("GadgetError on empty findings")
+	}
+}
+
+func TestScanGadgetsClassifiesBoundaryAndEmbedded(t *testing.T) {
+	u, space := gadgetUnit(t)
+	sec, _ := space.Map("p0.text", "p0", mem.KindText, mem.PageSize, mem.PermR|mem.PermX)
+	fillClean(t, space, sec)
+
+	// An aligned WRPKRU at a decode boundary.
+	_ = space.WriteAt(sec.Base+96, WRPKRUOpcode)
+	// A WRPKRU hidden inside a MOV imm32's immediate: B8 0F 01 EF xx.
+	_ = space.WriteAt(sec.Base+200, []byte{opMovImm32, 0x0F, 0x01, 0xEF, 0x11})
+
+	fs, err := u.ScanGadgets([]*mem.Section{sec}, GateInfo{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[GadgetKind]int{}
+	for _, f := range fs {
+		kinds[f.Kind]++
+	}
+	if kinds[GadgetWRPKRU] != 1 || kinds[GadgetEmbedded] != 1 {
+		t.Fatalf("want one boundary + one embedded finding, got %v", fs)
+	}
+	// The plain aligned scan also sees both (it slides over every byte
+	// within one section) — the classification is what the decode adds.
+	if err := u.ScanText(sec); !errors.Is(err, ErrWRPKRUFound) {
+		t.Fatalf("plain scan: %v", err)
+	}
+	if err := GadgetError(fs); !errors.Is(err, ErrWRPKRUFound) || !errors.Is(err, ErrGadgetFound) {
+		t.Fatalf("GadgetError chain: %v", err)
+	}
+}
+
+func TestScanGadgetsStraddleAcrossSections(t *testing.T) {
+	u, space := gadgetUnit(t)
+	a, _ := space.Map("mod.text", "mod", mem.KindText, mem.PageSize, mem.PermR|mem.PermX)
+	b, _ := space.Map("mod.text.hot", "mod", mem.KindText, mem.PageSize, mem.PermR|mem.PermX)
+	if a.End() != b.Base {
+		t.Fatalf("sections not contiguous: %s then %s", a, b)
+	}
+	fillClean(t, space, a)
+	fillClean(t, space, b)
+	// 0F 01 at the end of a, EF at the start of b.
+	_ = space.WriteAt(a.End()-2, []byte{0x0F, 0x01})
+	_ = space.WriteAt(b.Base, []byte{0xEF})
+
+	// Each section alone is clean under the plain per-section scan.
+	if err := u.ScanText(a); err != nil {
+		t.Fatalf("plain scan of a: %v", err)
+	}
+	if err := u.ScanText(b); err != nil {
+		t.Fatalf("plain scan of b: %v", err)
+	}
+
+	fs, err := u.ScanGadgets([]*mem.Section{b, a}, GateInfo{}) // order-independent
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].Kind != GadgetStraddle {
+		t.Fatalf("want one straddle finding, got %v", fs)
+	}
+	if fs[0].Addr != a.End()-2 {
+		t.Fatalf("straddle at %s, want %s", fs[0].Addr, a.End()-2)
+	}
+	if err := GadgetError(fs); !errors.Is(err, ErrWRPKRUFound) {
+		t.Fatalf("straddle error chain: %v", err)
+	}
+}
+
+func TestScanGadgetsNoStraddleAcrossGap(t *testing.T) {
+	u, space := gadgetUnit(t)
+	a, _ := space.Map("m1.text", "m1", mem.KindText, mem.PageSize, mem.PermR|mem.PermX)
+	gap, _ := space.Map("m1.rodata", "m1", mem.KindROData, mem.PageSize, mem.PermR)
+	b, _ := space.Map("m2.text", "m2", mem.KindText, mem.PageSize, mem.PermR|mem.PermX)
+	_ = gap
+	fillClean(t, space, a)
+	fillClean(t, space, b)
+	_ = space.WriteAt(a.End()-2, []byte{0x0F, 0x01})
+	_ = space.WriteAt(b.Base, []byte{0xEF})
+	fs, err := u.ScanGadgets([]*mem.Section{a, b}, GateInfo{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("non-contiguous sections cannot straddle, got %v", fs)
+	}
+}
+
+func TestScanGadgetsMidGateTransfer(t *testing.T) {
+	u, space := gadgetUnit(t)
+	text, _ := space.Map("evil.text", "evil", mem.KindText, mem.PageSize, mem.PermR|mem.PermX)
+	gateSec, _ := space.Map("closure.e1.text", "main", mem.KindText, mem.PageSize, mem.PermR|mem.PermX)
+	fillClean(t, space, text)
+	fillClean(t, space, gateSec)
+	gate := GateInfo{
+		Ranges:  []GateRange{{Name: gateSec.Name, Base: gateSec.Base, Size: gateSec.Size}},
+		Entries: map[mem.Addr]bool{gateSec.Base: true},
+	}
+
+	// A call to the sanctioned entry is legitimate.
+	writeCall := func(off int, target mem.Addr) {
+		rel := int64(target) - int64(text.Base+mem.Addr(off+5))
+		enc := []byte{opCallRel, byte(rel), byte(rel >> 8), byte(rel >> 16), byte(rel >> 24)}
+		if err := space.WriteAt(text.Base+mem.Addr(off), enc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeCall(0, gateSec.Base)
+	fs, err := u.ScanGadgets([]*mem.Section{text}, gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("sanctioned entry call flagged: %v", fs)
+	}
+
+	// A call past the entry skips the PKRU check: flagged, and it
+	// contains no WRPKRU bytes for the plain scan to find.
+	writeCall(64, gateSec.Base+16)
+	if err := u.ScanText(text); err != nil {
+		t.Fatalf("plain scan must miss the mid-gate call: %v", err)
+	}
+	fs, err = u.ScanGadgets([]*mem.Section{text}, gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].Kind != GadgetMidGate {
+		t.Fatalf("want one mid-gate finding, got %v", fs)
+	}
+	if fs[0].Target != gateSec.Base+16 {
+		t.Fatalf("target %s, want %s", fs[0].Target, gateSec.Base+16)
+	}
+	if err := GadgetError(fs); !errors.Is(err, ErrGadgetFound) || errors.Is(err, ErrWRPKRUFound) {
+		t.Fatalf("mid-gate error chain: %v", err)
+	}
+}

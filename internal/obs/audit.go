@@ -107,6 +107,17 @@ func (a *Audit) Violations() int64 {
 	return total
 }
 
+// ViolationsFor returns the recorded would-have-faulted event count
+// for one environment (0 for environments never audited).
+func (a *Audit) ViolationsFor(env string) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n := a.encls[env]; n != nil {
+		return n.violations
+	}
+	return 0
+}
+
 // Envs returns the audited environment names, sorted.
 func (a *Audit) Envs() []string {
 	a.mu.Lock()

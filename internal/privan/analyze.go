@@ -1,0 +1,369 @@
+package privan
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/litterbox-project/enclosure/internal/attacks"
+	"github.com/litterbox-project/enclosure/internal/bench"
+	"github.com/litterbox-project/enclosure/internal/core"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+	"github.com/litterbox-project/enclosure/internal/probe"
+	"github.com/litterbox-project/enclosure/internal/spec"
+)
+
+// Entry is the analyzer's verdict on one enclosure of one corpus
+// member: its declared policy, the least-privilege policy mined from
+// the full workload across every backend, the over-privilege diff
+// between the two, and the enclosure's measured privilege under the
+// derived policy.
+type Entry struct {
+	Corpus    string `json:"corpus"`
+	Enclosure string `json:"enclosure"`
+	Declared  string `json:"declared"`
+	Derived   string `json:"derived"`
+	// Violations counts audited events the declared policy would have
+	// faulted on — nonzero means the declaration under-grants (for the
+	// attack corpus: the payload's blocked actions).
+	Violations int64 `json:"violations,omitempty"`
+	// Excess lists declared grants the whole workload never used.
+	Excess []string `json:"excess,omitempty"`
+	// Undeclared lists mined needs the declared policy refuses.
+	Undeclared []string `json:"undeclared,omitempty"`
+	Metrics    Metrics  `json:"metrics"`
+}
+
+// Key identifies the entry in baselines.
+func (e Entry) Key() string { return e.Corpus + "/" + e.Enclosure }
+
+// Result is one full corpus analysis.
+type Result struct {
+	Entries []Entry `json:"entries"`
+}
+
+// Options configures an analysis run.
+type Options struct {
+	// Backends to mine and re-run under; default all four.
+	Backends []core.BackendKind
+	// ScenariosDir holds spec JSON files to include ("" skips them).
+	ScenariosDir string
+	// ProbeSeeds traces of ProbeOps operations are generated from
+	// ProbeSeed for the randomized sweep; 0 seeds skips it.
+	ProbeSeeds int
+	ProbeOps   int
+	ProbeSeed  uint64
+}
+
+// DefaultOptions is the configuration the CI baseline is built with.
+func DefaultOptions(scenariosDir string) Options {
+	return Options{
+		Backends:     []core.BackendKind{core.Baseline, core.MPK, core.VTX, core.CHERI},
+		ScenariosDir: scenariosDir,
+		ProbeSeeds:   4,
+		ProbeOps:     80,
+		ProbeSeed:    0xEC105E,
+	}
+}
+
+// backendName maps a core backend kind to its probe/spec world name.
+func backendName(kind core.BackendKind) string {
+	switch kind {
+	case core.Baseline:
+		return "baseline"
+	case core.MPK:
+		return "mpk"
+	case core.VTX:
+		return "vtx"
+	case core.CHERI:
+		return "cheri"
+	}
+	return fmt.Sprintf("backend(%d)", kind)
+}
+
+// exerciseFn is the corpus-member shape shared by apps, attacks, and
+// spec files: build with per-enclosure policy overrides and drive the
+// full workload.
+type exerciseFn func(kind core.BackendKind, policies map[string]string, opts ...core.Option) (*core.Program, error)
+
+// Analyze runs the full corpus: audit-mine every member on every
+// backend, union the per-enclosure needs, re-run enforcing the derived
+// policies (which must be fault-free — the mining round-trip), diff
+// against declarations, and measure. Entries come back sorted by
+// corpus and enclosure, so the result serializes deterministically.
+func Analyze(opt Options) (*Result, error) {
+	if len(opt.Backends) == 0 {
+		opt.Backends = DefaultOptions("").Backends
+	}
+	var entries []Entry
+
+	for _, app := range bench.CorpusApps() {
+		es, err := analyzeMember("app:"+app.Name, app.Declared, app.Exercise, opt.Backends)
+		if err != nil {
+			return nil, fmt.Errorf("privan: app %s: %w", app.Name, err)
+		}
+		entries = append(entries, es...)
+	}
+	for _, sc := range attacks.CorpusScenarios() {
+		es, err := analyzeMember("attack:"+sc.Name, sc.Declared, sc.Exercise, opt.Backends)
+		if err != nil {
+			return nil, fmt.Errorf("privan: attack %s: %w", sc.Name, err)
+		}
+		entries = append(entries, es...)
+	}
+	if opt.ScenariosDir != "" {
+		specs, err := filepath.Glob(filepath.Join(opt.ScenariosDir, "*.json"))
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(specs)
+		for _, path := range specs {
+			es, err := analyzeSpec(path, opt.Backends)
+			if err != nil {
+				return nil, fmt.Errorf("privan: spec %s: %w", filepath.Base(path), err)
+			}
+			entries = append(entries, es...)
+		}
+	}
+	for i := 0; i < opt.ProbeSeeds; i++ {
+		seed := opt.ProbeSeed + uint64(i)*0x9E3779B97F4A7C15
+		es, err := analyzeProbe(i, seed, opt.ProbeOps)
+		if err != nil {
+			return nil, fmt.Errorf("privan: probe sweep %d: %w", i, err)
+		}
+		entries = append(entries, es...)
+	}
+
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Corpus != entries[j].Corpus {
+			return entries[i].Corpus < entries[j].Corpus
+		}
+		return entries[i].Enclosure < entries[j].Enclosure
+	})
+	return &Result{Entries: entries}, nil
+}
+
+// maxMineIters bounds the mining fixpoint. Grants only ever grow and
+// the policy lattice is finite, so the loop converges; the bound just
+// turns a logic bug into a loud error instead of a hang.
+const maxMineIters = 8
+
+// analyzeMember mines one corpus member across the backends, re-runs
+// it under the derived policies, and emits one entry per enclosure.
+//
+// Mining iterates to a fixpoint: the first pass strips every declared
+// policy to empty so the audit recorder sees the complete footprint;
+// each following pass re-runs audited under the unioned grants so far,
+// absorbing residual denials. The iteration matters because nested
+// entry takes the more-restrictive-vs-intersection branch based on the
+// installed policies — only when the audited world runs under the same
+// policies as the enforcing replay do recorded environment names match
+// the environments enforcement will actually build.
+func analyzeMember(corpus string, declared map[string]string, exercise exerciseFn, kinds []core.BackendKind) ([]Entry, error) {
+	overrides := make(map[string]string, len(declared))
+	for name := range declared {
+		overrides[name] = ""
+	}
+	derivedPol := map[string]litterbox.Policy{}
+	viol := map[string]int64{}
+	for iter := 0; ; iter++ {
+		if iter == maxMineIters {
+			return nil, fmt.Errorf("mining did not converge after %d iterations", maxMineIters)
+		}
+		perEncl := map[string][]string{}
+		var denials int64
+		for _, kind := range kinds {
+			prog, err := exercise(kind, overrides, core.WithAudit())
+			if err != nil {
+				return nil, fmt.Errorf("mining on %s: %w", backendName(kind), err)
+			}
+			audit := prog.Audit()
+			denials += audit.Violations()
+			Attribute(audit.Policies(), perEncl)
+			if iter == 0 {
+				for _, env := range audit.Envs() {
+					v := audit.ViolationsFor(env)
+					for _, name := range splitEnv(env) {
+						viol[name] += v
+					}
+				}
+			}
+		}
+		for name, lits := range perEncl {
+			add, err := UnionLiterals(lits...)
+			if err != nil {
+				return nil, fmt.Errorf("union for %s: %w", name, err)
+			}
+			derivedPol[name] = Union(derivedPol[name], add)
+		}
+		if iter > 0 && denials == 0 {
+			break
+		}
+		for name, pol := range derivedPol {
+			overrides[name] = pol.String()
+		}
+	}
+
+	names := map[string]bool{}
+	for name := range declared {
+		names[name] = true
+	}
+	derivedLit := map[string]string{}
+	for name, pol := range derivedPol {
+		names[name] = true
+		derivedLit[name] = pol.String()
+	}
+	for name := range names {
+		if _, ok := derivedLit[name]; !ok {
+			pol := Union() // never entered: least privilege is "sys:none"
+			derivedPol[name] = pol
+			derivedLit[name] = pol.String()
+		}
+	}
+
+	// Round trip: the derived policies must carry the same workload
+	// without a single fault, on every backend.
+	var metrics map[string]Metrics
+	for _, kind := range kinds {
+		prog, err := exercise(kind, derivedLit)
+		if err != nil {
+			return nil, fmt.Errorf("re-run on %s: %w", backendName(kind), err)
+		}
+		if f := prog.Counters().Snapshot().Faults; f > 0 {
+			return nil, fmt.Errorf("re-run on %s: derived policies faulted %d times", backendName(kind), f)
+		}
+		if kind == core.MPK {
+			if metrics, err = Measure(prog.LitterBox()); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	var entries []Entry
+	for name := range names {
+		decPol, err := core.ParsePolicy(declared[name])
+		if err != nil {
+			return nil, fmt.Errorf("declared policy of %s: %w", name, err)
+		}
+		excess, undeclared := Diff(decPol, derivedPol[name])
+		entries = append(entries, Entry{
+			Corpus: corpus, Enclosure: name,
+			Declared: decPol.String(), Derived: derivedLit[name],
+			Violations: viol[name],
+			Excess:     excess, Undeclared: undeclared,
+			Metrics: metrics[name],
+		})
+	}
+	return entries, nil
+}
+
+// analyzeSpec adapts one scenario file to the corpus-member shape,
+// overriding the file's backend field per sweep arm.
+func analyzeSpec(path string, kinds []core.BackendKind) ([]Entry, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := spec.Parse(blob)
+	if err != nil {
+		return nil, err
+	}
+	declared := map[string]string{}
+	for _, e := range f.Enclosures {
+		declared[e.Name] = e.Policy
+	}
+	exercise := func(kind core.BackendKind, policies map[string]string, opts ...core.Option) (*core.Program, error) {
+		g := *f
+		g.Backend = backendName(kind)
+		prog, _, err := spec.Exercise(&g, policies, opts...)
+		return prog, err // faults are visible through the counters
+	}
+	name := filepath.Base(path)
+	if ext := filepath.Ext(name); ext != "" {
+		name = name[:len(name)-len(ext)]
+	}
+	return analyzeMember("spec:"+name, declared, exercise, kinds)
+}
+
+// analyzeProbe mines one generated trace on all four probe worlds to
+// the same fixpoint analyzeMember uses, replays it enforcing the
+// union, and reports per-enclosure entries against the generator's
+// declared policies.
+func analyzeProbe(index int, seed uint64, ops int) ([]Entry, error) {
+	tr := probe.Gen(seed, ops)
+	declared := probe.SpecPolicies(tr.Spec)
+	pols := make([]litterbox.Policy, len(declared))
+	viol := map[string]int64{}
+	for iter := 0; ; iter++ {
+		if iter == maxMineIters {
+			return nil, fmt.Errorf("mining did not converge after %d iterations", maxMineIters)
+		}
+		perEncl := map[string][]string{}
+		var denials int64
+		for _, b := range probe.BackendNames() {
+			audit, _, err := probe.MineTraceWith(tr, b, pols)
+			if err != nil {
+				return nil, err
+			}
+			denials += audit.Violations()
+			Attribute(audit.Policies(), perEncl)
+			if iter == 0 {
+				for _, env := range audit.Envs() {
+					v := audit.ViolationsFor(env)
+					for _, name := range splitEnv(env) {
+						viol[name] += v
+					}
+				}
+			}
+		}
+		for i := range pols {
+			add, err := UnionLiterals(perEncl[enclName(i)]...)
+			if err != nil {
+				return nil, err
+			}
+			pols[i] = Union(pols[i], add)
+		}
+		if iter > 0 && denials == 0 {
+			break
+		}
+	}
+	for _, b := range probe.BackendNames() {
+		faults, _, err := probe.ReplayDerived(tr, b, pols)
+		if err != nil {
+			return nil, err
+		}
+		if faults > 0 {
+			return nil, fmt.Errorf("replay on %s: derived policies faulted %d times", b, faults)
+		}
+	}
+
+	w, err := probe.BuildWorldWith(tr.Spec, "mpk", pols, nil)
+	if err != nil {
+		return nil, err
+	}
+	metrics, err := Measure(w.LB)
+	if err != nil {
+		return nil, err
+	}
+
+	var entries []Entry
+	for i := range declared {
+		name := enclName(i)
+		excess, undeclared := Diff(declared[i], pols[i])
+		entries = append(entries, Entry{
+			Corpus: fmt.Sprintf("probe:%d", index), Enclosure: name,
+			Declared: declared[i].String(), Derived: pols[i].String(),
+			Violations: viol[name],
+			Excess:     excess, Undeclared: undeclared,
+			Metrics: metrics[name],
+		})
+	}
+	return entries, nil
+}
+
+func enclName(i int) string { return fmt.Sprintf("e%d", i+1) }
+
+// splitEnv breaks a composite intersection env name into constituents.
+func splitEnv(env string) []string { return strings.Split(env, "&") }

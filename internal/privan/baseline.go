@@ -1,0 +1,100 @@
+package privan
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/litterbox-project/enclosure/internal/core"
+)
+
+// BaselineVersion is bumped when the schema or corpus semantics change
+// enough that old baselines cannot be compared.
+const BaselineVersion = 1
+
+// BaselineEntry pins one enclosure's accepted privilege: the derived
+// least-privilege literal and the measured metrics under it.
+type BaselineEntry struct {
+	Derived string  `json:"derived"`
+	Metrics Metrics `json:"metrics"`
+}
+
+// Baseline is the checked-in privilege ledger the CI gate compares
+// against. Keys are "corpus/enclosure".
+type Baseline struct {
+	Version int                      `json:"version"`
+	Entries map[string]BaselineEntry `json:"entries"`
+}
+
+// Baseline condenses an analysis into the ledger form.
+func (r *Result) Baseline() *Baseline {
+	b := &Baseline{Version: BaselineVersion, Entries: map[string]BaselineEntry{}}
+	for _, e := range r.Entries {
+		b.Entries[e.Key()] = BaselineEntry{Derived: e.Derived, Metrics: e.Metrics}
+	}
+	return b
+}
+
+// LoadBaseline reads a ledger from disk.
+func LoadBaseline(path string) (*Baseline, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(blob, &b); err != nil {
+		return nil, fmt.Errorf("privan: %s: %w", path, err)
+	}
+	if b.Version != BaselineVersion {
+		return nil, fmt.Errorf("privan: %s: baseline version %d, want %d (regenerate with -update)", path, b.Version, BaselineVersion)
+	}
+	return &b, nil
+}
+
+// Save writes the ledger with stable formatting (sorted keys, indented)
+// so diffs of the checked-in file stay reviewable.
+func (b *Baseline) Save(path string) error {
+	blob, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// Compare gates the current analysis against the accepted baseline and
+// returns one finding per privilege growth — an enclosure whose derived
+// policy now grants something the ledger's doesn't, whose measured
+// privilege grew, or which the ledger has never seen. An empty slice
+// means the gate passes; shrinkage never fails (refresh with -update).
+func (b *Baseline) Compare(r *Result) []string {
+	var findings []string
+	for _, e := range r.Entries {
+		base, ok := b.Entries[e.Key()]
+		if !ok {
+			findings = append(findings, fmt.Sprintf("%s: not in baseline (derived %q) — new privilege, update the baseline deliberately", e.Key(), e.Derived))
+			continue
+		}
+		basePol, err := core.ParsePolicy(base.Derived)
+		if err != nil {
+			findings = append(findings, fmt.Sprintf("%s: unparseable baseline policy %q: %v", e.Key(), base.Derived, err))
+			continue
+		}
+		curPol, err := core.ParsePolicy(e.Derived)
+		if err != nil {
+			findings = append(findings, fmt.Sprintf("%s: unparseable derived policy %q: %v", e.Key(), e.Derived, err))
+			continue
+		}
+		// Growth is exactly the "undeclared needs" of the current policy
+		// measured against the baseline's as the declaration.
+		if _, grown := Diff(basePol, curPol); len(grown) > 0 {
+			findings = append(findings, fmt.Sprintf("%s: derived policy grew: %s", e.Key(), strings.Join(grown, ", ")))
+		}
+		if deltas := e.Metrics.grows(base.Metrics); len(deltas) > 0 {
+			findings = append(findings, fmt.Sprintf("%s: privilege metrics grew: %s", e.Key(), strings.Join(deltas, ", ")))
+		}
+	}
+	sort.Strings(findings)
+	return findings
+}

@@ -1,0 +1,128 @@
+package privan
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+)
+
+// Diff compares a declared policy against the derived (observed) need
+// and returns the exact excess grants — privilege the declaration hands
+// out that the whole corpus workload never used — and the undeclared
+// needs, privilege the workload exercised that the declaration refuses
+// (each of those surfaced as an audited violation during mining).
+//
+// Declared "U" modifiers are restrictions, not grants, so they are
+// never excess. Connect follows the three-way contract: a declared nil
+// allowlist under net is unrestricted connect, which is excess whenever
+// the observed host set is finite.
+func Diff(declared, derived litterbox.Policy) (excess, undeclared []string) {
+	pkgs := map[string]bool{}
+	for p := range declared.Mods {
+		pkgs[p] = true
+	}
+	for p := range derived.Mods {
+		pkgs[p] = true
+	}
+	names := make([]string, 0, len(pkgs))
+	for p := range pkgs {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	for _, p := range names {
+		dec, der := declared.Mods[p], derived.Mods[p]
+		switch {
+		case dec > der && dec != litterbox.ModU:
+			excess = append(excess, fmt.Sprintf("%s:%s (needs %s)", p, dec, modOrNone(der)))
+		case der > dec:
+			undeclared = append(undeclared, fmt.Sprintf("%s:%s (declared %s)", p, der, modOrNone(dec)))
+		}
+	}
+
+	if exc := declared.Cats &^ derived.Cats; exc != kernel.CatNone {
+		excess = append(excess, "sys:"+exc.String())
+	}
+	if und := derived.Cats &^ declared.Cats; und != kernel.CatNone {
+		undeclared = append(undeclared, "sys:"+und.String())
+	}
+
+	decHosts, decAll := hostSet(declared)
+	derHosts, derAll := hostSet(derived)
+	switch {
+	case !declared.Cats.Has(kernel.CatNet):
+		// No net declared: any derived hosts already surface through the
+		// sys diff; list them for the report's benefit.
+		if len(derHosts) > 0 {
+			undeclared = append(undeclared, "connect:"+litterbox.FormatHosts(sorted(derHosts)))
+		}
+	case !derived.Cats.Has(kernel.CatNet):
+		// Net declared but never used: the category is excess (reported
+		// through the sys diff) and so is whatever allowlist rode on it.
+		if decAll {
+			excess = append(excess, "connect:unrestricted (needs none)")
+		} else if len(decHosts) > 0 {
+			excess = append(excess, "connect:"+litterbox.FormatHosts(sorted(decHosts)))
+		}
+	case decAll && !derAll:
+		need := "none"
+		if len(derHosts) > 0 {
+			need = litterbox.FormatHosts(sorted(derHosts))
+		}
+		excess = append(excess, fmt.Sprintf("connect:unrestricted (needs %s)", need))
+	case !decAll && derAll:
+		undeclared = append(undeclared, "connect:unrestricted")
+	case !decAll && !derAll:
+		if exc := minus(decHosts, derHosts); len(exc) > 0 {
+			excess = append(excess, "connect:"+litterbox.FormatHosts(exc))
+		}
+		if und := minus(derHosts, decHosts); len(und) > 0 {
+			undeclared = append(undeclared, "connect:"+litterbox.FormatHosts(und))
+		}
+	}
+	return excess, undeclared
+}
+
+// sorted flattens a host set into ascending order.
+func sorted(hs map[uint32]bool) []uint32 {
+	out := make([]uint32, 0, len(hs))
+	for h := range hs {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func modOrNone(m litterbox.AccessMod) string {
+	if m == litterbox.ModU {
+		return "none"
+	}
+	return m.String()
+}
+
+// hostSet returns the policy's connect-host set (sentinel 0 excluded)
+// and whether connect is unrestricted (nil allowlist).
+func hostSet(p litterbox.Policy) (map[uint32]bool, bool) {
+	if p.ConnectAllow == nil {
+		return nil, true
+	}
+	set := map[uint32]bool{}
+	for _, h := range p.ConnectAllow {
+		if h != 0 {
+			set[h] = true
+		}
+	}
+	return set, false
+}
+
+func minus(a, b map[uint32]bool) []uint32 {
+	var out []uint32
+	for h := range a {
+		if !b[h] {
+			out = append(out, h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,85 @@
+// Package privan is the corpus-wide privilege analyzer: it mines
+// least-privilege policies by driving every application, attack
+// scenario, spec file, and a seeded probe sweep in audit mode across
+// all four backends, unions the per-enclosure needs, diffs them against
+// the declared policies to expose over-privilege, measures each
+// enclosure's reachable privilege (pages by permission, compiled
+// syscall surface, connect-host set), and gates CI on a checked-in
+// baseline so no package's derived privilege grows unnoticed.
+package privan
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/litterbox-project/enclosure/internal/core"
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+)
+
+// Union merges policies into the least policy covering all of them:
+// per-package maximum modifier, category union, connect-host union.
+// The connect allowlist keeps least privilege under the framework's
+// three-way contract: nil (unrestricted) only survives if some input
+// granted net with no allowlist at all; otherwise the union of observed
+// hosts, or the block-all "none" sentinel when net is granted but no
+// host was ever dialled.
+func Union(ps ...litterbox.Policy) litterbox.Policy {
+	out := litterbox.Policy{Mods: map[string]litterbox.AccessMod{}}
+	unrestricted := false
+	hosts := map[uint32]bool{}
+	for _, p := range ps {
+		for pkg, m := range p.Mods {
+			if m > out.Mods[pkg] {
+				out.Mods[pkg] = m
+			}
+		}
+		out.Cats |= p.Cats
+		if p.Cats.Has(kernel.CatNet) && p.ConnectAllow == nil {
+			unrestricted = true
+		}
+		for _, h := range p.ConnectAllow {
+			if h != 0 {
+				hosts[h] = true
+			}
+		}
+	}
+	if out.Cats.Has(kernel.CatNet) && !unrestricted {
+		list := make([]uint32, 0, len(hosts))
+		for h := range hosts {
+			list = append(list, h)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		if len(list) == 0 {
+			list = []uint32{0}
+		}
+		out.ConnectAllow = list
+	}
+	return out
+}
+
+// UnionLiterals parses policy literals and unions them.
+func UnionLiterals(lits ...string) (litterbox.Policy, error) {
+	ps := make([]litterbox.Policy, 0, len(lits))
+	for _, l := range lits {
+		p, err := core.ParsePolicy(l)
+		if err != nil {
+			return litterbox.Policy{}, err
+		}
+		ps = append(ps, p)
+	}
+	return Union(ps...), nil
+}
+
+// Attribute folds an audit-derived env→literal map into per-enclosure
+// literal lists. Nested entries record under composite intersection
+// names ("a&b"); their needs are attributed to every constituent, which
+// exactly restores coverage — the intersection of the constituents'
+// unioned policies grants everything the composite environment needed.
+func Attribute(derived map[string]string, into map[string][]string) {
+	for env, lit := range derived {
+		for _, name := range strings.Split(env, "&") {
+			into[name] = append(into[name], lit)
+		}
+	}
+}

@@ -137,14 +137,14 @@ func TestInjectedErrnoIsTransient(t *testing.T) {
 			}
 			w.CPU.Inj.ArmSyscallErrno(1, uint32(kernel.EAGAIN))
 			trusted := w.LB.Trusted()
-			_, errno, err := w.LB.FilterSyscallFrom(w.CPU, trusted, "probe", kernel.NrGetpid, [6]uint64{})
+			_, errno, err := w.LB.SyscallGateway(w.CPU, trusted, litterbox.SyscallReq{Nr: kernel.NrGetpid, CallerPkg: "probe"})
 			if err != nil {
 				t.Fatalf("getpid: %v", err)
 			}
 			if errno != kernel.EAGAIN {
 				t.Fatalf("injected call: errno = %v, want EAGAIN", errno)
 			}
-			_, errno, err = w.LB.FilterSyscallFrom(w.CPU, trusted, "probe", kernel.NrGetpid, [6]uint64{})
+			_, errno, err = w.LB.SyscallGateway(w.CPU, trusted, litterbox.SyscallReq{Nr: kernel.NrGetpid, CallerPkg: "probe"})
 			if err != nil || errno != 0 {
 				t.Fatalf("call after injection: errno=%v err=%v, want clean success", errno, err)
 			}

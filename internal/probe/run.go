@@ -262,7 +262,7 @@ func execOp(w *World, op Op) (string, *litterbox.Env) {
 		return outcome(w.LB.CheckExec(w.CPU, cur, op.Pkg, pl.Text.Base), "exec"), nil
 
 	case OpSyscall:
-		ret, errno, err := w.LB.FilterSyscallFrom(w.CPU, cur, "probe", op.Nr, w.argsFor(op))
+		ret, errno, err := w.LB.SyscallGateway(w.CPU, cur, litterbox.SyscallReq{Nr: op.Nr, Args: w.argsFor(op), CallerPkg: "probe"})
 		if err != nil {
 			return outcome(err, "syscall"), nil
 		}

@@ -10,6 +10,7 @@ import (
 	"github.com/litterbox-project/enclosure/internal/litterbox"
 	"github.com/litterbox-project/enclosure/internal/mem"
 	"github.com/litterbox-project/enclosure/internal/mpk"
+	"github.com/litterbox-project/enclosure/internal/obs"
 	"github.com/litterbox-project/enclosure/internal/pkggraph"
 	"github.com/litterbox-project/enclosure/internal/vtx"
 )
@@ -52,6 +53,14 @@ var backendNames = []string{"baseline", "mpk", "vtx", "cheri"}
 
 // BuildWorld instantiates spec under one backend.
 func BuildWorld(spec WorldSpec, name string) (*World, error) {
+	return BuildWorldWith(spec, name, nil, nil)
+}
+
+// BuildWorldWith is BuildWorld with per-enclosure policy overrides
+// (indexed like spec.Encls; nil keeps the spec's policies) and an
+// optional audit recorder — non-nil switches the world into
+// observe-don't-enforce mode, the privilege analyzer's mining shape.
+func BuildWorldWith(spec WorldSpec, name string, policies []litterbox.Policy, audit *obs.Audit) (*World, error) {
 	g := pkggraph.New()
 	for i := 0; i < spec.NPkgs; i++ {
 		var imports []string
@@ -125,6 +134,12 @@ func BuildWorld(spec WorldSpec, name string) (*World, error) {
 		for p, m := range es.Mods {
 			pol.Mods[pkgName(p)] = m
 		}
+		if policies != nil {
+			pol = policies[i]
+			if pol.Mods == nil {
+				pol.Mods = map[string]litterbox.AccessMod{}
+			}
+		}
 		specs = append(specs, litterbox.EnclosureSpec{
 			ID: i + 1, Name: fmt.Sprintf("e%d", i+1), Pkg: pkgName(es.Pkg), Policy: pol,
 		})
@@ -132,7 +147,7 @@ func BuildWorld(spec WorldSpec, name string) (*World, error) {
 
 	lb, err := litterbox.Init(litterbox.Config{
 		Image: img, Clock: clock, Kernel: k, Proc: proc,
-		Backend: backend, Specs: specs,
+		Backend: backend, Specs: specs, Audit: audit,
 	})
 	if err != nil {
 		return nil, err

@@ -18,6 +18,7 @@ package seccomp
 import (
 	"encoding/binary"
 	"hash/fnv"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -136,6 +137,29 @@ func (t *VerdictTable) Verdict(d *Data) uint32 {
 		return RetAllow
 	}
 	return t.denyAction
+}
+
+// AllowedCount returns the cardinality of pkru's allow bitmap: the
+// number of distinct syscall numbers the compiled filter permits the
+// environment unconditionally (argument-gated connect rules are not
+// counted — they allow a number only toward listed hosts). It returns
+// -1 when no rule matches pkru and the default action decides every
+// call, which for a trusted default-allow filter means an unbounded
+// surface. The privilege analyzer uses this as the per-enclosure
+// syscall-surface metric.
+func (t *VerdictTable) AllowedCount(pkru uint32) int {
+	ev := t.lookup(pkru)
+	if ev == nil {
+		return -1
+	}
+	n := 0
+	for _, w := range ev.allow {
+		n += bits.OnesCount64(w)
+	}
+	if w := ev.connectNr / 64; ev.connectNr != 0 && int(w) < len(ev.allow) && ev.allow[w]&(1<<(ev.connectNr%64)) != 0 {
+		n-- // connect is argument-gated, not unconditional
+	}
+	return n
 }
 
 // Envs returns the number of distinct PKRU rules in the table.

@@ -269,3 +269,29 @@ func FuzzVerdictTableEquivalence(f *testing.F) {
 		}
 	})
 }
+
+func TestAllowedCount(t *testing.T) {
+	rules := []EnvRule{
+		{PKRU: 0x10, Allowed: []uint32{1, 2, 3, 200}},
+		{PKRU: 0x20, Allowed: []uint32{5, 9}, ConnectNr: 9, ConnectAllow: []uint32{0x0a000001}},
+		{PKRU: 0x30, Allowed: nil},
+	}
+	art, err := CompileArtifacts(rules, RetTrap, RetErrno)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		pkru uint32
+		want int
+	}{
+		{0x10, 4},
+		{0x20, 1},  // connect (nr 9) is argument-gated, not unconditional
+		{0x30, 0},  // empty surface
+		{0x40, -1}, // no rule: default action decides
+	}
+	for _, c := range cases {
+		if got := art.Table.AllowedCount(c.pkru); got != c.want {
+			t.Errorf("AllowedCount(%#x) = %d, want %d", c.pkru, got, c.want)
+		}
+	}
+}

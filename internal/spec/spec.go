@@ -232,11 +232,18 @@ func compileOps(ops []string) core.Func {
 
 // Build assembles the spec into a runnable program.
 func Build(f *File) (*core.Program, error) {
+	return BuildWith(f, nil)
+}
+
+// BuildWith is Build with per-enclosure policy overrides (nil leaves
+// the file's literals; an entry that is present but empty strips the
+// enclosure's policy, the audit-mining shape) and builder options.
+func BuildWith(f *File, policies map[string]string, opts ...core.Option) (*core.Program, error) {
 	kind, err := backendOf(f.Backend)
 	if err != nil {
 		return nil, err
 	}
-	b := core.NewBuilder(kind)
+	b := core.NewBuilder(kind, opts...)
 	for _, p := range f.Packages {
 		ps := core.PackageSpec{
 			Name:    p.Name,
@@ -262,9 +269,54 @@ func Build(f *File) (*core.Program, error) {
 		body := func(t *core.Task, args ...core.Value) ([]core.Value, error) {
 			return t.Call(pkg, fn, args...)
 		}
-		b.Enclosure(e.Name, e.Pkg, e.Policy, body, e.Uses...)
+		policy := e.Policy
+		if p, ok := policies[e.Name]; ok {
+			policy = p
+		}
+		b.Enclosure(e.Name, e.Pkg, policy, body, e.Uses...)
 	}
 	return b.Build()
+}
+
+// Exercise builds f once with the given policy overrides and options
+// and executes every run step on that single program — the shape the
+// privilege analyzer needs: one audited program accumulating the whole
+// script's footprint, or one enforcing program that must stay
+// fault-free under derived policies. Unlike Run, a fault kills the
+// program and aborts the remaining steps; it is returned rather than
+// treated as an error so callers can assert on it.
+func Exercise(f *File, policies map[string]string, opts ...core.Option) (*core.Program, *litterbox.Fault, error) {
+	prog, err := BuildWith(f, policies, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	runErr := prog.Run(func(t *core.Task) error {
+		for _, step := range f.Run {
+			if step.Enclosure != "" {
+				e, err := prog.Enclosure(step.Enclosure)
+				if err != nil {
+					return err
+				}
+				if _, err := e.Call(t); err != nil {
+					return err
+				}
+				continue
+			}
+			pkg, fn, ok := strings.Cut(step.Call, ".")
+			if !ok {
+				return fmt.Errorf("spec: step call %q is not pkg.fn", step.Call)
+			}
+			if _, err := t.Call(pkg, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	var fault *litterbox.Fault
+	if errors.As(runErr, &fault) {
+		return prog, fault, nil
+	}
+	return prog, nil, runErr
 }
 
 // Run executes the spec's run script. Each step runs against a fresh
