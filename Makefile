@@ -19,11 +19,12 @@ race:
 	$(GO) test -race ./...
 
 # Benchmark trajectory point (checked into the repo root): the
-# compiled-policy fast-path comparison, the scaling and cluster sweeps,
-# the differential probe and forced-migration sweeps, and the open-loop
-# latency sweep, as machine-readable JSON.
+# compiled-policy fast-path comparison, the scaling, ring, and cluster
+# sweeps, the differential probe and forced-migration sweeps, the
+# open-loop latency sweep, and the warm-enclosure churn sweep, as
+# machine-readable JSON.
 bench:
-	$(GO) run ./cmd/enclosebench -trajectory BENCH_8.json
+	$(GO) run ./cmd/enclosebench -trajectory BENCH_10.json
 
 # Host-side Go micro-benchmarks (not checked in).
 gobench:

@@ -23,6 +23,7 @@
 //
 //	enclose probe -n 500                    # sweep 500 traces
 //	enclose probe -seed 0xec705e            # replay one trace deterministically
+//	enclose probe -n 300 -warm              # cold vs clone vs recycled digests
 //
 // The cluster subcommand runs N engine nodes behind a consistent-hash
 // load balancer on a simulated network: content-addressed image

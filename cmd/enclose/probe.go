@@ -19,7 +19,25 @@ func runProbe(args []string) {
 	ops := fs.Int("ops", 40, "operations per trace")
 	fastpath := fs.Bool("fastpath", true, "use the compiled verdict table (false: reference BPF interpreter)")
 	ringMode := fs.Bool("ring", true, "drain syscall batches through the ring (false: sequential per-entry gateway)")
+	warm := fs.Bool("warm", false, "replay every trace on snapshot clones and recycled instances; digests must match the cold build")
 	fs.Parse(args)
+
+	if *warm {
+		fmt.Printf("warm sweep: %d trace(s) from seed %#x (%d ops each): cold vs clone vs recycled on baseline/mpk/vtx/cheri\n",
+			*n, *seed, *ops)
+		stats, div, err := probe.CompareWarmSweep(*seed, *n, *ops, true)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %d traces, %d ops, %d clones, %d recycles\n",
+			stats.Traces, stats.Ops, stats.Clones, stats.Recycles)
+		if div == nil {
+			fmt.Println("  digest-identical: clone and recycled replays match the cold build on every backend")
+			return
+		}
+		fmt.Printf("\n%s\n", div)
+		os.Exit(1)
+	}
 
 	var hooks []func(*probe.World)
 	mode := "verdict-table fast path"

@@ -7,6 +7,7 @@
 //	enclosebench -table probe    # adversarial differential probe sweep
 //	enclosebench -table fastpath # compiled-policy fast path before/after
 //	enclosebench -table ring     # batched syscall ring off/on per backend
+//	enclosebench -table churn    # warm-enclosure instantiation: cold vs clone vs recycled
 //	enclosebench -table cluster  # multi-node cluster scaling + migration sweep
 //	enclosebench -table latency  # open-loop latency sweep (p50/p99/p99.9 + shed)
 //	enclosebench -figure 4    # linked executable image layout
@@ -34,7 +35,7 @@ import (
 func benchKind(i int) core.BackendKind { return core.BackendKind(i) }
 
 func main() {
-	table := flag.String("table", "", "regenerate a table: 1, 2, scale, probe, fastpath, ring, cluster, or latency")
+	table := flag.String("table", "", "regenerate a table: 1, 2, scale, probe, fastpath, ring, churn, cluster, or latency")
 	trajectory := flag.String("trajectory", "", "write the benchmark trajectory point (fastpath + scale + probe) to the given file")
 	figure := flag.Int("figure", 0, "regenerate Figure N (4 or 5)")
 	python := flag.Bool("python", false, "run the §6.4 Python experiments")
@@ -83,6 +84,9 @@ func main() {
 		} else if *table == "ring" {
 			// Ring-only smoke run: the batched-syscall sweep.
 			results, err = bench.CollectRingResults()
+		} else if *table == "churn" {
+			// Churn-only smoke run: warm-enclosure instantiation sweep.
+			results, err = bench.CollectChurnResults()
 		} else if *table == "latency" {
 			// Latency-only smoke run: the open-loop generator sweep.
 			results, err = bench.CollectLatencyResults()
@@ -175,6 +179,14 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(bench.RenderRingTable(entries))
+	}
+	if *all || *table == "churn" {
+		ran = true
+		res, err := bench.RunChurn(bench.ChurnSweepTraces)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.RenderChurnTable(res))
 	}
 	if *all || *table == "latency" {
 		ran = true

@@ -89,6 +89,14 @@ type (
 type (
 	// Option configures a Builder (WithTracer, WithAudit, ...).
 	Option = core.Option
+
+	// Template is a program captured as a warm-enclosure snapshot
+	// (Program.Snapshot); Instantiate clones it in O(state).
+	Template = core.Template
+
+	// WarmPool is a bounded free-list of recycled snapshot instances
+	// (Template.NewPool).
+	WarmPool = core.WarmPool
 	// Trace is the structured event collector WithTracer attaches: a
 	// bounded ring of recent events plus running aggregates.
 	Trace = obs.Trace
@@ -193,6 +201,17 @@ func WithAddressSpaceSize(bytes uint64) Option { return core.WithAddressSpaceSiz
 // on LB_VTX, one VM exit) per batch instead of the full per-call
 // overhead. Default off; depth must be positive or the option panics.
 func WithSyscallRing(depth int) Option { return core.WithSyscallRing(depth) }
+
+// WithWarmPool enables warm-enclosure snapshot instantiation: the built
+// program is captured once as a post-init template and every job an
+// engine admits runs in its own clone drawn from a per-worker pool of
+// up to n recycled instances — request-level isolation at clone cost
+// instead of cold-build cost. Each job observes the program exactly as
+// Build left it; nothing a previous tenant wrote survives recycling.
+// Programs whose backend cannot be snapshot-cloned fall back to the
+// shared program transparently. n must be positive or the option
+// panics.
+func WithWarmPool(n int) Option { return core.WithWarmPool(n) }
 
 // DefaultHostIP returns the simulated program's own network address
 // (10.0.0.1); external drivers dial simulated listeners with it.

@@ -25,6 +25,10 @@ type Results struct {
 	// Ring reports the batched-syscall-ring sweep: FastHTTP /stream
 	// throughput per backend with the submission ring off and on.
 	Ring []RingEntry `json:"ring,omitempty"`
+	// Churn reports the warm-enclosure instantiation sweep: cold build
+	// vs snapshot clone vs recycled instance per backend × workers,
+	// plus the clone-vs-cold digest-equivalence probe sweep.
+	Churn *ChurnResult `json:"churn,omitempty"`
 	// Latency reports the open-loop load-generator sweep:
 	// coordinated-omission-free p50/p99/p99.9 and shed rate per
 	// backend × worker count × offered load.
@@ -148,6 +152,12 @@ func CollectResults(microIters int) (*Results, error) {
 	}
 	out.Ring = ringEntries
 
+	churn, err := RunChurn(ChurnSweepTraces)
+	if err != nil {
+		return nil, err
+	}
+	out.Churn = &churn
+
 	latency, err := RunLatency(LatencySmokeRequests)
 	if err != nil {
 		return nil, err
@@ -248,10 +258,17 @@ func CollectTrajectoryResults() (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The acceptance-grade warm sweep: 300 traces, clone and recycled
+	// replays digest-identical to cold on all four backends.
+	churn, err := RunChurn(300)
+	if err != nil {
+		return nil, err
+	}
 	return &Results{
 		Fastpath:         &fp,
 		Scale:            scale,
 		Ring:             ringEntries,
+		Churn:            &churn,
 		Cluster:          clusterEntries,
 		ClusterMigration: &mig,
 		Probe:            &pr,
@@ -295,6 +312,23 @@ func CollectRingResults() (*Results, error) {
 	}
 	return &Results{
 		Ring: entries,
+		Paper: map[string]string{
+			"title": "Enclosure: Language-Based Restriction of Untrusted Libraries",
+			"venue": "ASPLOS 2021",
+		},
+	}, nil
+}
+
+// CollectChurnResults runs only the warm-enclosure churn sweep at the
+// CI smoke size — the machine-readable run CI's schema and
+// speedup-floor checks drive (`enclosebench -table churn -json -`).
+func CollectChurnResults() (*Results, error) {
+	churn, err := RunChurn(ChurnSweepTraces)
+	if err != nil {
+		return nil, err
+	}
+	return &Results{
+		Churn: &churn,
 		Paper: map[string]string{
 			"title": "Enclosure: Language-Based Restriction of Untrusted Libraries",
 			"venue": "ASPLOS 2021",

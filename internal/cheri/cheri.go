@@ -113,6 +113,7 @@ type Unit struct {
 	mu     sync.Mutex
 	tables map[int]*table
 	next   int
+	muts   int64 // bumped on every capability mutation (see clone.go)
 }
 
 // NewUnit returns an empty capability unit.
@@ -127,6 +128,7 @@ func (u *Unit) CreateTable() int {
 	id := u.next
 	u.next++
 	u.tables[id] = &table{}
+	u.muts++
 	return id
 }
 
@@ -139,6 +141,7 @@ func (u *Unit) Grant(tableID int, c Cap) error {
 		return fmt.Errorf("%w: %d", ErrNoTable, tableID)
 	}
 	t.insert(c)
+	u.muts++
 	return nil
 }
 
@@ -151,6 +154,7 @@ func (u *Unit) RevokeRange(tableID int, base mem.Addr, length uint64) error {
 		return fmt.Errorf("%w: %d", ErrNoTable, tableID)
 	}
 	t.removeRange(base, length)
+	u.muts++
 	return nil
 }
 

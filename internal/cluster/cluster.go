@@ -39,6 +39,15 @@ type Opts struct {
 	// built identically — replication verifies this content-addressed
 	// at join and rejects heterogeneous nodes.
 	Build func() (*core.Program, error)
+	// WarmJoin replicates node programs from a snapshot template: the
+	// first AddNode cold-builds via Build and captures the result as a
+	// core.Template; every node — including the first — then runs a
+	// clone instantiated from it, so later joins skip the cold build
+	// entirely and node identity is by construction (clones are
+	// bit-identical, which the content-addressed blob replication then
+	// verifies for free). A program that cannot be snapshot-cloned
+	// falls back to per-node cold builds transparently.
+	WarmJoin bool
 	// Start, when non-nil, starts the node's application (e.g. an HTTP
 	// server over the node's engine) and returns a stopper invoked at
 	// drain, after in-flight requests retire and before the engine
@@ -66,6 +75,14 @@ type Cluster struct {
 	migrations atomic.Int64
 	joins      atomic.Int64
 	leaves     atomic.Int64
+
+	// tmplMu guards the warm-join template (built lazily on the first
+	// AddNode when opts.WarmJoin is set; nil after a failed capture,
+	// which disables warm joins for the cluster's lifetime).
+	tmplMu     sync.Mutex
+	tmpl       *core.Template
+	tmplTried  bool
+	warmJoined atomic.Int64 // nodes instantiated from the template
 
 	blobsShipped atomic.Int64
 	blobsDeduped atomic.Int64
@@ -102,13 +119,55 @@ func New(opts Opts) (*Cluster, error) {
 
 // AddNode builds a node, replicates the image from the registry (the
 // cluster's first node), starts its app, and joins it to the ring.
+// buildNodeProg produces the program a joining node will run. Without
+// WarmJoin this is a plain opts.Build call. With WarmJoin the first
+// join cold-builds and captures the result as a snapshot template;
+// that node and every later one run a clone instantiated from it, so
+// joins after the first skip the cold build. Capture failure (a
+// backend that cannot be snapshot-cloned) permanently reverts the
+// cluster to cold builds.
+func (c *Cluster) buildNodeProg() (*core.Program, error) {
+	if !c.opts.WarmJoin {
+		return c.opts.Build()
+	}
+	c.tmplMu.Lock()
+	defer c.tmplMu.Unlock()
+	if !c.tmplTried {
+		c.tmplTried = true
+		cold, err := c.opts.Build()
+		if err != nil {
+			return nil, err
+		}
+		t, err := cold.Snapshot()
+		if err != nil {
+			// Not cloneable: run the cold build we already paid for
+			// and stay cold for the cluster's lifetime.
+			return cold, nil
+		}
+		c.tmpl = t
+	}
+	if c.tmpl == nil {
+		return c.opts.Build()
+	}
+	prog, err := c.tmpl.Instantiate()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: instantiating warm node: %w", err)
+	}
+	c.warmJoined.Add(1)
+	return prog, nil
+}
+
+// WarmJoins reports how many nodes were instantiated from the warm-join
+// snapshot template rather than cold-built.
+func (c *Cluster) WarmJoins() int64 { return c.warmJoined.Load() }
+
 func (c *Cluster) AddNode() (*Node, error) {
 	c.mu.Lock()
 	idx := c.nextID
 	c.nextID++
 	c.mu.Unlock()
 
-	prog, err := c.opts.Build()
+	prog, err := c.buildNodeProg()
 	if err != nil {
 		return nil, fmt.Errorf("cluster: building node%d: %w", idx, err)
 	}

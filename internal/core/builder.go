@@ -85,6 +85,10 @@ type Builder struct {
 	// ringDepth enables the batched syscall submission ring when
 	// positive (options.go WithSyscallRing; 0 keeps it off).
 	ringDepth int
+
+	// warmPool enables engine-side warm-snapshot instantiation when
+	// positive (options.go WithWarmPool; 0 keeps it off).
+	warmPool int
 }
 
 // NewBuilder returns a program builder targeting the given backend,
@@ -326,6 +330,7 @@ func (b *Builder) Build() (*Program, error) {
 		pw:            pw,
 		engineWorkers: b.engineWorkers,
 		ringDepth:     b.ringDepth,
+		warmPool:      b.warmPool,
 	}
 	prog.runtimeCPU = prog.newCPU()
 

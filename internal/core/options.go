@@ -70,3 +70,20 @@ func WithSyscallRing(depth int) Option {
 	}
 	return func(b *Builder) { b.ringDepth = depth }
 }
+
+// WithWarmPool enables warm-enclosure instantiation in the engine: the
+// built program is captured once as a snapshot template (Snapshot), and
+// every admitted job runs in its own clone drawn from a per-worker pool
+// of up to n recycled instances instead of on the shared program —
+// request-level isolation at clone cost, never cold-build cost. Jobs
+// see a program state identical to the freshly built one; state written
+// by one job is invisible to the next (the instance is recycled to the
+// snapshot between tenants). Programs whose backend cannot be
+// snapshot-cloned (MPK with virtualised keys) fall back to the shared
+// program transparently. n must be positive.
+func WithWarmPool(n int) Option {
+	if n <= 0 {
+		panic(fmt.Sprintf("core: WithWarmPool size must be positive, got %d", n))
+	}
+	return func(b *Builder) { b.warmPool = n }
+}

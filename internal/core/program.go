@@ -14,6 +14,7 @@ import (
 	"github.com/litterbox-project/enclosure/internal/pkggraph"
 	"github.com/litterbox-project/enclosure/internal/simfs"
 	"github.com/litterbox-project/enclosure/internal/simnet"
+	"github.com/litterbox-project/enclosure/internal/snapstart"
 )
 
 // Program is a built, runnable simulated program.
@@ -34,6 +35,11 @@ type Program struct {
 
 	engineWorkers int
 	ringDepth     int
+	warmPool      int
+
+	// snapInst is non-nil when this program is a warm clone produced by
+	// Template.Instantiate; Template.Recycle resets it in place.
+	snapInst *snapstart.Instance
 
 	runtimeCPU *hw.CPU
 
@@ -151,6 +157,15 @@ func (p *Program) DefaultEngineWorkers() int { return p.engineWorkers }
 // WithSyscallRing (zero when the ring is off and batch submissions
 // execute sequentially).
 func (p *Program) SyscallRingDepth() int { return p.ringDepth }
+
+// WarmPoolSize returns the per-worker warm-pool capacity set via
+// WithWarmPool (zero when warm instantiation is off and the engine runs
+// every job on the shared program).
+func (p *Program) WarmPoolSize() int { return p.warmPool }
+
+// IsSnapshotInstance reports whether this program was produced by
+// Template.Instantiate rather than a cold Build.
+func (p *Program) IsSnapshotInstance() bool { return p.snapInst != nil }
 
 // Graph returns the package-dependence graph.
 func (p *Program) Graph() *pkggraph.Graph { return p.graph }

@@ -138,6 +138,10 @@ type Engine struct {
 
 	workers []*worker
 	wg      sync.WaitGroup
+
+	// warm, when non-nil, serves every job in its own snapshot-cloned
+	// program instance drawn from a per-worker pool (core.WithWarmPool).
+	warm *warmState
 }
 
 // worker is one virtual CPU's engine-side state.
@@ -196,6 +200,9 @@ func New(prog *core.Program, opts Opts) *Engine {
 	}
 	e := &Engine{prog: prog, opts: opts, queues: make([]*classQueue, opts.Workers)}
 	e.cond = sync.NewCond(&e.mu)
+	// Capture the warm template before binding any worker to the shared
+	// program, so the snapshot sees the program exactly as Build left it.
+	e.warm = initWarm(prog, opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
 		e.queues[i] = &classQueue{}
 		e.workers = append(e.workers, &worker{idx: i, ctx: prog.NewWorker(fmt.Sprintf("cpu%d", i))})
@@ -444,11 +451,28 @@ func (e *Engine) dequeueLocked(w *worker, requireBusyVictim bool) (job, bool, bo
 // It returns the job's virtual start and completion on the arrival
 // timeline plus the measured service time.
 func (e *Engine) exec(w *worker, j job) (start, completion, service int64, err error) {
-	t := e.prog.NewTaskOn(w.ctx, j.name)
-	clock0 := w.ctx.Clock().Now()
+	var t *core.Task
+	var release func()
+	clock := w.ctx.Clock()
+	if e.warm != nil {
+		// Warm admission: the job gets its own snapshot instance; a
+		// failed clone falls back to the shared program below.
+		if wt, rel, werr := e.acquireWarm(w, j.name); werr == nil {
+			t, release = wt, rel
+			clock = t.Worker().Clock()
+		}
+	}
+	if t == nil {
+		t = e.prog.NewTaskOn(w.ctx, j.name)
+	}
+	clock0 := clock.Now()
 	err = runJob(t, j.fn)
-	service = w.ctx.Clock().Now() - clock0
-	w.ctx.Domain().Reset()
+	service = clock.Now() - clock0
+	if release != nil {
+		release()
+	} else {
+		w.ctx.Domain().Reset()
+	}
 	w.requests.Add(1)
 
 	e.mu.Lock()
@@ -646,4 +670,5 @@ func (e *Engine) Close() {
 	}
 	e.mu.Unlock()
 	e.wg.Wait()
+	e.closeWarm()
 }

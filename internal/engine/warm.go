@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/litterbox-project/enclosure/internal/core"
+)
+
+// warmState is the engine's warm-enclosure machinery, present when the
+// program was built with core.WithWarmPool and captured cleanly: the
+// snapshot template plus one bounded instance pool per worker, so
+// admission never contends on a global free-list.
+type warmState struct {
+	t     *core.Template
+	pools []*core.WarmPool
+}
+
+// initWarm captures prog as a snapshot template and builds the
+// per-worker pools. A program that cannot be snapshot-cloned (MPK with
+// virtualised keys, live fds) leaves warm mode off and the engine
+// falls back to running jobs on the shared program — the cold path.
+func initWarm(prog *core.Program, workers int) *warmState {
+	size := prog.WarmPoolSize()
+	if size <= 0 {
+		return nil
+	}
+	t, err := prog.Snapshot()
+	if err != nil {
+		return nil
+	}
+	ws := &warmState{t: t, pools: make([]*core.WarmPool, workers)}
+	for i := range ws.pools {
+		ws.pools[i] = t.NewPool(size)
+	}
+	return ws
+}
+
+// acquireWarm draws a warm program instance for worker w and binds a
+// fresh worker context on it. The release closure recycles the instance
+// back into w's pool (or discards it when the pool is full).
+func (e *Engine) acquireWarm(w *worker, name string) (*core.Task, func(), error) {
+	pool := e.warm.pools[w.idx]
+	prog, err := pool.Get()
+	if err != nil {
+		return nil, nil, err
+	}
+	wctx := prog.NewWorker(fmt.Sprintf("warm-cpu%d", w.idx))
+	return prog.NewTaskOn(wctx, name), func() { pool.Put(prog) }, nil
+}
+
+// WarmEnabled reports whether the engine serves jobs from warm snapshot
+// instances (the program was built with core.WithWarmPool and captured
+// cleanly).
+func (e *Engine) WarmEnabled() bool { return e.warm != nil }
+
+// WarmTemplate returns the engine's snapshot template (nil when warm
+// mode is off) — tests and benchmarks read its clone/recycle counters.
+func (e *Engine) WarmTemplate() *core.Template {
+	if e.warm == nil {
+		return nil
+	}
+	return e.warm.t
+}
+
+// WarmStats aggregates the per-worker pool counters. ok is false when
+// warm mode is off.
+func (e *Engine) WarmStats() (stats core.WarmPoolStats, ok bool) {
+	if e.warm == nil {
+		return core.WarmPoolStats{}, false
+	}
+	for _, p := range e.warm.pools {
+		s := p.Stats()
+		stats.Hits += s.Hits
+		stats.Misses += s.Misses
+		stats.Discards += s.Discards
+	}
+	return stats, true
+}
+
+// closeWarm drops every pooled instance.
+func (e *Engine) closeWarm() {
+	if e.warm == nil {
+		return
+	}
+	for _, p := range e.warm.pools {
+		p.Close()
+	}
+}

@@ -1,0 +1,70 @@
+package kernel
+
+import (
+	"errors"
+
+	"github.com/litterbox-project/enclosure/internal/hw"
+	"github.com/litterbox-project/enclosure/internal/mem"
+)
+
+// ErrLiveFDs is returned by Proc.CloneInto when the process still holds
+// descriptors that reference live kernel objects the snapshot cannot
+// duplicate (connections, listeners, unconnected sockets, open files).
+// Snapshot capture requires a quiescent fd table — templates are taken
+// post-init, before the program opens anything.
+var ErrLiveFDs = errors.New("kernel: cannot clone a process with open descriptors")
+
+// Clone returns an independent kernel over the cloned address space and
+// the clone's own clock: filesystem and network namespaces are deep-
+// copied, the mmap span registry is remapped through secMap (template
+// section -> clone section), the deterministic entropy cursor carries
+// over so a cloned world draws the same getrandom sequence a cold build
+// would, and the installed filter state is shared — the compiled
+// artifact is immutable, exactly the seccomp artifacts cache's contract.
+func (k *Kernel) Clone(space *mem.AddressSpace, clock *hw.Clock, secMap map[*mem.Section]*mem.Section) (*Kernel, error) {
+	net, err := k.Net.Clone()
+	if err != nil {
+		return nil, err
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	c := &Kernel{
+		FS:    k.FS.Clone(),
+		Net:   net,
+		clock: clock,
+		space: space,
+		rng:   k.rng,
+		spans: make(map[mem.Addr]*mem.Section, len(k.spans)),
+		nspan: k.nspan,
+	}
+	for base, sec := range k.spans {
+		if ns, ok := secMap[sec]; ok {
+			c.spans[base] = ns
+		} else {
+			c.spans[base] = sec
+		}
+	}
+	c.filter.Store(k.filter.Load())
+	c.fastOff.Store(k.fastOff.Load())
+	c.crossCheck.Store(k.crossCheck.Load())
+	c.ringCrossCheck.Store(k.ringCrossCheck.Load())
+	// pkeys and the trace source are backend wiring: the enforcement
+	// layer's clone re-installs both against the new kernel.
+	return c, nil
+}
+
+// CloneInto duplicates the process identity onto a cloned kernel. Only
+// a quiescent fd table (no open descriptors) can be captured; the fd
+// cursor carries over so descriptor numbering matches a cold build.
+func (p *Proc) CloneInto(k *Kernel) (*Proc, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.fds) > 0 {
+		return nil, ErrLiveFDs
+	}
+	return &Proc{
+		k: k, UID: p.UID, PID: p.PID, HostIP: p.HostIP,
+		fds: make(map[int]*fdEntry), nextFD: p.nextFD,
+		exited: p.exited, code: p.code, nonBlock: p.nonBlock,
+	}, nil
+}

@@ -1,0 +1,57 @@
+package linker
+
+import (
+	"github.com/litterbox-project/enclosure/internal/mem"
+	"github.com/litterbox-project/enclosure/internal/pkggraph"
+)
+
+// CloneWith rebinds the image onto a copy-on-write cloned address space:
+// every placed *mem.Section is remapped through secMap (template section
+// -> clone section) so the clone's backends and Transfer paths touch
+// clone-owned section structs, never the template's. Symbol tables
+// (Funcs/Consts/Vars) are shared — they are immutable after placement —
+// while the Packages and Enclosures containers are copied so a dynamic
+// import placed into the clone stays invisible to the template.
+func (img *Image) CloneWith(space *mem.AddressSpace, graph *pkggraph.Graph, secMap map[*mem.Section]*mem.Section) *Image {
+	remap := func(s *mem.Section) *mem.Section {
+		if s == nil {
+			return nil
+		}
+		if ns, ok := secMap[s]; ok {
+			return ns
+		}
+		return s
+	}
+	img.mu.RLock()
+	defer img.mu.RUnlock()
+	c := &Image{
+		Space:     space,
+		Graph:     graph,
+		Packages:  make(map[string]*PackageLayout, len(img.Packages)),
+		Marked:    make(map[string]bool, len(img.Marked)),
+		PkgsSec:   remap(img.PkgsSec),
+		RstrctSec: remap(img.RstrctSec),
+		VerifSec:  remap(img.VerifSec),
+	}
+	for name, pl := range img.Packages {
+		c.Packages[name] = &PackageLayout{
+			Name:   pl.Name,
+			Text:   remap(pl.Text),
+			ROData: remap(pl.ROData),
+			Data:   remap(pl.Data),
+			Funcs:  pl.Funcs,
+			Consts: pl.Consts,
+			Vars:   pl.Vars,
+		}
+	}
+	c.Enclosures = make([]*EnclosureDecl, len(img.Enclosures))
+	for i, d := range img.Enclosures {
+		nd := *d
+		nd.Text = remap(d.Text)
+		c.Enclosures[i] = &nd
+	}
+	for name := range img.Marked {
+		c.Marked[name] = true
+	}
+	return c
+}

@@ -1,0 +1,283 @@
+package litterbox
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/litterbox-project/enclosure/internal/hw"
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/linker"
+	"github.com/litterbox-project/enclosure/internal/obs"
+	"github.com/litterbox-project/enclosure/internal/seccomp"
+)
+
+// Warm-enclosure snapshot support: a captured template LitterBox is
+// cloned into an independent instance in O(state), never O(build) — no
+// view computation, no meta-package clustering, no section validation,
+// no gadget scan, no filter compilation, and no page-table construction
+// happen on this path. Everything immutable (verification tokens,
+// compiled seccomp artifacts, symbol tables, connect allowlists) is
+// shared; everything mutable (views, env snapshot, backend hardware
+// state) is copied.
+
+// Errors surfaced by snapshot cloning.
+var (
+	// ErrNotCloneable reports a backend configuration that cannot be
+	// snapshot-cloned (MPK with virtualised keys: the eviction cache is
+	// entangled with per-CPU PKRU history). Callers fall back to a cold
+	// build.
+	ErrNotCloneable = errors.New("litterbox: backend state cannot be snapshot-cloned")
+	// ErrCaptureAborted refuses to capture a template from a faulted
+	// program.
+	ErrCaptureAborted = errors.New("litterbox: cannot capture an aborted program as a template")
+)
+
+// BackendCloner is implemented by backends that support warm-snapshot
+// cloning. CloneFor builds this backend's state for the cloned
+// LitterBox c (whose Space/Clock/Kernel are already in place). reuse,
+// when non-nil, is a backend previously cloned from this same template
+// being recycled: implementations may adopt its hardware unit instead
+// of copying the template's again when the unit's mutation generation
+// proves it untouched since birth.
+type BackendCloner interface {
+	CloneFor(c *LitterBox, reuse Backend) (Backend, error)
+}
+
+// CloneDeps carries the per-instance state a LitterBox clone binds to:
+// the image rebound onto the cloned address space (linker.Image.CloneWith),
+// the cloned kernel and process, and the instance's own clock.
+type CloneDeps struct {
+	Image  *linker.Image
+	Kernel *kernel.Kernel
+	Proc   *kernel.Proc
+	Clock  *hw.Clock
+
+	// Reuse, when non-nil, is the LitterBox of an instance being
+	// recycled in place; its backend units may be adopted when provably
+	// untouched (see BackendCloner).
+	Reuse *LitterBox
+}
+
+// CloneInto builds an independent LitterBox from a captured template.
+// The template must be quiescent: not aborted, no in-flight intersection
+// materialisation. The clone enforces identically to a cold-built
+// LitterBox over the same image — the probe corpus proves this digest-
+// identical — but costs only map and slice copies.
+func (lb *LitterBox) CloneInto(deps CloneDeps) (*LitterBox, error) {
+	if lb.aborted.Load() {
+		return nil, ErrCaptureAborted
+	}
+	cloner, ok := lb.backend.(BackendCloner)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotCloneable, lb.backend.Name())
+	}
+
+	c := &LitterBox{
+		Image:  deps.Image,
+		Space:  deps.Image.Space,
+		Clock:  deps.Clock,
+		Kernel: deps.Kernel,
+		Proc:   deps.Proc,
+		graph:  deps.Image.Graph,
+		audit:  lb.audit,
+	}
+	if tr, _ := lb.trace.Load().(*obs.Trace); tr != nil {
+		c.trace.Store(tr)
+	}
+	c.lockedReads.Store(lb.lockedReads.Load())
+	c.ringSeq.Store(lb.ringSeq.Load())
+
+	lb.mu.Lock()
+	c.nextEnv = lb.nextEnv
+	c.verif = make(map[int]uint64, len(lb.verif))
+	for k, v := range lb.verif {
+		c.verif[k] = v
+	}
+	c.enclName = make(map[int]string, len(lb.enclName))
+	for k, v := range lb.enclName {
+		c.enclName[k] = v
+	}
+	// Outer slice copied (dynamic imports append and roll back by
+	// truncation); the member groups themselves are immutable.
+	c.metaPkgs = append([][]string(nil), lb.metaPkgs...)
+	c.pkgToMeta = make(map[string]int, len(lb.pkgToMeta))
+	for k, v := range lb.pkgToMeta {
+		c.pkgToMeta[k] = v
+	}
+	snap := lb.snap.Load()
+	lb.mu.Unlock()
+
+	csnap, err := cloneSnapshot(snap)
+	if err != nil {
+		return nil, err
+	}
+	c.trusted = csnap.envs[TrustedEnv]
+	c.snap.Store(csnap)
+
+	var reuse Backend
+	if deps.Reuse != nil {
+		reuse = deps.Reuse.backend
+	}
+	backend, err := cloner.CloneFor(c, reuse)
+	if err != nil {
+		return nil, err
+	}
+	c.backend = backend
+
+	c.Kernel.SetTraceSource(func(cpu *hw.CPU) (*obs.Trace, string, string) {
+		tr, _ := c.trace.Load().(*obs.Trace)
+		if tr == nil {
+			return nil, "", ""
+		}
+		return tr, c.backend.Name(), c.workerName(cpu)
+	})
+	return c, nil
+}
+
+// cloneSnapshot deep-copies the RCU env snapshot: every environment is
+// copied (views are mutable via dynamic imports, so they cannot be
+// shared), intersection cache entries are remapped onto the cloned
+// environments, and generations carry over so per-worker EnvCaches
+// epoch-match exactly as they would against the template.
+func cloneSnapshot(s *envSnapshot) (*envSnapshot, error) {
+	c := &envSnapshot{
+		gen:     s.gen,
+		viewGen: s.viewGen,
+		envs:    make([]*Env, len(s.envs)),
+		byEncl:  make(map[int]EnvID, len(s.byEncl)),
+		inter:   make(map[[2]EnvID]*interEntry, len(s.inter)),
+	}
+	for i, e := range s.envs {
+		ne := cloneEnv(e)
+		if EnvID(i) != ne.ID {
+			return nil, fmt.Errorf("litterbox: snapshot env table not dense at %d (id %d)", i, ne.ID)
+		}
+		c.envs[i] = ne
+	}
+	for k, v := range s.byEncl {
+		c.byEncl[k] = v
+	}
+	for k, ent := range s.inter {
+		select {
+		case <-ent.ready:
+		default:
+			// In-flight materialisation: capture is supposed to be
+			// quiescent, but an unresolved entry is merely a cache miss
+			// for the clone — drop it and let the clone re-materialise.
+			continue
+		}
+		if ent.err != nil || ent.env == nil {
+			continue // failed entries are retried by design; don't clone them
+		}
+		ready := make(chan struct{})
+		close(ready)
+		c.inter[k] = &interEntry{ready: ready, env: c.envs[ent.env.ID]}
+	}
+	return c, nil
+}
+
+// cloneEnv copies one environment. The connect allowlist is shared — it
+// is immutable after construction (the same contract connectSet's lazy
+// build relies on) — while the view map is copied because dynamic
+// imports mutate it in place.
+func cloneEnv(e *Env) *Env {
+	ne := &Env{
+		ID:           e.ID,
+		Name:         e.Name,
+		Cats:         e.Cats,
+		ConnectAllow: e.ConnectAllow,
+		Trusted:      e.Trusted,
+		PKRU:         e.PKRU,
+		Table:        e.Table,
+	}
+	if e.View != nil {
+		e.viewMu.RLock()
+		ne.View = make(map[string]AccessMod, len(e.View))
+		for k, v := range e.View {
+			ne.View[k] = v
+		}
+		e.viewMu.RUnlock()
+	}
+	return ne
+}
+
+// --- Backend snapshot cloning ----------------------------------------
+
+// CloneFor implements BackendCloner: the baseline has no hardware state.
+func (b *BaselineBackend) CloneFor(c *LitterBox, _ Backend) (Backend, error) {
+	return &BaselineBackend{lb: c}, nil
+}
+
+// CloneFor implements BackendCloner for LB_MPK. The unit (key bitmap and
+// page key tags) is copied — or adopted from a recycled instance whose
+// generation proves it untouched — and the key assignment, color, and
+// filter-rule tables are copied by value. No gadget rescan runs: the
+// clone's text pages are bit-identical by CoW. No filter recompiles: the
+// cloned kernel already carries the compiled artifact pointer.
+func (b *MPKBackend) CloneFor(c *LitterBox, reuse Backend) (Backend, error) {
+	b.stateMu.RLock()
+	defer b.stateMu.RUnlock()
+	if b.virt != nil {
+		return nil, fmt.Errorf("%w: mpk with virtualised keys", ErrNotCloneable)
+	}
+	nb := &MPKBackend{
+		lb:        c,
+		keyByMeta: append([]int(nil), b.keyByMeta...),
+		keyOf:     make(map[string]int, len(b.keyOf)),
+		superKey:  b.superKey,
+	}
+	if prev, ok := reuse.(*MPKBackend); ok && prev.unit.Generation() == b.unit.Generation() {
+		nb.unit = prev.unit
+	} else {
+		nb.unit = b.unit.Clone(c.Space, c.Clock)
+	}
+	for k, v := range b.keyOf {
+		nb.keyOf[k] = v
+	}
+	if b.colorBySig != nil {
+		nb.colorBySig = make(map[pkruColorKey]int, len(b.colorBySig))
+		for k, v := range b.colorBySig {
+			nb.colorBySig[k] = v
+		}
+	}
+	b.mu.Lock()
+	nb.rules = make(map[uint32]seccomp.EnvRule, len(b.rules))
+	for k, v := range b.rules {
+		nb.rules[k] = v
+	}
+	b.mu.Unlock()
+	c.Kernel.SetPkeyOps(nb.unit)
+	return nb, nil
+}
+
+// CloneFor implements BackendCloner for LB_VTX: the machine's page
+// tables are deep-copied (or adopted on a clean recycle) and the
+// content-addressed signature registry is copied — its handle ids stay
+// valid because Machine.Clone preserves them.
+func (b *VTXBackend) CloneFor(c *LitterBox, reuse Backend) (Backend, error) {
+	nb := &VTXBackend{lb: c, sigs: make(map[string]int)}
+	nb.noShare.Store(b.noShare.Load())
+	if prev, ok := reuse.(*VTXBackend); ok && prev.machine.Generation() == b.machine.Generation() {
+		nb.machine = prev.machine
+	} else {
+		nb.machine = b.machine.Clone(c.Space, c.Clock)
+	}
+	b.sigMu.Lock()
+	for k, v := range b.sigs {
+		nb.sigs[k] = v
+	}
+	b.sigMu.Unlock()
+	return nb, nil
+}
+
+// CloneFor implements BackendCloner for LB_CHERI: capability tables are
+// copied (or adopted on a clean recycle) with their ids preserved.
+func (b *CHERIBackend) CloneFor(c *LitterBox, reuse Backend) (Backend, error) {
+	nb := &CHERIBackend{lb: c}
+	if prev, ok := reuse.(*CHERIBackend); ok && prev.unit.Generation() == b.unit.Generation() {
+		nb.unit = prev.unit
+	} else {
+		nb.unit = b.unit.Clone(c.Clock)
+	}
+	return nb, nil
+}

@@ -85,7 +85,9 @@ func (e *Env) removeFromView(pkg string) {
 	e.viewMu.Unlock()
 }
 
-// viewSnapshot copies the view for race-free iteration.
+// viewSnapshot copies the view for race-free iteration. Hot paths that
+// only need to iterate two views together use readLockViews instead —
+// the copy is for callers that retain the map past the lock.
 func (e *Env) viewSnapshot() map[string]AccessMod {
 	e.viewMu.RLock()
 	out := make(map[string]AccessMod, len(e.View))
@@ -94,6 +96,19 @@ func (e *Env) viewSnapshot() map[string]AccessMod {
 	}
 	e.viewMu.RUnlock()
 	return out
+}
+
+// viewLockOrder returns the two environments in view-lock order: both
+// locks are always taken in ascending EnvID (IDs are unique, allocated
+// from one counter), so two concurrent opposite-order comparisons can
+// never interleave with a pending writer into a deadlock. Callers
+// lock/unlock explicitly rather than through a returned closure — the
+// closure would heap-escape on every env switch.
+func viewLockOrder(a, b *Env) (*Env, *Env) {
+	if b.ID < a.ID {
+		return b, a
+	}
+	return a, b
 }
 
 // CanExec reports whether the environment may invoke pkg's functions.
@@ -145,10 +160,24 @@ func (e *Env) MoreRestrictiveThan(t *Env) bool {
 	if e.Trusted {
 		return false
 	}
-	for pkg, m := range e.viewSnapshot() {
-		if m > t.ModOf(pkg) {
-			return false
+	x, y := viewLockOrder(e, t)
+	x.viewMu.RLock()
+	if y != x {
+		y.viewMu.RLock()
+	}
+	ok := true
+	for pkg, m := range e.View {
+		if m > t.View[pkg] {
+			ok = false
+			break
 		}
+	}
+	if y != x {
+		y.viewMu.RUnlock()
+	}
+	x.viewMu.RUnlock()
+	if !ok {
+		return false
 	}
 	if e.Cats&^t.Cats != 0 {
 		return false
@@ -189,37 +218,54 @@ func intersect(e, f *Env) *Env {
 	}
 	out := &Env{
 		Name: e.Name + "&" + f.Name,
-		View: make(map[string]AccessMod),
 		Cats: e.Cats & f.Cats,
 	}
-	fview := f.viewSnapshot()
-	for pkg, m := range e.viewSnapshot() {
-		if fm, ok := fview[pkg]; ok {
-			min := m.Min(fm)
-			if min > ModU {
-				out.View[pkg] = min
+	// Iterate both views under their read locks instead of copying each
+	// into a throwaway snapshot map — nested Prologs materialise an
+	// intersection per environment pair and the copies dominated its
+	// cost.
+	x, y := viewLockOrder(e, f)
+	x.viewMu.RLock()
+	if y != x {
+		y.viewMu.RLock()
+	}
+	out.View = make(map[string]AccessMod, min(len(e.View), len(f.View)))
+	for pkg, m := range e.View {
+		if fm, ok := f.View[pkg]; ok {
+			if mod := m.Min(fm); mod > ModU {
+				out.View[pkg] = mod
 			}
 		}
 	}
+	if y != x {
+		y.viewMu.RUnlock()
+	}
+	x.viewMu.RUnlock()
 	switch {
 	case e.ConnectAllow == nil:
 		// Only nil means unrestricted — a non-nil empty list is the
 		// block-everything allowlist and must dominate the intersection,
-		// so the cases test nil-ness, never length.
-		out.ConnectAllow = cloneHosts(f.ConnectAllow)
+		// so the cases test nil-ness, never length. ConnectAllow is
+		// immutable after construction, so the surviving list is shared,
+		// not copied.
+		out.ConnectAllow = f.ConnectAllow
 	case f.ConnectAllow == nil:
-		out.ConnectAllow = cloneHosts(e.ConnectAllow)
+		out.ConnectAllow = e.ConnectAllow
 	default:
 		seen := make(map[uint32]bool, len(e.ConnectAllow))
 		for _, h := range e.ConnectAllow {
 			seen[h] = true
 		}
-		out.ConnectAllow = []uint32{} // non-nil: an empty allowlist blocks all connects
+		// Non-nil even when empty: an empty allowlist blocks all
+		// connects. Sized once — the intersection can't exceed the
+		// smaller list.
+		hosts := make([]uint32, 0, min(len(e.ConnectAllow), len(f.ConnectAllow)))
 		for _, h := range f.ConnectAllow {
 			if seen[h] {
-				out.ConnectAllow = append(out.ConnectAllow, h)
+				hosts = append(hosts, h)
 			}
 		}
+		out.ConnectAllow = hosts
 	}
 	return out
 }

@@ -1,0 +1,74 @@
+package litterbox_test
+
+// The sequential-gateway allocation audit (and its regression pin):
+// SyscallGateway's allowed-call path is the per-syscall hot loop every
+// sequential workload pays, so it must not allocate. The test pins
+// allocs/op to exactly zero on all four backends; the benchmark
+// reports ns/op and B/op for the same path.
+
+import (
+	"testing"
+
+	"github.com/litterbox-project/enclosure/internal/hw"
+	"github.com/litterbox-project/enclosure/internal/kernel"
+	"github.com/litterbox-project/enclosure/internal/litterbox"
+)
+
+// gatewayWorld builds a fixture world with the e1 enclosure installed
+// on the CPU, ready to issue filtered syscalls.
+func gatewayWorld(t testing.TB, backend string) (*litterbox.LitterBox, *hw.CPU, *litterbox.Env) {
+	f := newFixture(t)
+	lb := f.initWith(t, backends(f)[backend])
+	if err := lb.InstallEnv(f.cpu, lb.Trusted()); err != nil {
+		t.Fatal(err)
+	}
+	env, err := lb.Prolog(f.cpu, lb.Trusted(), 1, f.img.Enclosures[0].Token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lb, f.cpu, env
+}
+
+// TestGatewaySequentialZeroAlloc pins the allowed-syscall sequential
+// path at zero heap allocations per call on every backend.
+func TestGatewaySequentialZeroAlloc(t *testing.T) {
+	for _, name := range []string{"baseline", "mpk", "vtx", "cheri"} {
+		t.Run(name, func(t *testing.T) {
+			lb, cpu, env := gatewayWorld(t, name)
+			req := litterbox.SyscallReq{Nr: kernel.NrGetuid, CallerPkg: "lib"}
+			// Warm once: first use may populate lazy state.
+			if _, errno, err := lb.SyscallGateway(cpu, env, req); err != nil || errno != kernel.OK {
+				t.Fatalf("warmup: errno=%v err=%v", errno, err)
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				if _, errno, err := lb.SyscallGateway(cpu, env, req); err != nil || errno != kernel.OK {
+					t.Fatalf("gateway: errno=%v err=%v", errno, err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("sequential gateway path allocates %.1f objects/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkGatewaySequential measures the allowed-call sequential path
+// per backend; run with -benchmem to see the 0 B/op pin.
+func BenchmarkGatewaySequential(b *testing.B) {
+	for _, name := range []string{"baseline", "mpk", "vtx", "cheri"} {
+		b.Run(name, func(b *testing.B) {
+			lb, cpu, env := gatewayWorld(b, name)
+			req := litterbox.SyscallReq{Nr: kernel.NrGetuid, CallerPkg: "lib"}
+			if _, errno, err := lb.SyscallGateway(cpu, env, req); err != nil || errno != kernel.OK {
+				b.Fatalf("warmup: errno=%v err=%v", errno, err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := lb.SyscallGateway(cpu, env, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -29,7 +29,7 @@ type fixture struct {
 	cpu   *hw.CPU
 }
 
-func newFixture(t *testing.T) *fixture {
+func newFixture(t testing.TB) *fixture {
 	t.Helper()
 	g := pkggraph.New()
 	for _, p := range []*pkggraph.Package{
@@ -67,7 +67,7 @@ func newFixture(t *testing.T) *fixture {
 	}
 }
 
-func (f *fixture) initWith(t *testing.T, backend litterbox.Backend, specs ...litterbox.EnclosureSpec) *litterbox.LitterBox {
+func (f *fixture) initWith(t testing.TB, backend litterbox.Backend, specs ...litterbox.EnclosureSpec) *litterbox.LitterBox {
 	t.Helper()
 	if specs == nil {
 		specs = []litterbox.EnclosureSpec{{

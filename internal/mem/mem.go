@@ -182,6 +182,14 @@ type AddressSpace struct {
 	sections []*Section // sorted by Base
 	next     Addr
 	limit    Addr
+
+	// Copy-on-write clone state (see cow.go). cow marks pages whose
+	// backing array is still shared with the other side of a CloneCoW;
+	// dirty and snap exist only on clones and record what Revert must
+	// rewind. All three are nil/empty on a space that never cloned.
+	cow   map[uint64]bool
+	dirty map[uint64]bool
+	snap  *cowSnapshot
 }
 
 // NewAddressSpace returns an empty address space with the given capacity
@@ -217,6 +225,7 @@ func (as *AddressSpace) Map(name, pkg string, kind SectionKind, size uint64, per
 	for p := first; p <= last; p++ {
 		as.pages[p] = new([PageSize]byte)
 	}
+	as.markPagesDirtyLocked(first, last)
 	as.sections = append(as.sections, s) // bump allocation keeps order sorted
 	return s, nil
 }
@@ -240,7 +249,9 @@ func (as *AddressSpace) Unmap(s *Section) error {
 	first, last := s.Pages()
 	for p := first; p <= last; p++ {
 		delete(as.pages, p)
+		delete(as.cow, p)
 	}
+	as.markPagesDirtyLocked(first, last)
 	return nil
 }
 
@@ -289,9 +300,18 @@ func (as *AddressSpace) ReadAt(addr Addr, p []byte) error {
 }
 
 // WriteAt copies p into memory starting at addr (no permission checks).
+// A write that lands on a copy-on-write page first promotes it to a
+// private copy, so CoW clones never observe each other's writes.
 func (as *AddressSpace) WriteAt(addr Addr, p []byte) error {
 	as.mu.RLock() // page map is not mutated; page contents race is caller's
-	defer as.mu.RUnlock()
+	if !as.needsPromoteLocked(addr, uint64(len(p))) {
+		defer as.mu.RUnlock()
+		return as.copyLocked(addr, p, true)
+	}
+	as.mu.RUnlock()
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	as.promoteLocked(addr, uint64(len(p)))
 	return as.copyLocked(addr, p, true)
 }
 

@@ -1,0 +1,30 @@
+package mpk
+
+import (
+	"github.com/litterbox-project/enclosure/internal/hw"
+	"github.com/litterbox-project/enclosure/internal/mem"
+)
+
+// Clone returns an independent MPK unit over a cloned address space:
+// the key-allocation bitmap and every page's key tag are copied by
+// value. Key numbers are preserved, so environments' published PKRU
+// values remain valid in the clone, and the clone needs no fresh
+// WRPKRU gadget scan — its text pages are bit-identical by CoW.
+func (u *Unit) Clone(space *mem.AddressSpace, clock *hw.Clock) *Unit {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	c := &Unit{space: space, clock: clock, used: u.used, pages: make(map[uint64]pte, len(u.pages)), muts: u.muts}
+	for p, e := range u.pages {
+		c.pages[p] = e
+	}
+	return c
+}
+
+// Generation returns a counter bumped by every key-table mutation
+// (alloc/free/mprotect). A pooled instance whose unit generation still
+// matches its birth value can be recycled without re-tagging pages.
+func (u *Unit) Generation() int64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.muts
+}

@@ -52,6 +52,7 @@ type Unit struct {
 	mu    sync.Mutex
 	used  [hw.NumKeys]bool
 	pages map[uint64]pte
+	muts  int64 // bumped on every key-table mutation (see clone.go)
 }
 
 // NewUnit returns an MPK unit over the address space. Key 0 is
@@ -69,6 +70,7 @@ func (u *Unit) PkeyAlloc() (int, kernel.Errno) {
 	for k := 1; k < hw.NumKeys; k++ {
 		if !u.used[k] {
 			u.used[k] = true
+			u.muts++
 			return k, kernel.OK
 		}
 	}
@@ -85,6 +87,7 @@ func (u *Unit) PkeyFree(key int) kernel.Errno {
 		return kernel.EINVAL
 	}
 	u.used[key] = false
+	u.muts++
 	return kernel.OK
 }
 
@@ -109,6 +112,7 @@ func (u *Unit) PkeyMprotect(base mem.Addr, size uint64, perm mem.Perm, key int) 
 	for p := first; p <= last; p++ {
 		u.pages[p] = pte{perm: perm, key: key}
 	}
+	u.muts++
 	return kernel.OK
 }
 

@@ -245,6 +245,28 @@ func (g *Graph) naturalLocked(name string) map[string]bool {
 	return set
 }
 
+// Clone returns an independently mutable copy of the graph for a warm
+// snapshot clone: AddIncremental on either side is invisible to the
+// other. Package structs and cached natural-dependency sets are shared —
+// both are immutable once registered (imports are append-only and
+// existing closures never change).
+func (g *Graph) Clone() *Graph {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	c := &Graph{
+		pkgs:    make(map[string]*Package, len(g.pkgs)),
+		natural: make(map[string]map[string]bool, len(g.natural)),
+		closed:  g.closed,
+	}
+	for n, p := range g.pkgs {
+		c.pkgs[n] = p
+	}
+	for n, s := range g.natural {
+		c.natural[n] = s
+	}
+	return c
+}
+
 // Lookup returns the named package.
 func (g *Graph) Lookup(name string) (*Package, error) {
 	g.mu.RLock()

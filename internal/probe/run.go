@@ -62,7 +62,15 @@ func RunTrace(tr Trace) (*Divergence, TraceStats, error) {
 // reads). Configurations must not change verdicts or virtual costs;
 // the digest equality tests pin exactly that.
 func RunTraceConfigured(tr Trace, configure func(*World)) (*Divergence, TraceStats, error) {
-	return runTrace(tr, configure, -1, nil)
+	return runTrace(tr, configure, -1, nil, nil)
+}
+
+// RunTraceWorlds is RunTrace with a custom world builder — the warm-
+// snapshot harness uses it to replay a trace against worlds instantiated
+// from templates instead of cold-built ones. build(spec) must return the
+// four worlds in backendNames order; nil falls back to BuildWorlds.
+func RunTraceWorlds(tr Trace, build func(WorldSpec) ([]*World, error)) (*Divergence, TraceStats, error) {
+	return runTrace(tr, nil, -1, nil, build)
 }
 
 // Executed is one journal entry of a trace execution: an operation that
@@ -92,12 +100,15 @@ type Executed struct {
 // exactly when migration is state-faithful; the cluster's migration
 // sweep pins that equality on all four backends.
 func RunTraceMigrated(tr Trace, at int, swap func(w *World, journal []Executed) (*World, error)) (*Divergence, TraceStats, error) {
-	return runTrace(tr, nil, at, swap)
+	return runTrace(tr, nil, at, swap, nil)
 }
 
-func runTrace(tr Trace, configure func(*World), migrateAt int, swap func(*World, []Executed) (*World, error)) (*Divergence, TraceStats, error) {
+func runTrace(tr Trace, configure func(*World), migrateAt int, swap func(*World, []Executed) (*World, error), build func(WorldSpec) ([]*World, error)) (*Divergence, TraceStats, error) {
 	var stats TraceStats
-	worlds, err := BuildWorlds(tr.Spec)
+	if build == nil {
+		build = BuildWorlds
+	}
+	worlds, err := build(tr.Spec)
 	if err != nil {
 		return nil, stats, err
 	}

@@ -341,3 +341,19 @@ func (f *File) Close() error {
 	f.closed = true
 	return nil
 }
+
+// Clone returns a deep copy of the filesystem for a warm-enclosure
+// snapshot: inode contents are copied so writes on either side stay
+// private. Open File handles are not carried over — snapshot capture
+// requires a quiescent fd table.
+func (fs *FS) Clone() *FS {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	c := &FS{inodes: make(map[string]*inode, len(fs.inodes))}
+	for p, in := range fs.inodes {
+		in.mu.RLock()
+		c.inodes[p] = &inode{data: append([]byte(nil), in.data...), dir: in.dir}
+		in.mu.RUnlock()
+	}
+	return c
+}

@@ -407,3 +407,26 @@ func (n *Net) ResetConnectLog() {
 	n.connectLog = nil
 	n.mu.Unlock()
 }
+
+// ErrNotQuiescent is returned by Clone when the namespace still has live
+// listeners or accept shards: streams and accept queues hold goroutine
+// rendezvous state that cannot be meaningfully duplicated, so snapshot
+// capture requires a quiescent network.
+var ErrNotQuiescent = errors.New("simnet: cannot clone a namespace with live listeners")
+
+// Clone returns an independent copy of a quiescent network namespace:
+// the ephemeral port cursor and the connect log carry over, so a cloned
+// world draws the same port sequence a cold-built one would.
+func (n *Net) Clone() (*Net, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.listeners) > 0 || len(n.shards) > 0 {
+		return nil, ErrNotQuiescent
+	}
+	return &Net{
+		listeners:  make(map[Addr]*Listener),
+		shards:     make(map[Addr]*shardGroup),
+		nextPort:   n.nextPort,
+		connectLog: append([]Addr(nil), n.connectLog...),
+	}, nil
+}

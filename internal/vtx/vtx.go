@@ -77,6 +77,7 @@ type Machine struct {
 	nphys   int
 	clones  int64
 	splits  int64
+	muts    int64 // bumped on every table mutation (see clone.go)
 }
 
 // NewMachine returns a machine with no page tables. The caller (LB_VTX)
@@ -92,6 +93,7 @@ func (m *Machine) CreateTable() int {
 	id := m.next
 	m.next++
 	m.handles[id] = m.newPhysLocked()
+	m.muts++
 	return id
 }
 
@@ -115,6 +117,7 @@ func (m *Machine) CloneTable(src int) (int, error) {
 	pt.refs++
 	m.handles[id] = pt
 	m.clones++
+	m.muts++
 	return id, nil
 }
 
@@ -195,6 +198,7 @@ func (m *Machine) MapSection(table int, sec *mem.Section, perm mem.Perm) error {
 		return err
 	}
 	mapPages(pt, sec, perm)
+	m.muts++
 	return nil
 }
 
@@ -214,6 +218,7 @@ func (m *Machine) MapSectionShared(table int, sec *mem.Section, perm mem.Perm) e
 		return fmt.Errorf("%w: %d", ErrNoTable, table)
 	}
 	mapPages(pt, sec, perm)
+	m.muts++
 	return nil
 }
 
@@ -234,6 +239,7 @@ func (m *Machine) UnmapSection(table int, sec *mem.Section) error {
 		return err
 	}
 	unmapPages(pt, sec)
+	m.muts++
 	return nil
 }
 
@@ -247,6 +253,7 @@ func (m *Machine) UnmapSectionShared(table int, sec *mem.Section) error {
 		return fmt.Errorf("%w: %d", ErrNoTable, table)
 	}
 	unmapPages(pt, sec)
+	m.muts++
 	return nil
 }
 
